@@ -1,0 +1,26 @@
+"""Shared helpers for the experiment benchmark harness.
+
+Every experiment module (``bench_e*.py``) maps to one row of DESIGN.md's
+per-experiment index.  Benchmarks both *time* the runs (pytest-benchmark)
+and *assert the shape* of the paper's qualitative claims; the measured
+series is attached as ``benchmark.extra_info`` so it lands in the report
+(``pytest benchmarks/ --benchmark-only``).
+
+Heavy interpreter runs use ``once()`` (a single pedantic round) so the
+suite stays tractable; micro-ops use the default calibrated timing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def once(benchmark, func, *args, **kwargs):
+    """Run *func* exactly once under timing (no warmup, no repetition)."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def attach(benchmark, **info):
+    """Attach a measured series/shape summary to the benchmark report."""
+    for key, value in info.items():
+        benchmark.extra_info[key] = value

@@ -1,0 +1,85 @@
+"""E10 — SDL codings vs the traditional models the paper contrasts.
+
+Section 3.1: "The algorithm maps equally well on shared-variable or
+message-based models."  We run the direct shared-array and actor
+implementations next to the SDL codings on identical inputs; everything
+agrees on the answer, the traditional runtimes are (much) faster raw —
+they pay no language interpretation — while the structural counters line
+up exactly: barriers(shared-array) == consensus(Sum1), messages(actors)
+~ tuple traffic(Sum2).
+"""
+
+import pytest
+
+from _helpers import attach, once
+from repro.baselines import MessageSummer, SharedArraySummer
+from repro.programs import run_sum1, run_sum2
+from repro.workloads import random_array
+
+SIZES = [16, 64, 256]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_e10_shared_array_baseline(benchmark, n):
+    values = random_array(n, seed=n)
+
+    def run():
+        summer = SharedArraySummer(values)
+        total = summer.run()
+        return summer, total
+
+    summer, total = once(benchmark, run)
+    assert total == sum(values)
+    attach(benchmark, n=n, model="shared-array", barriers=summer.barriers, adds=summer.adds)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_e10_message_passing_baseline(benchmark, n):
+    values = random_array(n, seed=n)
+
+    def run():
+        summer = MessageSummer(values, seed=2)
+        total = summer.run()
+        return summer, total
+
+    summer, total = once(benchmark, run)
+    assert total == sum(values)
+    attach(
+        benchmark,
+        n=n,
+        model="actors",
+        messages=summer.network.messages_sent,
+        rounds=summer.network.rounds,
+    )
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_e10_structural_correspondence(benchmark, n):
+    """The SDL codings mirror the traditional models structurally:
+    Sum1's consensus barriers == the shared-array phase barriers, and
+    Sum2 commits one merge per internal actor of the message tree."""
+    values = random_array(n, seed=n)
+
+    def run():
+        return run_sum1(values, seed=1), run_sum2(values, seed=1)
+
+    sdl_sync, sdl_async = once(benchmark, run)
+
+    shared = SharedArraySummer(values)
+    shared.run()
+    actors = MessageSummer(values, seed=2)
+    actors.run()
+
+    assert sdl_sync.total == sdl_async.total == sum(values)
+    assert sdl_sync.result.consensus_rounds == shared.barriers
+    # every internal actor corresponds to one Sum2 merge commit
+    internal_actors = n - 1
+    assert sdl_async.result.commits == internal_actors
+    attach(
+        benchmark,
+        n=n,
+        sdl_sync_consensus=sdl_sync.result.consensus_rounds,
+        shared_barriers=shared.barriers,
+        sdl_async_commits=sdl_async.result.commits,
+        actor_messages=actors.network.messages_sent,
+    )

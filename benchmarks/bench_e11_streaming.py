@@ -1,0 +1,52 @@
+"""E11 (extension) — streaming region labeling: the airborne-platform test.
+
+The paper motivates the community model with images that arrive as a
+continuous scan.  This experiment delivers the image one line per
+transaction and measures how many regions complete *before* scanning
+finishes — the quantified version of "waiting for all regions to be
+labeled is often unreasonable".
+"""
+
+import pytest
+
+from _helpers import attach, once
+from repro.programs import run_streaming_labeling
+from repro.workloads import stripe_image
+
+#: (width, height, stripe) — stripes of 2 lines, so height/2 regions
+SHAPES = [(4, 8, 2), (4, 12, 2), (3, 16, 2)]
+
+
+@pytest.mark.parametrize("width,height,stripe", SHAPES)
+def test_e11_streaming_labeling(benchmark, width, height, stripe):
+    image = stripe_image(width, height, stripe=stripe)
+    out = once(benchmark, run_streaming_labeling, image, seed=4)
+    assert out.correct
+    regions = len(out.completions)
+    early = out.regions_done_before_scan_end()
+    attach(
+        benchmark,
+        image=f"{width}x{height}",
+        regions=regions,
+        completed_during_scan=early,
+        scan_done_round=out.scan_done_round,
+        completion_rounds=[r for __, r in out.completions],
+    )
+    # the deeper the image, the more regions finish mid-scan; at 8+ lines
+    # at least one must
+    assert early >= 1
+    assert out.result.consensus_rounds == regions
+
+
+def _shape_streaming_beats_batch_to_first_region():
+    """First-region availability: streaming announces its first region long
+    before the last line is even scanned; with batch delivery the whole
+    image is at least fully scanned first by construction."""
+    image = stripe_image(4, 12, stripe=2)
+    out = run_streaming_labeling(image, seed=4)
+    first = min(r for __, r in out.completions)
+    assert first < out.scan_done_round
+
+
+def test_e11_first_region_before_scan_end(benchmark):
+    once(benchmark, _shape_streaming_beats_batch_to_first_region)

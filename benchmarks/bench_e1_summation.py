@@ -1,0 +1,68 @@
+"""E1 — Section 3.1: the three summation codings compute the same sum.
+
+Paper claim: Sum1 (synchronous), Sum2 (asynchronous), and Sum3 (replication)
+all express parallel summation; Sum3 is the most compact, creates only one
+process, and imposes no synchronization.  We time each coding across N and
+assert the structural claims.
+"""
+
+import pytest
+
+from _helpers import attach, once
+from repro.programs import run_sum1, run_sum2, run_sum3
+from repro.workloads import random_array
+
+SIZES = [16, 64, 256]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_e1_sum1_synchronous(benchmark, n):
+    values = random_array(n, seed=n)
+    out = once(benchmark, run_sum1, values, seed=1)
+    assert out.total == sum(values)
+    attach(
+        benchmark,
+        n=n,
+        commits=out.result.commits,
+        consensus=out.result.consensus_rounds,
+        processes=out.trace.counters.processes_created,
+        rounds=out.result.rounds,
+    )
+    # one process per merge: N-1 across all phases
+    assert out.trace.counters.processes_created == n - 1
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_e1_sum2_asynchronous(benchmark, n):
+    values = random_array(n, seed=n)
+    out = once(benchmark, run_sum2, values, seed=1)
+    assert out.total == sum(values)
+    attach(
+        benchmark,
+        n=n,
+        commits=out.result.commits,
+        consensus=out.result.consensus_rounds,
+        processes=out.trace.counters.processes_created,
+        rounds=out.result.rounds,
+    )
+    assert out.result.consensus_rounds == 0
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_e1_sum3_replication(benchmark, n):
+    values = random_array(n, seed=n)
+    out = once(benchmark, run_sum3, values, seed=1)
+    assert out.total == sum(values)
+    attach(
+        benchmark,
+        n=n,
+        commits=out.result.commits,
+        consensus=out.result.consensus_rounds,
+        processes=out.trace.counters.processes_created,
+        rounds=out.result.rounds,
+        parallelism=round(out.result.parallelism, 2),
+    )
+    # the paper's preferred coding: ONE process, NO consensus
+    assert out.trace.counters.processes_created == 1
+    assert out.result.consensus_rounds == 0
+    assert out.result.commits == n - 1

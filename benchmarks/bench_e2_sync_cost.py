@@ -1,0 +1,61 @@
+"""E2 — synchronization structure of the three summation codings.
+
+Paper claim: Sum1's phase discipline costs one consensus barrier per phase
+(log2 N of them, each spanning the whole live society), while Sum2 and Sum3
+need none — "minimal control constraints that could potentially limit the
+concurrency in execution".
+"""
+
+import math
+
+import pytest
+
+from _helpers import attach, once
+from repro.programs import run_sum1, run_sum2, run_sum3
+from repro.viz import phase_summary
+from repro.workloads import random_array
+
+SIZES = [16, 64, 256]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_e2_sum1_barriers_are_log_n(benchmark, n):
+    values = random_array(n, seed=n)
+    out = once(benchmark, run_sum1, values, seed=3, detail=True)
+    phases = phase_summary(out.trace)
+    consensus_phases = [p for p in phases if p.participants > 0]
+    attach(
+        benchmark,
+        n=n,
+        barriers=out.result.consensus_rounds,
+        participants_total=out.trace.counters.consensus_participants,
+        merges_per_phase=[p.commits for p in consensus_phases],
+    )
+    assert out.result.consensus_rounds == int(math.log2(n))
+    # phase j has N/2^j processes participating: total = N - 1
+    assert out.trace.counters.consensus_participants == n - 1
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("runner", [run_sum2, run_sum3], ids=["sum2", "sum3"])
+def test_e2_async_codings_need_no_barriers(benchmark, runner, n):
+    values = random_array(n, seed=n)
+    out = once(benchmark, runner, values, seed=3)
+    attach(benchmark, n=n, barriers=out.result.consensus_rounds)
+    assert out.result.consensus_rounds == 0
+
+
+def _shape_e2_sync_overhead_in_steps():
+    """Sum1 does strictly more engine work than Sum3 for the same sum."""
+    values = random_array(64, seed=1)
+    sync = run_sum1(values, seed=2)
+    free = run_sum3(values, seed=2)
+    assert sync.result.steps > free.result.steps
+    assert sync.result.commits > free.result.commits  # spawn/skip guards
+
+
+def test_e2_sync_overhead_in_steps(benchmark):
+    """Timed wrapper so the shape check runs under --benchmark-only."""
+    from _helpers import once
+
+    once(benchmark, _shape_e2_sync_overhead_in_steps)

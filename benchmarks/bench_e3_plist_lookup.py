@@ -1,0 +1,83 @@
+"""E3 — Section 3.2: Search (recursive style) vs Find (content addressed).
+
+Paper claim: the programmer would not "go to the trouble of simulating the
+recursion when the language permits one to address data by contents" —
+Search spawns one process per visited node (O(position) work); Find answers
+in a single transaction regardless of where the property sits.
+"""
+
+import pytest
+
+from _helpers import attach, once
+from repro.core.values import Atom
+from repro.programs import run_find, run_search
+from repro.workloads import random_property_list
+
+LENGTHS = [8, 32, 128]
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+def test_e3_search_walks_the_chain(benchmark, length):
+    rows = random_property_list(length, seed=length)
+    target = rows[-1][1]  # worst case: tail of the list
+    out = once(benchmark, run_search, rows, target, seed=1)
+    assert out.answer == f"value-of-{target}"
+    attach(
+        benchmark,
+        length=length,
+        processes=out.trace.counters.processes_created,
+        commits=out.result.commits,
+    )
+    # one Search process per node visited
+    assert out.trace.counters.processes_created == length
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+def test_e3_find_is_position_independent(benchmark, length):
+    rows = random_property_list(length, seed=length)
+    target = rows[-1][1]
+    out = once(benchmark, run_find, rows, target, seed=1)
+    assert out.answer == f"value-of-{target}"
+    attach(
+        benchmark,
+        length=length,
+        processes=out.trace.counters.processes_created,
+        commits=out.result.commits,
+    )
+    assert out.trace.counters.processes_created == 1
+    assert out.result.commits == 1
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+def test_e3_miss_costs(benchmark, length):
+    """A miss forces Search to walk everything; Find still answers in one
+    negated-query transaction."""
+    rows = random_property_list(length, seed=length)
+    out = once(benchmark, run_find, rows, Atom("absent_prop"), seed=1)
+    assert str(out.answer) == "not_found"
+    attach(benchmark, length=length, commits=out.result.commits)
+    assert out.result.commits == 1
+
+
+def _shape_e3_crossover_shape():
+    """Find's process count is flat; Search's grows linearly — the gap
+    widens with list length (the paper's stylistic argument, quantified)."""
+    gaps = []
+    for length in LENGTHS:
+        rows = random_property_list(length, seed=length)
+        target = rows[-1][1]
+        search = run_search(rows, target, seed=1)
+        find = run_find(rows, target, seed=1)
+        gaps.append(
+            search.trace.counters.processes_created
+            - find.trace.counters.processes_created
+        )
+    assert gaps == sorted(gaps)
+    assert gaps[-1] > gaps[0]
+
+
+def test_e3_crossover_shape(benchmark):
+    """Timed wrapper so the shape check runs under --benchmark-only."""
+    from _helpers import once
+
+    once(benchmark, _shape_e3_crossover_shape)

@@ -1,0 +1,67 @@
+"""E4 — Section 3.2: the distributed property-list sort.
+
+Paper claims: adjacent Sort processes form a community through import-set
+overlap; the sort converges by local swaps; a single consensus transaction
+detects global termination exactly when every adjacent pair is ordered.
+"""
+
+import pytest
+
+from _helpers import attach, once
+from repro.programs import run_sort
+from repro.workloads import random_property_list
+
+LENGTHS = [4, 8, 16, 32]
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+def test_e4_sort_converges(benchmark, length):
+    rows = random_property_list(length, seed=length * 7)
+    out = once(benchmark, run_sort, rows, seed=2)
+    assert out.answer == sorted(str(r[1]) for r in rows)
+    attach(
+        benchmark,
+        length=length,
+        commits=out.result.commits,
+        rounds=out.result.rounds,
+        consensus=out.result.consensus_rounds,
+    )
+    # exactly ONE consensus detects termination for the whole chain
+    assert out.result.consensus_rounds == 1
+
+
+@pytest.mark.parametrize("length", [8, 16])
+def test_e4_swap_count_bounded_by_inversions(benchmark, length):
+    """Adjacent-swap sorting performs exactly inversion-count swaps."""
+    rows = random_property_list(length, seed=length)
+    names = [str(r[1]) for r in rows]
+    inversions = sum(
+        1
+        for i in range(len(names))
+        for j in range(i + 1, len(names))
+        if names[i] > names[j]
+    )
+    out = once(benchmark, run_sort, rows, seed=4, detail=True)
+    from repro.runtime.events import TxnCommitted
+
+    swaps = [e for e in out.trace.of_kind(TxnCommitted) if e.label == "swap"]
+    attach(benchmark, length=length, swaps=len(swaps), inversions=inversions)
+    assert len(swaps) == inversions
+
+
+def _shape_e4_termination_is_exact():
+    """The consensus can only fire on a fully ordered list: after the run,
+    no adjacent pair is out of order, and the consensus fired exactly once
+    even across seeds (no premature or duplicate detection)."""
+    rows = random_property_list(12, seed=5)
+    for seed in range(5):
+        out = run_sort(rows, seed=seed)
+        assert out.answer == sorted(str(r[1]) for r in rows)
+        assert out.result.consensus_rounds == 1
+
+
+def test_e4_termination_is_exact(benchmark):
+    """Timed wrapper so the shape check runs under --benchmark-only."""
+    from _helpers import once
+
+    once(benchmark, _shape_e4_termination_is_exact)

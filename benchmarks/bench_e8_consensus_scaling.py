@@ -1,0 +1,94 @@
+"""E8 — consensus detection cost ("very similar to the quiescence
+detection problem").
+
+Sweep: P processes partitioned into C view-scoped communities, every
+process arriving at a consensus barrier.  Detection must fire exactly C
+composite transactions; its cost grows with society size and with community
+structure (footprint computation + closure checks), which this benchmark
+measures directly.
+"""
+
+import pytest
+
+from _helpers import attach, once
+from repro.core.actions import assert_tuple
+from repro.core.expressions import Var
+from repro.core.patterns import ANY, P
+from repro.core.process import ProcessDefinition
+from repro.core.query import exists
+from repro.core.transactions import consensus, immediate
+from repro.runtime.engine import Engine
+
+#: (processes, communities)
+SHAPES = [(8, 1), (32, 1), (32, 8), (64, 16), (64, 1)]
+
+
+def _member_definition():
+    g = Var("g")
+    return ProcessDefinition(
+        "Member",
+        params=("g",),
+        imports=[P[g, ANY]],
+        exports=[P[g, ANY], P["done", ANY, ANY]],
+        body=[
+            immediate().then(assert_tuple(g, "arrived")),
+            consensus(exists().match(P[g, ANY])).then(
+                assert_tuple("done", g, 1)
+            ),
+        ],
+    )
+
+
+def _run(processes: int, communities: int, seed: int = 1):
+    engine = Engine(definitions=[_member_definition()], seed=seed)
+    for c in range(communities):
+        engine.assert_tuples([(f"g{c}", "token")])
+    for p in range(processes):
+        engine.start("Member", (f"g{p % communities}",))
+    result = engine.run()
+    return engine, result
+
+
+@pytest.mark.parametrize("processes,communities", SHAPES)
+def test_e8_consensus_scaling(benchmark, processes, communities):
+    engine, result = once(benchmark, _run, processes, communities)
+    attach(
+        benchmark,
+        processes=processes,
+        communities=communities,
+        consensus_firings=result.consensus_rounds,
+        steps=result.steps,
+    )
+    assert result.completed
+    assert result.consensus_rounds == communities
+    # every participant's action list ran as part of its composite commit
+    assert engine.dataspace.count_matching(P["done", ANY, ANY]) == processes
+
+
+def _shape_e8_every_member_participates():
+    engine, result = _run(24, 4, seed=3)
+    assert engine.trace.counters.consensus_participants == 24
+
+
+def _shape_e8_detection_work_grows_with_society():
+    """Total engine steps grow monotonically in the society size for a
+    fixed community structure."""
+    steps = []
+    for processes in (8, 16, 32, 64):
+        __, result = _run(processes, 4 if processes >= 16 else 1)
+        steps.append(result.steps)
+    assert steps == sorted(steps)
+
+
+def test_e8_every_member_participates(benchmark):
+    """Timed wrapper so the shape check runs under --benchmark-only."""
+    from _helpers import once
+
+    once(benchmark, _shape_e8_every_member_participates)
+
+
+def test_e8_detection_work_grows_with_society(benchmark):
+    """Timed wrapper so the shape check runs under --benchmark-only."""
+    from _helpers import once
+
+    once(benchmark, _shape_e8_detection_work_grows_with_society)

@@ -1,0 +1,77 @@
+"""E9 — available parallelism: the replication exposes it, phases cap it.
+
+Paper claim (Sections 3.1/4): SDL programs should impose "minimal control
+constraints that could potentially limit the concurrency in execution";
+Sum3's replication "leaves undefined the degree of parallelism that is
+actually present at execution time".
+
+Measured series: commits per virtual round.  Sum3 shows the halving-wave
+profile (N/2, N/4, ...) and a logarithmic makespan; Sum1's consensus
+phases pay extra rounds for the same merges; average parallelism grows
+with N for Sum3.
+"""
+
+import math
+
+import pytest
+
+from _helpers import attach, once
+from repro.programs import run_sum1, run_sum3
+from repro.viz import concurrency_profile
+from repro.workloads import random_array
+
+SIZES = [32, 128, 512]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_e9_sum3_profile(benchmark, n):
+    values = random_array(n, seed=n)
+    out = once(benchmark, run_sum3, values, seed=1, detail=True)
+    profile = concurrency_profile(out.trace)
+    waves = [profile[r] for r in sorted(profile)]
+    attach(
+        benchmark,
+        n=n,
+        waves=waves,
+        rounds=out.result.rounds,
+        parallelism=round(out.result.parallelism, 2),
+    )
+    # first wave merges about half the tuples
+    assert waves[0] >= n // 4
+    # makespan is logarithmic, not linear
+    assert out.result.rounds <= 4 * int(math.log2(n)) + 4
+    # waves shrink: the tail is narrower than the front
+    assert waves[-1] <= waves[0]
+
+
+def _shape_e9_parallelism_grows_with_n():
+    parallelism = []
+    for n in SIZES:
+        out = run_sum3(random_array(n, seed=n), seed=1)
+        parallelism.append(out.result.parallelism)
+    assert parallelism == sorted(parallelism)
+    assert parallelism[-1] > 2 * parallelism[0]
+
+
+def _shape_e9_sum1_phases_cap_concurrency():
+    """For equal N, Sum1 needs more virtual rounds than Sum3 — its barrier
+    structure serializes work the replication overlaps."""
+    n = 64
+    values = random_array(n, seed=1)
+    sync = run_sum1(values, seed=2)
+    free = run_sum3(values, seed=2)
+    assert sync.result.rounds > free.result.rounds
+
+
+def test_e9_parallelism_grows_with_n(benchmark):
+    """Timed wrapper so the shape check runs under --benchmark-only."""
+    from _helpers import once
+
+    once(benchmark, _shape_e9_parallelism_grows_with_n)
+
+
+def test_e9_sum1_phases_cap_concurrency(benchmark):
+    """Timed wrapper so the shape check runs under --benchmark-only."""
+    from _helpers import once
+
+    once(benchmark, _shape_e9_sum1_phases_cap_concurrency)

@@ -1,0 +1,6 @@
+"""Pytest configuration for the benchmark harness.
+
+The shared helpers live in ``_helpers.py`` (not here) so that they can be
+imported explicitly without colliding with ``tests/conftest.py`` when both
+directories are collected in one pytest invocation.
+"""

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Dining philosophers in SDL — a classic not in the paper, included to
+show how naturally the shared dataspace handles resource allocation.
+
+Forks are tuples; picking up both forks is ONE atomic transaction (a
+two-atom retraction), so the classic hold-and-wait deadlock cannot occur
+by construction — a direct payoff of SDL's multi-tuple atomic
+transactions over Linda's one-tuple-at-a-time primitives.
+
+Run:  python examples/dining_philosophers.py [PHILOSOPHERS] [MEALS]
+"""
+
+import sys
+
+from repro import (
+    ANY,
+    Engine,
+    P,
+    ProcessDefinition,
+    assert_tuple,
+    delayed,
+    exists,
+    immediate,
+    guarded,
+    repeat,
+    select,
+    variables,
+    EXIT,
+)
+from repro.runtime.events import Trace
+
+
+def philosopher_definition() -> ProcessDefinition:
+    i, n, meals = variables("i n meals")
+    m = variables("m")[0]
+    return ProcessDefinition(
+        "Philosopher",
+        params=("i", "n", "meals"),
+        body=[
+            repeat(
+                # done eating?
+                guarded(
+                    immediate(
+                        exists(m).match(P["eaten", i, m].retract()).such_that(m >= meals)
+                    )
+                    .then(assert_tuple("done", i), EXIT)
+                    .labeled("leave")
+                ),
+                # grab BOTH forks atomically, eat, put them back, count the meal
+                guarded(
+                    delayed(
+                        exists(m).match(
+                            P["fork", i].retract(),
+                            P["fork", (i + 1) % n].retract(),
+                            P["eaten", i, m].retract(),
+                        )
+                    )
+                    .then(
+                        assert_tuple("fork", i),
+                        assert_tuple("fork", (i + 1) % n),
+                        assert_tuple("eaten", i, m + 1),
+                    )
+                    .labeled("dine")
+                ),
+            ),
+        ],
+    )
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 5
+    meals = int(sys.argv[2]) if len(sys.argv) > 2 else 3
+
+    engine = Engine(definitions=[philosopher_definition()], seed=17, trace=Trace(detail=True))
+    engine.assert_tuples([("fork", i) for i in range(n)])
+    engine.assert_tuples([("eaten", i, 0) for i in range(n)])
+    for i in range(n):
+        engine.start("Philosopher", (i, n, meals))
+    result = engine.run()
+
+    print(f"{n} philosophers, {meals} meals each: {result.reason}")
+    print(f"{result.commits} transactions in {result.rounds} virtual rounds")
+    done = engine.dataspace.count_matching(P["done", ANY])
+    forks = engine.dataspace.count_matching(P["fork", ANY])
+    assert done == n, f"only {done}/{n} philosophers finished"
+    assert forks == n, f"{forks}/{n} forks on the table"
+    print(f"all {done} philosophers finished; all {forks} forks returned")
+    print("\ndining_philosophers OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Quickstart: the shared dataspace paradigm in five minutes.
+
+Builds a tiny SDL program from scratch with the embedded (Python) API:
+a dataspace of ``<year, n>`` tuples, a process that harvests years after
+1987 (the paper's running micro-example from Section 2), and a delayed
+transaction that waits for data produced by another process.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ANY,
+    Engine,
+    P,
+    ProcessDefinition,
+    assert_tuple,
+    delayed,
+    exists,
+    immediate,
+    let,
+    no,
+    select,
+    guarded,
+    repeat,
+    variables,
+)
+from repro.viz import render_dataspace, render_timeline
+from repro.runtime.events import Trace
+
+
+def main() -> None:
+    alpha = variables("alpha")[0]
+
+    # PROCESS Harvest — repeatedly move years greater than 87 into <found, y>
+    # tuples; stop when none remain.  This is the paper's
+    #   ∃α: <year, α>↑ : α > 87 → let N = α, (found, α)
+    # wrapped in a repetition.
+    harvest = ProcessDefinition(
+        "Harvest",
+        body=[
+            repeat(
+                guarded(
+                    immediate(
+                        exists(alpha).match(P["year", alpha].retract()).such_that(alpha > 87)
+                    )
+                    .then(let("N", alpha), assert_tuple("found", alpha))
+                    .labeled("harvest")
+                ),
+            ),
+        ],
+    )
+
+    # PROCESS Await — a delayed transaction blocks until a <found, y> with
+    # y > 89 appears, then records the millennium check.
+    await_def = ProcessDefinition(
+        "Await",
+        body=[
+            delayed(exists(alpha).match(P["found", alpha]).such_that(alpha > 89))
+            .then(assert_tuple("nineties", alpha))
+            .labeled("await"),
+        ],
+    )
+
+    engine = Engine(definitions=[harvest, await_def], seed=42, trace=Trace(detail=True))
+    engine.assert_tuples([("year", y) for y in (85, 86, 87, 88, 90, 93)])
+    engine.start("Await")   # started first: demonstrates blocking
+    engine.start("Harvest")
+    result = engine.run()
+
+    print("run:", result.reason, "in", result.rounds, "virtual rounds,", result.commits, "commits")
+    print()
+    print(render_dataspace(engine.dataspace))
+    print()
+    print(render_timeline(engine.trace))
+
+    found = sorted(v.values[1] for v in engine.dataspace.find_matching(P["found", ANY]))
+    assert found == [88, 90, 93], found
+    kept = sorted(v.values[1] for v in engine.dataspace.find_matching(P["year", ANY]))
+    assert kept == [85, 86, 87], kept
+    assert engine.dataspace.count_matching(P["nineties", ANY]) == 1
+    print("\nquickstart OK")
+
+
+if __name__ == "__main__":
+    main()

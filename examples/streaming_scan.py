@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""The airborne-platform scenario: label regions WHILE the image arrives.
+
+Paper §3.3: "Waiting for all regions to be labeled is often unreasonable,
+as in the case of an image which results from continuous terrain scanning
+from an airborne platform."
+
+A Scanner process converts one scan line per transaction from staging
+tuples into live pixels; the community-model Threshold/Label processes
+work concurrently on whatever has arrived.  Fully-scanned regions reach
+their per-region consensus and announce completion while the scanner is
+still working further down the image — the strongest demonstration of
+view-induced communities in this reproduction.
+
+Run:  python examples/streaming_scan.py [WIDTH HEIGHT]
+"""
+
+import sys
+
+from repro.programs import run_streaming_labeling
+from repro.workloads import stripe_image
+
+
+def main() -> None:
+    width = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    height = int(sys.argv[2]) if len(sys.argv) > 2 else 12
+    image = stripe_image(width, height, stripe=2)
+
+    print(f"scanning a {width}x{height} striped terrain, two lines per region...\n")
+    out = run_streaming_labeling(image, seed=4)
+    assert out.correct, "streaming labeling diverged from ground truth"
+
+    print(f"scanner delivered the last line at virtual round {out.scan_done_round}")
+    for label, round_no in out.completions:
+        marker = "DURING the scan" if round_no < out.scan_done_round else "after the scan"
+        print(f"  region labeled {label} complete at round {round_no}  ({marker})")
+
+    early = out.regions_done_before_scan_end()
+    total = len(out.completions)
+    print(
+        f"\n{early} of {total} regions were fully labeled and announced before "
+        "scanning finished —\nexactly the incremental availability the paper's "
+        "community model promises."
+    )
+    assert early > 0, "expected at least one region to complete mid-scan"
+    print("\nstreaming_scan OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""The workers model ("often used in Linda programming", §3.3) — twice.
+
+A bag of independent jobs (integer factorials to compute) is drained by a
+pool of workers.  The same farm is built on the Linda baseline kernel and
+on SDL; SDL's version additionally shows view-scoped workers: each worker
+imports only jobs whose key matches its shard, so the pool partitions the
+bag without any coordination protocol.
+
+Run:  python examples/work_farm.py [JOBS] [WORKERS]
+"""
+
+import math
+import sys
+
+from repro import (
+    ANY,
+    Engine,
+    P,
+    ProcessDefinition,
+    assert_tuple,
+    exists,
+    fn,
+    guarded,
+    immediate,
+    repeat,
+    variables,
+)
+from repro.core.expressions import Var
+from repro.core.views import import_rule
+from repro.linda import LindaKernel
+
+factorial = fn(math.factorial, "factorial")
+
+
+def linda_farm(jobs: int, workers: int) -> dict[int, int]:
+    kernel = LindaKernel(seed=5)
+    for i in range(jobs):
+        kernel.out_now("job", i)
+
+    def worker(k):
+        while True:
+            job = yield k.inp("job", ANY)
+            if job is None:
+                return
+            yield k.out("result", job[1], math.factorial(job[1]))
+
+    for __ in range(workers):
+        kernel.eval(worker)
+    kernel.run()
+    return {
+        inst.values[1]: inst.values[2]
+        for inst in kernel.space.find_matching(P["result", ANY, ANY])
+    }
+
+
+def sdl_farm(jobs: int, workers: int) -> tuple[dict[int, int], dict[int, int]]:
+    """Returns (results, jobs-done-per-worker)."""
+    n, w = variables("n w")
+    shard = variables("shard")[0]
+    worker = ProcessDefinition(
+        "Worker",
+        params=("shard", "nworkers"),
+        # view-scoped sharding: this worker SEES only its own slice of the bag
+        imports=[
+            import_rule("job", n, guard=(n % Var("nworkers") == shard)),
+        ],
+        exports=[import_rule("result", ANY, ANY, ANY)],
+        body=[
+            repeat(
+                guarded(
+                    immediate(exists(n).match(P["job", n].retract())).then(
+                        assert_tuple("result", n, factorial(n), shard)
+                    )
+                )
+            )
+        ],
+    )
+    engine = Engine(definitions=[worker], seed=5)
+    engine.assert_tuples([("job", i) for i in range(jobs)])
+    for s in range(workers):
+        engine.start("Worker", (s, workers))
+    engine.run()
+    results = {}
+    per_worker: dict[int, int] = {}
+    for inst in engine.dataspace.find_matching(P["result", ANY, ANY, ANY]):
+        __, key, value, s = inst.values
+        results[key] = value
+        per_worker[s] = per_worker.get(s, 0) + 1
+    return results, per_worker
+
+
+def main() -> None:
+    jobs = int(sys.argv[1]) if len(sys.argv) > 1 else 24
+    workers = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+    expected = {i: math.factorial(i) for i in range(jobs)}
+
+    linda_results = linda_farm(jobs, workers)
+    assert linda_results == expected
+    print(f"Linda farm: {workers} workers drained {jobs} jobs correctly")
+
+    sdl_results, per_worker = sdl_farm(jobs, workers)
+    assert sdl_results == expected
+    print(f"SDL farm:   {workers} view-sharded workers drained {jobs} jobs correctly")
+    for s in sorted(per_worker):
+        print(f"  shard {s}: {per_worker[s]} jobs (exactly its own slice)")
+    assert all(count == jobs // workers for count in per_worker.values())
+    print("\nwork_farm OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""Legacy setup shim.
+
+Kept so that ``pip install -e .`` works in offline environments whose
+setuptools cannot build PEP 660 editable wheels (no ``wheel`` package).
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "SDL: a Shared Dataspace Language supporting large-scale concurrency "
+        "(reproduction of Roman, Cunningham & Ehlers, ICDCS 1988)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,148 @@
+"""repro — SDL: a Shared Dataspace Language supporting large-scale concurrency.
+
+A faithful, executable reproduction of Roman, Cunningham & Ehlers,
+*"A Shared Dataspace Language Supporting Large-Scale Concurrency"*
+(ICDCS 1988 / WUCS-88-09).
+
+Quick tour::
+
+    from repro import (
+        Engine, ProcessDefinition, P, ANY, variables,
+        exists, immediate, delayed, assert_tuple,
+    )
+
+    a, b = variables("alpha beta")
+    merge = ProcessDefinition(
+        "Merge",
+        body=[
+            immediate(
+                exists(a, b).match(P[ANY, a].retract(), P[ANY, b].retract())
+            ).then(assert_tuple("sum", a + b)),
+        ],
+    )
+    engine = Engine(definitions=[merge])
+    engine.assert_tuples([(1, 10), (2, 32)])
+    engine.start("Merge")
+    engine.run()
+    assert ("sum", 42) in engine.dataspace.multiset()
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.core` — language semantics (tuples, dataspace, patterns,
+  queries, views, transactions, constructs, processes, consensus);
+* :mod:`repro.runtime` — the deterministic virtual-time engine;
+* :mod:`repro.lang` — the SDL surface syntax (parser + compiler);
+* :mod:`repro.linda` — the Linda baseline kernel;
+* :mod:`repro.baselines` — shared-array / message-passing baselines;
+* :mod:`repro.viz` — traces, statistics, ASCII renderers;
+* :mod:`repro.workloads` — synthetic workload generators.
+"""
+
+from repro.core.values import Atom, NIL
+from repro.core.tuples import TupleId, TupleInstance
+from repro.core.dataspace import Dataspace
+from repro.core.expressions import Const, Expr, Var, fn, lift, variables
+from repro.core.patterns import ANY, P, Pattern, pattern
+from repro.core.views import FULL_VIEW, View, ViewRule, Window, export_rule, import_rule
+from repro.core.query import Membership, Query, exists, forall, no
+from repro.core.actions import (
+    ABORT,
+    EXIT,
+    SKIP,
+    CallPython,
+    assert_tuple,
+    let,
+    spawn,
+)
+from repro.core.transactions import (
+    Mode,
+    Transaction,
+    TransactionOutcome,
+    consensus,
+    delayed,
+    immediate,
+)
+from repro.core.constructs import (
+    GuardedSequence,
+    Replication,
+    Repetition,
+    Selection,
+    Sequence,
+    guarded,
+    repeat,
+    replicate,
+    select,
+    seq,
+)
+from repro.core.process import ProcessDefinition, ProcessInstance, process
+from repro.core.society import ProcessSociety
+from repro.core.validate import Issue, validate_process, validate_program
+from repro.runtime.engine import Engine, RunResult
+from repro.runtime.events import Trace
+from repro import errors
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Atom",
+    "NIL",
+    "TupleId",
+    "TupleInstance",
+    "Dataspace",
+    "Const",
+    "Expr",
+    "Var",
+    "fn",
+    "lift",
+    "variables",
+    "ANY",
+    "P",
+    "Pattern",
+    "pattern",
+    "FULL_VIEW",
+    "View",
+    "ViewRule",
+    "Window",
+    "import_rule",
+    "export_rule",
+    "Membership",
+    "Query",
+    "exists",
+    "forall",
+    "no",
+    "ABORT",
+    "EXIT",
+    "SKIP",
+    "CallPython",
+    "assert_tuple",
+    "let",
+    "spawn",
+    "Mode",
+    "Transaction",
+    "TransactionOutcome",
+    "consensus",
+    "delayed",
+    "immediate",
+    "GuardedSequence",
+    "Replication",
+    "Repetition",
+    "Selection",
+    "Sequence",
+    "guarded",
+    "repeat",
+    "replicate",
+    "select",
+    "seq",
+    "ProcessDefinition",
+    "ProcessInstance",
+    "process",
+    "ProcessSociety",
+    "Issue",
+    "validate_process",
+    "validate_program",
+    "Engine",
+    "RunResult",
+    "Trace",
+    "errors",
+    "__version__",
+]

@@ -1,0 +1,13 @@
+"""Traditional-model baselines for the Section 3.1 comparison (E10).
+
+The paper introduces the array-summation problem by noting that "the
+algorithm maps equally well on shared-variable or message-based models".
+These are direct implementations of those two traditional codings — plus a
+sequential reference — so the benchmark harness can compare SDL's codings
+against the models the paper contrasts them with.
+"""
+
+from repro.baselines.shared_array import SharedArraySummer
+from repro.baselines.message_passing import ActorNetwork, MessageSummer
+
+__all__ = ["SharedArraySummer", "ActorNetwork", "MessageSummer"]

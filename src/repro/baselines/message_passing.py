@@ -1,0 +1,131 @@
+"""Message-passing (actor-style) array summation.
+
+The paper's asynchronous mapping: "in a message-based model the tuple
+<k,*,j> would become a message between a process in phase (j-1) and a
+process in phase j".  We implement a minimal deterministic actor network —
+mailboxes, a seeded scheduler, round counting — and a tree of summer actors
+over it, so message counts and rounds are comparable with Sum2.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import DeadlockError
+
+__all__ = ["ActorNetwork", "MessageSummer"]
+
+
+@dataclass(slots=True)
+class _Actor:
+    name: Any
+    behavior: Callable[["ActorNetwork", Any, Any], None]
+    mailbox: deque = field(default_factory=deque)
+    done: bool = False
+
+
+class ActorNetwork:
+    """A tiny deterministic actor runtime.
+
+    Actors are named; ``send`` enqueues a message; each virtual round
+    delivers one message to every actor holding mail (seeded arbitrary
+    order), mirroring the SDL engine's round discipline.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.rng = random.Random(seed)
+        self._actors: dict[Any, _Actor] = {}
+        self.messages_sent = 0
+        self.deliveries = 0
+        self.rounds = 0
+
+    def actor(self, name: Any, behavior: Callable[["ActorNetwork", Any, Any], None]) -> None:
+        """Register an actor: ``behavior(net, name, message)`` per delivery."""
+        if name in self._actors:
+            raise ValueError(f"actor {name!r} already exists")
+        self._actors[name] = _Actor(name, behavior)
+
+    def send(self, name: Any, message: Any) -> None:
+        actor = self._actors[name]
+        if actor.done:
+            raise DeadlockError([f"message to finished actor {name!r}"])
+        actor.mailbox.append(message)
+        self.messages_sent += 1
+
+    def finish(self, name: Any) -> None:
+        """Mark an actor as terminated (drops any further scheduling)."""
+        self._actors[name].done = True
+
+    def run(self, max_rounds: int = 1_000_000) -> None:
+        """Deliver until every mailbox is empty."""
+        while True:
+            pending = [
+                a for a in self._actors.values() if a.mailbox and not a.done
+            ]
+            if not pending:
+                stuck = [a.name for a in self._actors.values() if a.mailbox]
+                if stuck:
+                    raise DeadlockError([repr(s) for s in stuck])
+                return
+            self.rounds += 1
+            if self.rounds > max_rounds:
+                raise DeadlockError(["actor network exceeded max rounds"])
+            self.rng.shuffle(pending)
+            for actor in pending:
+                if actor.done or not actor.mailbox:
+                    continue
+                message = actor.mailbox.popleft()
+                self.deliveries += 1
+                actor.behavior(self, actor.name, message)
+
+
+class MessageSummer:
+    """Tree summation over an actor network (the Sum2 analogue).
+
+    One actor per (k, j) with k a multiple of 2^j; each waits for its two
+    phase-j inputs, sends the sum to its phase-(j+1) parent, and finishes.
+    """
+
+    def __init__(self, values: list[int], seed: int = 0) -> None:
+        n = len(values)
+        if n < 2 or n & (n - 1):
+            raise ValueError("MessageSummer requires a power-of-two length >= 2")
+        self.n = n
+        self.values = list(values)
+        self.network = ActorNetwork(seed)
+        self.result: int | None = None
+        self._partial: dict[Any, int] = {}
+        self._build()
+
+    def _build(self) -> None:
+        n = self.n
+        j = 1
+        while 2 ** j <= n:
+            for k in range(2 ** j, n + 1, 2 ** j):
+                self.network.actor((k, j), self._summer_behavior)
+            j += 1
+        self.final_phase = j - 1
+
+    def _summer_behavior(self, net: ActorNetwork, name: Any, message: Any) -> None:
+        k, j = name
+        if name not in self._partial:
+            self._partial[name] = message
+            return
+        total = self._partial.pop(name) + message
+        net.finish(name)
+        if j == self.final_phase:
+            self.result = total
+        else:
+            net.send((k + (2 ** j if k % 2 ** (j + 1) else 0), j + 1), total)
+
+    def run(self) -> int:
+        # inject the leaf values: A(k) goes to the phase-1 actor above it
+        for k in range(1, self.n + 1):
+            parent = k if k % 2 == 0 else k + 1
+            self.network.send((parent, 1), self.values[k - 1])
+        self.network.run()
+        assert self.result is not None
+        return self.result

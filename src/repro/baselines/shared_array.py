@@ -1,0 +1,53 @@
+"""Synchronous shared-variable array summation (Connection-Machine style).
+
+The paper: "Let us consider first a synchronous shared variable solution,
+as one might use on the Connection Machine".  Each phase j, every even
+multiple-of-2^j position adds in the value 2^(j-1) below it; a barrier
+separates phases.  We model the barrier explicitly so the phase/barrier
+counts are directly comparable with Sum1's consensus rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SharedArraySummer"]
+
+
+@dataclass(slots=True)
+class SharedArraySummer:
+    """Phase-synchronous parallel summation over a shared array."""
+
+    values: list[int]
+    phases: int = 0
+    barriers: int = 0
+    adds: int = 0
+    work_per_phase: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        n = len(self.values)
+        if n < 1 or n & (n - 1):
+            raise ValueError("SharedArraySummer requires a power-of-two length")
+
+    def run(self) -> int:
+        """Execute all phases; returns the total."""
+        # array is 1-indexed conceptually: A(k) == self.values[k-1]
+        array = list(self.values)
+        n = len(array)
+        stride = 1
+        while stride < n:
+            adds_this_phase = 0
+            # all updates in a phase read pre-phase values: model the
+            # synchronous step by computing updates before applying them
+            updates: list[tuple[int, int]] = []
+            for k in range(2 * stride, n + 1, 2 * stride):
+                updates.append((k, array[k - stride - 1]))
+                adds_this_phase += 1
+            for k, addend in updates:
+                array[k - 1] += addend
+            self.phases += 1
+            self.barriers += 1  # one barrier closes each phase
+            self.adds += adds_this_phase
+            self.work_per_phase.append(adds_this_phase)
+            stride *= 2
+        return array[n - 1]

@@ -1,0 +1,137 @@
+"""Consensus sets and consensus-transaction resolution (paper Section 2.2).
+
+A **consensus set** is "a set of processes closed under the transitive
+closure of the relation ``p needs q ≡ Import(p) ∩ Import(q) ∩ D ≠ ∅``".
+A consensus transaction fires "whenever all processes in the consensus set
+are ready to execute consensus transactions"; detection "is very similar to
+the quiescence detection problem".
+
+This module provides the pure pieces:
+
+* :func:`needs` — the pairwise overlap relation, computed on window
+  footprints;
+* :func:`partition` — the closure: a union-find partition of a set of
+  processes into consensus sets, linear in total footprint size;
+* :func:`evaluate_composite` — given the members of one consensus set, all
+  parked at consensus transactions, check simultaneous satisfiability (each
+  member's query evaluated net of earlier members' retractions) and return
+  the composite effect, or ``None`` if some member is not ready.
+
+The runtime engine decides *when* to attempt detection and applies the
+composite effect atomically (all retractions, then all assertions).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.core.query import QueryResult
+from repro.core.transactions import Transaction
+from repro.core.tuples import TupleId
+from repro.core.views import Window
+
+__all__ = ["needs", "partition", "ConsensusParticipant", "CompositeEffect", "evaluate_composite"]
+
+
+def needs(window_p: Window, window_q: Window) -> bool:
+    """``Import(p) ∩ Import(q) ∩ D ≠ ∅`` for the two processes' windows."""
+    return window_p.overlaps(window_q)
+
+
+class _UnionFind:
+    """Minimal union-find over arbitrary hashable keys."""
+
+    __slots__ = ("parent",)
+
+    def __init__(self) -> None:
+        self.parent: dict[Any, Any] = {}
+
+    def find(self, key: Any) -> Any:
+        parent = self.parent.setdefault(key, key)
+        if parent != key:
+            parent = self.find(parent)
+            self.parent[key] = parent
+        return parent
+
+    def union(self, a: Any, b: Any) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[rb] = ra
+
+
+def partition(windows: Mapping[int, Window]) -> list[frozenset[int]]:
+    """Partition pids into consensus sets via shared imported instances.
+
+    Two processes are linked iff some live dataspace instance is in both
+    import footprints; consensus sets are the connected components.  Runs in
+    O(sum of footprint sizes) using a tuple-instance-keyed union-find rather
+    than O(P^2) pairwise tests.
+    """
+    uf = _UnionFind()
+    tuple_rep: dict[TupleId, int] = {}
+    for pid, window in windows.items():
+        uf.find(pid)
+        for tid in window.footprint():
+            other = tuple_rep.get(tid)
+            if other is None:
+                tuple_rep[tid] = pid
+            else:
+                uf.union(other, pid)
+    groups: dict[Any, set[int]] = {}
+    for pid in windows:
+        groups.setdefault(uf.find(pid), set()).add(pid)
+    return [frozenset(g) for g in groups.values()]
+
+
+@dataclass(slots=True)
+class ConsensusParticipant:
+    """One process parked at a consensus transaction."""
+
+    pid: int
+    transaction: Transaction
+    window: Window
+    scope: dict[str, Any]
+
+
+@dataclass(slots=True)
+class CompositeEffect:
+    """The composite transformation of one fired consensus."""
+
+    results: dict[int, QueryResult]
+    retract_tids: list[TupleId]
+
+    @property
+    def pids(self) -> list[int]:
+        return sorted(self.results)
+
+
+def evaluate_composite(
+    participants: Sequence[ConsensusParticipant],
+    rng: random.Random | None = None,
+) -> CompositeEffect | None:
+    """Check simultaneous satisfiability of all participants' queries.
+
+    Members are evaluated in pid order; member *i* may not bind instances
+    already retracted by members < *i* (mirroring "first performing the
+    retractions associated with each of the participating transactions").
+    Returns ``None`` — consensus not ready — as soon as any member's query
+    fails; no effects are applied here.
+    """
+    ordered = sorted(participants, key=lambda p: p.pid)
+    excluded: set[TupleId] = set()
+    results: dict[int, QueryResult] = {}
+    for participant in ordered:
+        result = participant.transaction.query.evaluate(
+            participant.window.refresh(),
+            participant.scope,
+            rng,
+            excluded=frozenset(excluded),
+        )
+        if not result.success:
+            return None
+        results[participant.pid] = result
+        for match in result.matches:
+            excluded.update(inst.tid for inst in match.retracted)
+    return CompositeEffect(results=results, retract_tids=sorted(excluded))

@@ -1,0 +1,194 @@
+"""Flow-of-control constructs (paper Section 2.3).
+
+A process behaviour is a tree of statements:
+
+* :class:`TransactionStatement` — one transaction;
+* :class:`Sequence` — ``t1; t2; ...`` — each statement completes before the
+  next starts;
+* :class:`Selection` — guarded sequences separated by ``|``; an arbitrary
+  successfully-guarded sequence is committed; all-immediate failure makes
+  the selection act as ``skip``; delayed/consensus guards make it block;
+* :class:`Repetition` — ``*[ ... ]`` — the selection is restarted after each
+  round; terminates when a round selects nothing, or via ``exit``;
+* :class:`Replication` — ``≈[ ... ]`` — unbounded concurrent execution:
+  every successful guard firing spawns a fresh copy of its sequence; the
+  construct terminates when no guard is enabled and all copies have
+  terminated.
+
+The constructs here are pure data; the interpreter lives in
+:mod:`repro.runtime.interpreter`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence as Seq
+
+from repro.core.transactions import Transaction, TransactionBuilder
+from repro.errors import TransactionError
+
+__all__ = [
+    "Statement",
+    "TransactionStatement",
+    "Sequence",
+    "GuardedSequence",
+    "Selection",
+    "Repetition",
+    "Replication",
+    "as_statement",
+    "seq",
+    "guarded",
+    "select",
+    "repeat",
+    "replicate",
+]
+
+
+class Statement:
+    """Base class for behaviour-tree nodes."""
+
+    __slots__ = ()
+
+
+def _as_txn(obj: Transaction | TransactionBuilder) -> Transaction:
+    if isinstance(obj, TransactionBuilder):
+        return obj.build()
+    if isinstance(obj, Transaction):
+        return obj
+    raise TransactionError(f"expected a Transaction, got {obj!r}")
+
+
+class TransactionStatement(Statement):
+    """A single transaction as a statement."""
+
+    __slots__ = ("transaction",)
+
+    def __init__(self, transaction: Transaction | TransactionBuilder) -> None:
+        self.transaction = _as_txn(transaction)
+
+    def __repr__(self) -> str:
+        return repr(self.transaction)
+
+
+def as_statement(obj: "Statement | Transaction | TransactionBuilder") -> Statement:
+    """Coerce transactions/builders into statements."""
+    if isinstance(obj, Statement):
+        return obj
+    return TransactionStatement(_as_txn(obj))
+
+
+class Sequence(Statement):
+    """``stmt1 ; stmt2 ; ...``"""
+
+    __slots__ = ("body",)
+
+    def __init__(self, body: Iterable["Statement | Transaction | TransactionBuilder"]) -> None:
+        self.body: tuple[Statement, ...] = tuple(as_statement(s) for s in body)
+
+    def __repr__(self) -> str:
+        return "; ".join(repr(s) for s in self.body)
+
+
+class GuardedSequence:
+    """A guarding transaction followed by the rest of its sequence."""
+
+    __slots__ = ("guard", "body")
+
+    def __init__(
+        self,
+        guard: Transaction | TransactionBuilder,
+        body: Iterable["Statement | Transaction | TransactionBuilder"] = (),
+    ) -> None:
+        self.guard = _as_txn(guard)
+        self.body: tuple[Statement, ...] = tuple(as_statement(s) for s in body)
+
+    def __repr__(self) -> str:
+        if not self.body:
+            return repr(self.guard)
+        return repr(self.guard) + " ; " + "; ".join(repr(s) for s in self.body)
+
+
+def _as_branch(obj: "GuardedSequence | Transaction | TransactionBuilder") -> GuardedSequence:
+    if isinstance(obj, GuardedSequence):
+        return obj
+    return GuardedSequence(_as_txn(obj))
+
+
+class Selection(Statement):
+    """``[ g1 ; ... | g2 ; ... | ... ]``"""
+
+    __slots__ = ("branches",)
+
+    def __init__(self, branches: Iterable["GuardedSequence | Transaction | TransactionBuilder"]) -> None:
+        self.branches: tuple[GuardedSequence, ...] = tuple(_as_branch(b) for b in branches)
+        if not self.branches:
+            raise TransactionError("a selection needs at least one guarded sequence")
+
+    def __repr__(self) -> str:
+        return "[ " + " | ".join(repr(b) for b in self.branches) + " ]"
+
+
+class Repetition(Statement):
+    """``*[ g1 ; ... | g2 ; ... ]``"""
+
+    __slots__ = ("branches",)
+
+    def __init__(self, branches: Iterable["GuardedSequence | Transaction | TransactionBuilder"]) -> None:
+        self.branches: tuple[GuardedSequence, ...] = tuple(_as_branch(b) for b in branches)
+        if not self.branches:
+            raise TransactionError("a repetition needs at least one guarded sequence")
+
+    def __repr__(self) -> str:
+        return "*[ " + " | ".join(repr(b) for b in self.branches) + " ]"
+
+
+class Replication(Statement):
+    """``≈[ g1 ; ... | g2 ; ... ]`` — unbounded concurrent copies.
+
+    Consensus transactions are not permitted inside a replication: consensus
+    readiness is defined per *process*, and replicas are anonymous logical
+    tasks of the same process.  (The paper's examples respect this.)
+    """
+
+    __slots__ = ("branches",)
+
+    def __init__(self, branches: Iterable["GuardedSequence | Transaction | TransactionBuilder"]) -> None:
+        self.branches: tuple[GuardedSequence, ...] = tuple(_as_branch(b) for b in branches)
+        if not self.branches:
+            raise TransactionError("a replication needs at least one guarded sequence")
+        from repro.core.transactions import Mode
+
+        for branch in self.branches:
+            if branch.guard.mode is Mode.CONSENSUS:
+                raise TransactionError(
+                    "consensus transactions may not guard a replication branch"
+                )
+
+    def __repr__(self) -> str:
+        return "~[ " + " | ".join(repr(b) for b in self.branches) + " ]"
+
+
+# ----------------------------------------------------------------------
+# sugar
+# ----------------------------------------------------------------------
+
+def seq(*body: "Statement | Transaction | TransactionBuilder") -> Sequence:
+    return Sequence(body)
+
+
+def guarded(
+    guard: Transaction | TransactionBuilder,
+    *body: "Statement | Transaction | TransactionBuilder",
+) -> GuardedSequence:
+    return GuardedSequence(guard, body)
+
+
+def select(*branches: "GuardedSequence | Transaction | TransactionBuilder") -> Selection:
+    return Selection(branches)
+
+
+def repeat(*branches: "GuardedSequence | Transaction | TransactionBuilder") -> Repetition:
+    return Repetition(branches)
+
+
+def replicate(*branches: "GuardedSequence | Transaction | TransactionBuilder") -> Replication:
+    return Replication(branches)

@@ -1,0 +1,237 @@
+"""The shared dataspace: a content-addressable multiset of tuple instances.
+
+The dataspace maintains two auxiliary index structures so that queries are
+content-addressable rather than linear scans:
+
+* an **arity index** — all instances of a given tuple length;
+* a **field index** — instances keyed by ``(arity, position, value)``.
+
+Pattern matching asks the dataspace for a *candidate set* via
+:meth:`Dataspace.candidates`; the narrowest applicable index is chosen using
+the constants currently determinable in the pattern.
+
+The dataspace also keeps a monotonically increasing **version** (bumped on
+every mutation) and supports change listeners; the runtime engine uses both
+to implement delayed-transaction wakeup and the trace journal.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping
+
+from repro.core.patterns import Pattern
+from repro.core.tuples import TupleId, TupleInstance, make_tuple
+from repro.core.values import value_repr
+from repro.errors import SDLError
+
+__all__ = ["Dataspace", "DataspaceChange"]
+
+
+class DataspaceChange:
+    """A single mutation of the dataspace, as reported to listeners."""
+
+    __slots__ = ("kind", "instance", "version")
+
+    ASSERT = "assert"
+    RETRACT = "retract"
+
+    def __init__(self, kind: str, instance: TupleInstance, version: int) -> None:
+        self.kind = kind
+        self.instance = instance
+        self.version = version
+
+    def __repr__(self) -> str:
+        return f"{self.kind} {self.instance!r} @v{self.version}"
+
+
+class Dataspace:
+    """A finite (but large) multiset of tuples, per the paper's Section 2.1.
+
+    Instances are identified by :class:`~repro.core.tuples.TupleId`; identical
+    value sequences may coexist as distinct instances.  All mutation goes
+    through :meth:`insert` / :meth:`retract` so the indexes stay consistent.
+    """
+
+    def __init__(self, indexed: bool = True) -> None:
+        """*indexed=False* disables the field index (arity buckets remain),
+        degrading candidate selection to arity scans — exists only for the
+        A1 ablation benchmark quantifying what content addressing buys."""
+        self._instances: dict[TupleId, TupleInstance] = {}
+        self._by_arity: dict[int, dict[TupleId, TupleInstance]] = {}
+        self._by_field: dict[tuple[int, int, Any], dict[TupleId, TupleInstance]] = {}
+        self._serial = 0
+        self._version = 0
+        self._listeners: list[Callable[[DataspaceChange], None]] = []
+        self.indexed = indexed
+
+    # ------------------------------------------------------------------
+    # basic protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._instances)
+
+    def __contains__(self, tid: TupleId) -> bool:
+        return tid in self._instances
+
+    def __iter__(self) -> Iterator[TupleInstance]:
+        return iter(self._instances.values())
+
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped by every assert/retract."""
+        return self._version
+
+    @property
+    def serial(self) -> int:
+        """The next tuple serial to be issued (useful for tests)."""
+        return self._serial
+
+    def get(self, tid: TupleId) -> TupleInstance:
+        try:
+            return self._instances[tid]
+        except KeyError:
+            raise SDLError(f"tuple {tid!r} is not in the dataspace") from None
+
+    def instances(self) -> Iterator[TupleInstance]:
+        """Iterate over all live instances (insertion order)."""
+        return iter(self._instances.values())
+
+    def tids(self) -> frozenset[TupleId]:
+        return frozenset(self._instances)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def insert(self, values: Iterable[Any], owner: int = 0) -> TupleInstance:
+        """Assert a tuple built from *values*, owned by process *owner*."""
+        self._serial += 1
+        instance = make_tuple(tuple(values), serial=self._serial, owner=owner)
+        self._instances[instance.tid] = instance
+        self._by_arity.setdefault(instance.arity, {})[instance.tid] = instance
+        if self.indexed:
+            for position, value in enumerate(instance.values):
+                key = (instance.arity, position, value)
+                self._by_field.setdefault(key, {})[instance.tid] = instance
+        self._bump(DataspaceChange.ASSERT, instance)
+        return instance
+
+    def insert_many(self, rows: Iterable[Iterable[Any]], owner: int = 0) -> list[TupleInstance]:
+        """Assert several tuples; convenience for building initial dataspaces."""
+        return [self.insert(row, owner) for row in rows]
+
+    def retract(self, tid: TupleId) -> TupleInstance:
+        """Retract one instance; other instances with equal values survive."""
+        try:
+            instance = self._instances.pop(tid)
+        except KeyError:
+            raise SDLError(f"cannot retract {tid!r}: not in the dataspace") from None
+        arity_bucket = self._by_arity[instance.arity]
+        del arity_bucket[tid]
+        if not arity_bucket:
+            del self._by_arity[instance.arity]
+        if self.indexed:
+            for position, value in enumerate(instance.values):
+                key = (instance.arity, position, value)
+                field_bucket = self._by_field[key]
+                del field_bucket[tid]
+                if not field_bucket:
+                    del self._by_field[key]
+        self._bump(DataspaceChange.RETRACT, instance)
+        return instance
+
+    def _bump(self, kind: str, instance: TupleInstance) -> None:
+        self._version += 1
+        if self._listeners:
+            change = DataspaceChange(kind, instance, self._version)
+            for listener in self._listeners:
+                listener(change)
+
+    def subscribe(self, listener: Callable[[DataspaceChange], None]) -> Callable[[], None]:
+        """Register a change listener; returns an unsubscribe callable."""
+        self._listeners.append(listener)
+
+        def unsubscribe() -> None:
+            self._listeners.remove(listener)
+
+        return unsubscribe
+
+    # ------------------------------------------------------------------
+    # content addressing
+    # ------------------------------------------------------------------
+    def by_arity(self, arity: int) -> Mapping[TupleId, TupleInstance]:
+        """All instances with the given arity (live view; do not mutate)."""
+        return self._by_arity.get(arity, {})
+
+    def by_field(self, arity: int, position: int, value: Any) -> Mapping[TupleId, TupleInstance]:
+        """All instances of *arity* with *value* at *position* (live view)."""
+        return self._by_field.get((arity, position, value), {})
+
+    def candidates(
+        self,
+        pat: Pattern,
+        bound: Mapping[str, Any] | None = None,
+    ) -> list[TupleInstance]:
+        """Instances that could match *pat* under the bindings *bound*.
+
+        The narrowest single-field index determinable from the pattern's
+        constants is consulted; the result is a snapshot list so the caller
+        may mutate the dataspace while iterating.  Candidates are *not*
+        guaranteed to match — callers must still run :meth:`Pattern.match`.
+        """
+        bound = bound or {}
+        best: Mapping[TupleId, TupleInstance] | None = None
+        if self.indexed:
+            for position, value in pat.index_constants(bound):
+                bucket = self._by_field.get((pat.arity, position, value))
+                if bucket is None:
+                    return []
+                if best is None or len(bucket) < len(best):
+                    best = bucket
+        if best is None:
+            best = self._by_arity.get(pat.arity, {})
+        return list(best.values())
+
+    def count_matching(self, pat: Pattern, bound: Mapping[str, Any] | None = None) -> int:
+        """Number of instances matching *pat* under *bound*."""
+        bound = dict(bound or {})
+        return sum(1 for inst in self.candidates(pat, bound) if pat.match(inst.values, bound) is not None)
+
+    def find_matching(
+        self,
+        pat: Pattern,
+        bound: Mapping[str, Any] | None = None,
+    ) -> list[TupleInstance]:
+        """All instances matching *pat* under *bound* (snapshot list)."""
+        bound = dict(bound or {})
+        return [inst for inst in self.candidates(pat, bound) if pat.match(inst.values, bound) is not None]
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def snapshot(self) -> list[tuple]:
+        """The current multiset of value tuples, sorted for stable comparison."""
+        return sorted(
+            (inst.values for inst in self._instances.values()),
+            key=_sort_key,
+        )
+
+    def multiset(self) -> dict[tuple, int]:
+        """Value tuples with multiplicities — handy in tests."""
+        counts: dict[tuple, int] = {}
+        for inst in self._instances.values():
+            counts[inst.values] = counts.get(inst.values, 0) + 1
+        return counts
+
+    def __repr__(self) -> str:
+        if len(self) <= 8:
+            body = ", ".join(
+                "<" + ",".join(value_repr(v) for v in inst.values) + ">"
+                for inst in self._instances.values()
+            )
+            return f"Dataspace({body})"
+        return f"Dataspace(|D|={len(self)}, v={self._version})"
+
+
+def _sort_key(values: tuple) -> tuple:
+    """Total order over heterogeneous value tuples for stable snapshots."""
+    return tuple((type(v).__name__, repr(v)) for v in values)

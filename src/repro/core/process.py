@@ -1,0 +1,155 @@
+"""Process definitions and process instances (paper Section 2.4).
+
+::
+
+    PROCESS type_name(parameters)
+    IMPORT import_definitions
+    EXPORT export_definitions
+    BEHAVIOR sequence_of_statements
+
+Definitions are static for a program; instances are created dynamically —
+by the environment when a computation starts, or by ``Spawn`` actions in
+committed transactions ("∃α: <year,α> → Statistics(α)").  A process
+terminates when its last statement completes or when it executes ``abort``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Iterable, Mapping, Sequence as Seq
+
+from repro.core.constructs import Sequence, Statement, as_statement
+from repro.core.patterns import Pattern
+from repro.core.views import View, ViewRule
+from repro.errors import ProcessError
+
+__all__ = ["ProcessDefinition", "ProcessInstance", "ProcessStatus", "process"]
+
+
+class ProcessStatus(enum.Enum):
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    CONSENSUS_WAIT = "consensus-wait"
+    TERMINATED = "terminated"
+    ABORTED = "aborted"
+
+
+class ProcessDefinition:
+    """A parameterized process type."""
+
+    __slots__ = ("name", "params", "view", "body")
+
+    def __init__(
+        self,
+        name: str,
+        params: Seq[str] = (),
+        body: Iterable[Any] = (),
+        imports: Iterable[ViewRule | Pattern] | None = None,
+        exports: Iterable[ViewRule | Pattern] | None = None,
+        view: View | None = None,
+    ) -> None:
+        if view is not None and (imports is not None or exports is not None):
+            raise ProcessError("give either view= or imports=/exports=, not both")
+        self.name = name
+        self.params = tuple(params)
+        self.view = view if view is not None else View(imports, exports)
+        self.body = Sequence(body)
+
+    def bind_args(self, args: Seq[Any]) -> dict[str, Any]:
+        if len(args) != len(self.params):
+            raise ProcessError(
+                f"process {self.name!r} takes {len(self.params)} argument(s) "
+                f"({', '.join(self.params)}), got {len(args)}"
+            )
+        return dict(zip(self.params, args))
+
+    def __repr__(self) -> str:
+        return f"PROCESS {self.name}({', '.join(self.params)})"
+
+
+class ProcessInstance:
+    """A live (or finished) process: identity, parameters, environment.
+
+    The *environment* accumulates ``let`` constants; a later ``let`` of the
+    same name shadows the earlier one (deviation from strict single
+    assignment, needed because ``let`` inside a repetition re-executes).
+    """
+
+    __slots__ = ("pid", "definition", "params", "env", "status", "spawner", "created_at")
+
+    def __init__(
+        self,
+        pid: int,
+        definition: ProcessDefinition,
+        args: Seq[Any],
+        spawner: int | None = None,
+        created_at: int = 0,
+    ) -> None:
+        self.pid = pid
+        self.definition = definition
+        self.params = definition.bind_args(tuple(args))
+        self.env: dict[str, Any] = {}
+        self.status = ProcessStatus.RUNNING
+        self.spawner = spawner
+        self.created_at = created_at
+
+    @property
+    def name(self) -> str:
+        return self.definition.name
+
+    @property
+    def view(self) -> View:
+        return self.definition.view
+
+    def scope(self) -> dict[str, Any]:
+        """Parameters plus accumulated ``let`` constants."""
+        if not self.env:
+            return dict(self.params)
+        return {**self.params, **self.env}
+
+    def is_live(self) -> bool:
+        return self.status in (
+            ProcessStatus.RUNNING,
+            ProcessStatus.BLOCKED,
+            ProcessStatus.CONSENSUS_WAIT,
+        )
+
+    def __repr__(self) -> str:
+        args = ",".join(f"{k}={v!r}" for k, v in self.params.items())
+        return f"{self.name}({args})#{self.pid}[{self.status.value}]"
+
+
+def process(
+    name: str,
+    params: Seq[str] | str = (),
+    imports: Iterable[ViewRule | Pattern] | None = None,
+    exports: Iterable[ViewRule | Pattern] | None = None,
+) -> Callable[[Callable[..., Iterable[Any]]], ProcessDefinition]:
+    """Decorator building a :class:`ProcessDefinition` from a body factory.
+
+    The decorated function receives one :class:`~repro.core.expressions.Var`
+    per parameter and returns the behaviour statements::
+
+        @process("Sum2", params="k j")
+        def sum2(k, j):
+            a, b = variables("alpha beta")
+            return [
+                delayed(exists(a, b).match(
+                    P[k - 2 ** (j - 1), a, j].retract(),
+                    P[k, b, j].retract(),
+                )).then(assert_tuple(k, a + b, j + 1)),
+            ]
+    """
+    if isinstance(params, str):
+        params = tuple(params.replace(",", " ").split())
+
+    def wrap(factory: Callable[..., Iterable[Any]]) -> ProcessDefinition:
+        from repro.core.expressions import Var
+
+        args = tuple(Var(p) for p in params)
+        body = factory(*args)
+        if isinstance(body, (Statement,)) or not isinstance(body, (list, tuple)):
+            body = [body]
+        return ProcessDefinition(name, params, body, imports=imports, exports=exports)
+
+    return wrap

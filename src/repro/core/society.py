@@ -1,0 +1,94 @@
+"""The process society: definitions registry plus live-instance bookkeeping.
+
+"The process society is a set of processes.  Both the dataspace and the
+process society undergo continuous change."  The society assigns process
+ids (pids), records genealogy (which process spawned which), and tracks
+liveness — the consensus engine quantifies over *live* society members.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.core.process import ProcessDefinition, ProcessInstance, ProcessStatus
+from repro.errors import ProcessError, UnknownProcessError
+
+__all__ = ["ProcessSociety"]
+
+
+class ProcessSociety:
+    """Registry of process definitions and the set of live instances."""
+
+    def __init__(self, definitions: Iterable[ProcessDefinition] = ()) -> None:
+        self._definitions: dict[str, ProcessDefinition] = {}
+        self._instances: dict[int, ProcessInstance] = {}
+        self._next_pid = 1
+        self._spawn_count = 0
+        for definition in definitions:
+            self.define(definition)
+
+    # ------------------------------------------------------------------
+    # definitions
+    # ------------------------------------------------------------------
+    def define(self, definition: ProcessDefinition) -> ProcessDefinition:
+        if definition.name in self._definitions:
+            raise ProcessError(f"process {definition.name!r} is already defined")
+        self._definitions[definition.name] = definition
+        return definition
+
+    def definition(self, name: str) -> ProcessDefinition:
+        try:
+            return self._definitions[name]
+        except KeyError:
+            raise UnknownProcessError(name) from None
+
+    def definitions(self) -> list[ProcessDefinition]:
+        return list(self._definitions.values())
+
+    # ------------------------------------------------------------------
+    # instances
+    # ------------------------------------------------------------------
+    def spawn(
+        self,
+        name: str,
+        args: Sequence[Any] = (),
+        spawner: int | None = None,
+        created_at: int = 0,
+    ) -> ProcessInstance:
+        definition = self.definition(name)
+        pid = self._next_pid
+        self._next_pid += 1
+        instance = ProcessInstance(pid, definition, args, spawner, created_at)
+        self._instances[pid] = instance
+        self._spawn_count += 1
+        return instance
+
+    def get(self, pid: int) -> ProcessInstance:
+        try:
+            return self._instances[pid]
+        except KeyError:
+            raise ProcessError(f"no process with pid {pid}") from None
+
+    def mark_terminated(self, pid: int, aborted: bool = False) -> None:
+        instance = self.get(pid)
+        instance.status = ProcessStatus.ABORTED if aborted else ProcessStatus.TERMINATED
+
+    def live(self) -> list[ProcessInstance]:
+        return [p for p in self._instances.values() if p.is_live()]
+
+    def live_pids(self) -> frozenset[int]:
+        return frozenset(p.pid for p in self._instances.values() if p.is_live())
+
+    def all_instances(self) -> Iterator[ProcessInstance]:
+        return iter(self._instances.values())
+
+    @property
+    def total_spawned(self) -> int:
+        return self._spawn_count
+
+    def __len__(self) -> int:
+        return len([p for p in self._instances.values() if p.is_live()])
+
+    def __repr__(self) -> str:
+        live = len(self)
+        return f"ProcessSociety(live={live}, total={self._spawn_count})"

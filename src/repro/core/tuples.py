@@ -1,0 +1,79 @@
+"""Tuple instances and tuple identifiers.
+
+The paper: "Each tuple is owned by the process that asserted it and the owner
+may be determined by examining the unique tuple identifier associated with
+each tuple.  Typically, tuple identifiers are ignored by application programs
+but are of interest during debugging and testing."
+
+The dataspace is a *multiset*: two tuples with identical values are distinct
+*instances* and carry distinct identifiers.  Retracting one instance of a
+tuple may leave other instances of it in the dataspace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.core.values import check_value, value_repr
+from repro.errors import ArityError
+
+__all__ = ["TupleId", "TupleInstance", "make_tuple"]
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class TupleId:
+    """Unique identifier of a tuple instance.
+
+    ``owner`` is the process id (pid) of the asserting process; ``serial`` is
+    a dataspace-wide monotonically increasing counter, so identifiers double
+    as assertion timestamps.  Environment-created tuples (the initial
+    dataspace) carry owner ``0``.
+    """
+
+    serial: int
+    owner: int
+
+    def __repr__(self) -> str:
+        return f"#{self.serial}@{self.owner}"
+
+
+@dataclass(frozen=True, slots=True)
+class TupleInstance:
+    """An immutable tuple instance living in (or destined for) a dataspace."""
+
+    tid: TupleId
+    values: tuple
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ArityError("SDL tuples must have at least one field")
+
+    @property
+    def arity(self) -> int:
+        return len(self.values)
+
+    @property
+    def owner(self) -> int:
+        return self.tid.owner
+
+    def __getitem__(self, index: int) -> Any:
+        return self.values[index]
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.values)
+
+    def __repr__(self) -> str:
+        body = ",".join(value_repr(v) for v in self.values)
+        return f"<{body}>{self.tid!r}"
+
+
+def make_tuple(values: tuple, serial: int, owner: int) -> TupleInstance:
+    """Validate *values* against the value domain and wrap them in an instance."""
+    checked = tuple(check_value(v) for v in values)
+    if not checked:
+        raise ArityError("SDL tuples must have at least one field")
+    return TupleInstance(TupleId(serial=serial, owner=owner), checked)

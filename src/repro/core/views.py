@@ -1,0 +1,306 @@
+"""Views and windows — SDL's relativistic abstraction mechanism.
+
+Each process carries a :class:`View` made of **import** and **export** rule
+sets.  At the start of every transaction the runtime computes the process's
+*window* ``W = Import(p) ∩ D``; the transaction is evaluated against the
+window as if it were the whole dataspace.  Retractions of window tuples map
+back to retractions of the underlying instances; assertions are admitted
+only if covered by the export set (``D' = (D - W_r) ∪ (Export(p) ∩ W_a)``).
+
+A :class:`ViewRule` is a pattern plus an optional guard, e.g. the paper's ::
+
+    IMPORT  alpha : alpha <= 87 => <year, alpha>
+
+is ``ViewRule(P["year", a], guard=(a <= 87))``.
+
+SDL additionally "allows the view to depend upon the current configuration
+of the dataspace" (Section 3.3): a rule may carry ``where`` context atoms
+that must be satisfiable in the *full* dataspace for the rule to cover a
+tuple.  This is what lets the region-labeling ``Label`` process import
+exactly the tuples of its own region's 4-connected neighbourhood.
+
+Windows are evaluated lazily: candidate enumeration rides the dataspace
+indexes and filters through the import rules, with memoisation per tuple
+instance.  Materialising the full import *footprint* (needed by the
+consensus engine's overlap test) is explicit and cached by dataspace
+version.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from repro.core.dataspace import Dataspace
+from repro.core.expressions import Bindings, EvalContext, Expr
+from repro.core.patterns import Pattern, pattern as make_pattern
+from repro.core.tuples import TupleId, TupleInstance
+from repro.errors import ViewError
+
+__all__ = [
+    "ViewRule",
+    "View",
+    "Window",
+    "FULL_VIEW",
+    "import_rule",
+    "export_rule",
+]
+
+
+class ViewRule:
+    """One import or export rule: a pattern, an optional guard, and optional
+    configuration-context atoms (``where``) evaluated against the full
+    dataspace."""
+
+    __slots__ = ("pattern", "guard", "where")
+
+    def __init__(
+        self,
+        pat: Pattern,
+        guard: Expr | None = None,
+        where: Sequence[Pattern] = (),
+    ) -> None:
+        if not isinstance(pat, Pattern):
+            raise ViewError(f"view rule needs a Pattern, got {pat!r}")
+        self.pattern = pat
+        self.guard = guard
+        self.where = tuple(where)
+        if guard is not None:
+            loose = guard.free_variables() - pat.free_variables() - self._where_vars()
+            # Loose guard variables must be process parameters; they are
+            # checked when the rule is evaluated, not here.
+            del loose
+
+    def _where_vars(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for atom in self.where:
+            out |= atom.free_variables()
+        return out
+
+    def covers(
+        self,
+        values: tuple,
+        dataspace: Dataspace,
+        params: Mapping[str, Any],
+    ) -> bool:
+        """Does this rule cover the value tuple *values*?
+
+        *params* are the owning process's parameters, visible to the
+        pattern, the guard, and the ``where`` atoms.
+        """
+        new = self.pattern.match(values, params)
+        if new is None:
+            return False
+        merged = {**params, **new}
+        if self.where and not _where_satisfiable(dataspace, self.where, merged):
+            return False
+        if self.guard is not None:
+            merged = {**params, **new} if not self.where else merged
+            ctx = EvalContext(Bindings(merged))
+            if not bool(self.guard.evaluate(ctx)):
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        parts = [repr(self.pattern)]
+        if self.guard is not None:
+            parts.append(f"if {self.guard!r}")
+        if self.where:
+            parts.append("where " + ", ".join(repr(w) for w in self.where))
+        return " ".join(parts)
+
+
+def _where_satisfiable(
+    dataspace: Dataspace,
+    atoms: Sequence[Pattern],
+    bound: dict[str, Any],
+) -> bool:
+    """Existential conjunctive match of *atoms* against the full dataspace."""
+    if not atoms:
+        return True
+    head, rest = atoms[0], atoms[1:]
+    for inst in dataspace.candidates(head, bound):
+        new = head.match(inst.values, bound)
+        if new is None:
+            continue
+        if _where_satisfiable(dataspace, rest, {**bound, **new}):
+            return True
+    return False
+
+
+def _as_rule(rule: "ViewRule | Pattern") -> ViewRule:
+    if isinstance(rule, ViewRule):
+        return rule
+    if isinstance(rule, Pattern):
+        return ViewRule(rule)
+    raise ViewError(f"expected ViewRule or Pattern, got {rule!r}")
+
+
+def import_rule(*fields: Any, guard: Expr | None = None, where: Sequence[Pattern] = ()) -> ViewRule:
+    """Build an import rule from pattern fields (sugar over :class:`ViewRule`)."""
+    return ViewRule(make_pattern(*fields), guard=guard, where=where)
+
+
+#: Export rules have the same shape as import rules.
+export_rule = import_rule
+
+
+class View:
+    """A process view: import and export rule sets.
+
+    ``View.full()`` (also exposed as :data:`FULL_VIEW`) is the unrestricted
+    view used when a process definition omits its view — "we will omit it
+    whenever the view covers the entire dataspace".
+    """
+
+    __slots__ = ("imports", "exports", "unrestricted")
+
+    def __init__(
+        self,
+        imports: Iterable[ViewRule | Pattern] | None = None,
+        exports: Iterable[ViewRule | Pattern] | None = None,
+    ) -> None:
+        self.imports: tuple[ViewRule, ...] | None = (
+            None if imports is None else tuple(_as_rule(r) for r in imports)
+        )
+        self.exports: tuple[ViewRule, ...] | None = (
+            None if exports is None else tuple(_as_rule(r) for r in exports)
+        )
+        self.unrestricted = self.imports is None and self.exports is None
+
+    @classmethod
+    def full(cls) -> "View":
+        return cls(None, None)
+
+    def imports_value(
+        self, values: tuple, dataspace: Dataspace, params: Mapping[str, Any]
+    ) -> bool:
+        if self.imports is None:
+            return True
+        return any(rule.covers(values, dataspace, params) for rule in self.imports)
+
+    def exports_value(
+        self, values: tuple, dataspace: Dataspace, params: Mapping[str, Any]
+    ) -> bool:
+        if self.exports is None:
+            return True
+        return any(rule.covers(values, dataspace, params) for rule in self.exports)
+
+    def window(self, dataspace: Dataspace, params: Mapping[str, Any] | None = None) -> "Window":
+        return Window(dataspace, self, dict(params or {}))
+
+    def __repr__(self) -> str:
+        if self.unrestricted:
+            return "View(FULL)"
+        imp = "ALL" if self.imports is None else list(self.imports)
+        exp = "ALL" if self.exports is None else list(self.exports)
+        return f"View(import={imp}, export={exp})"
+
+
+#: The unrestricted view covering the entire dataspace.
+FULL_VIEW = View.full()
+
+
+class Window:
+    """``W = Import(p) ∩ D`` for one process, evaluated lazily.
+
+    The window exposes the same content-addressing surface as the dataspace
+    (:meth:`candidates`, :meth:`find_matching`, :meth:`count_matching`) but
+    filters instances through the view's import rules, memoising per-instance
+    decisions.  The memo is only valid for the dataspace version at which it
+    was taken; :meth:`refresh` drops stale state.
+    """
+
+    __slots__ = ("dataspace", "view", "params", "_memo", "_memo_version", "_footprint")
+
+    def __init__(self, dataspace: Dataspace, view: View, params: dict[str, Any]) -> None:
+        self.dataspace = dataspace
+        self.view = view
+        self.params = params
+        self._memo: dict[TupleId, bool] = {}
+        self._memo_version = dataspace.version
+        self._footprint: frozenset[TupleId] | None = None
+
+    def refresh(self) -> "Window":
+        """Invalidate memoised import decisions after dataspace changes."""
+        if self._memo_version != self.dataspace.version:
+            self._memo.clear()
+            self._footprint = None
+            self._memo_version = self.dataspace.version
+        return self
+
+    def imports_instance(self, inst: TupleInstance) -> bool:
+        if self.view.imports is None:
+            return True
+        self.refresh()
+        cached = self._memo.get(inst.tid)
+        if cached is None:
+            cached = self.view.imports_value(inst.values, self.dataspace, self.params)
+            self._memo[inst.tid] = cached
+        return cached
+
+    def __contains__(self, tid: TupleId) -> bool:
+        if tid not in self.dataspace:
+            return False
+        return self.imports_instance(self.dataspace.get(tid))
+
+    def candidates(
+        self, pat: Pattern, bound: Mapping[str, Any] | None = None
+    ) -> list[TupleInstance]:
+        """Candidate instances for *pat* within the window."""
+        raw = self.dataspace.candidates(pat, bound)
+        if self.view.imports is None:
+            return raw
+        return [inst for inst in raw if self.imports_instance(inst)]
+
+    def find_matching(
+        self, pat: Pattern, bound: Mapping[str, Any] | None = None
+    ) -> list[TupleInstance]:
+        bound = dict(bound or {})
+        return [
+            inst
+            for inst in self.candidates(pat, bound)
+            if pat.match(inst.values, bound) is not None
+        ]
+
+    def count_matching(self, pat: Pattern, bound: Mapping[str, Any] | None = None) -> int:
+        return len(self.find_matching(pat, bound))
+
+    def instances(self) -> Iterator[TupleInstance]:
+        """Iterate the window contents (materialises import decisions)."""
+        for inst in self.dataspace.instances():
+            if self.imports_instance(inst):
+                yield inst
+
+    def footprint(self) -> frozenset[TupleId]:
+        """The set of dataspace instances this window imports.
+
+        Used by the consensus engine's ``needs`` overlap test; cached until
+        the dataspace version changes.  Computed rule-by-rule through the
+        dataspace's content-addressing indexes, so a narrowly-scoped view
+        pays O(|window|), not O(|D|) — this is what keeps consensus
+        detection tractable for societies of thousands of processes.
+        """
+        self.refresh()
+        if self._footprint is None:
+            if self.view.imports is None:
+                self._footprint = self.dataspace.tids()
+            else:
+                out: set[TupleId] = set()
+                for rule in self.view.imports:
+                    for inst in self.dataspace.candidates(rule.pattern, self.params):
+                        if inst.tid not in out and rule.covers(
+                            inst.values, self.dataspace, self.params
+                        ):
+                            out.add(inst.tid)
+                self._footprint = frozenset(out)
+        return self._footprint
+
+    def overlaps(self, other: "Window") -> bool:
+        """The paper's ``p needs q``: ``Import(p) ∩ Import(q) ∩ D ≠ ∅``."""
+        mine, theirs = self.footprint(), other.footprint()
+        if len(mine) > len(theirs):
+            mine, theirs = theirs, mine
+        return any(tid in theirs for tid in mine)
+
+    def exports_value(self, values: tuple) -> bool:
+        return self.view.exports_value(values, self.dataspace, self.params)

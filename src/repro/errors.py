@@ -1,0 +1,116 @@
+"""Exception hierarchy for the SDL reproduction.
+
+Every error raised by the library derives from :class:`SDLError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to discriminate the precise failure mode.
+"""
+
+from __future__ import annotations
+
+
+class SDLError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ValueDomainError(SDLError, TypeError):
+    """A value outside the SDL value domain was used in a tuple."""
+
+
+class ArityError(SDLError, ValueError):
+    """A tuple or pattern has an invalid (e.g. zero or mismatched) arity."""
+
+
+class UnboundVariableError(SDLError, NameError):
+    """An expression referenced a variable with no binding."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"variable {name!r} is not bound")
+        self.name = name
+
+
+class RebindError(SDLError, ValueError):
+    """An attempt was made to rebind an already-bound variable."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"variable {name!r} is already bound")
+        self.name = name
+
+
+class PatternError(SDLError, ValueError):
+    """A pattern is malformed (bad element kind, bad guard, ...)."""
+
+
+class QueryError(SDLError, ValueError):
+    """A query is malformed or used in an unsupported way."""
+
+
+class ViewError(SDLError, ValueError):
+    """A view definition is malformed."""
+
+
+class ExportViolation(SDLError, PermissionError):
+    """A transaction asserted a tuple outside the process's export set."""
+
+    def __init__(self, process_name: str, values: tuple) -> None:
+        super().__init__(
+            f"process {process_name!r} may not export tuple {values!r}"
+        )
+        self.process_name = process_name
+        self.values = values
+
+
+class TransactionError(SDLError, RuntimeError):
+    """A transaction was malformed or executed in an invalid context."""
+
+
+class ActionError(SDLError, RuntimeError):
+    """An action list is malformed for the transaction's quantifier."""
+
+
+class ProcessError(SDLError, RuntimeError):
+    """Process definition or instantiation failed."""
+
+
+class UnknownProcessError(ProcessError):
+    """A spawn action referenced a process definition that is not registered."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"no process definition named {name!r} is registered")
+        self.name = name
+
+
+class EngineError(SDLError, RuntimeError):
+    """The runtime engine entered an invalid state."""
+
+
+class DeadlockError(EngineError):
+    """No task can make progress but blocked tasks remain."""
+
+    def __init__(self, blocked: list[str]) -> None:
+        super().__init__(
+            "deadlock: no runnable task, no fireable consensus; blocked: "
+            + ", ".join(blocked)
+        )
+        self.blocked = blocked
+
+
+class StepLimitExceeded(EngineError):
+    """The engine exceeded its configured maximum number of steps."""
+
+    def __init__(self, limit: int) -> None:
+        super().__init__(f"engine exceeded the step limit of {limit}")
+        self.limit = limit
+
+
+class ParseError(SDLError, SyntaxError):
+    """The SDL surface-syntax parser rejected its input."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.message = message
+        self.line = line
+        self.column = column
+
+
+class LindaError(SDLError, RuntimeError):
+    """An error raised by the Linda baseline kernel."""

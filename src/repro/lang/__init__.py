@@ -1,0 +1,64 @@
+"""The SDL surface language: an ASCII rendering of the paper's notation.
+
+The paper presents SDL in mathematical notation (Greek quantified
+variables, ``↑`` retraction tags, ``→ ⇒ ⇑`` transaction tags, ``*[...]``
+repetition, ``≈[...]`` replication).  This package provides a parser and
+compiler for a faithful ASCII transliteration::
+
+    process Sum2(k, j)
+    behavior
+      exists a, b : <k - 2**(j-1), a, j>^, <k, b, j>^  =>  (k, a + b, j + 1)
+    end
+
+    process Sort(i, j)
+    import <i,*,*,*>, <j,*,*,*>
+    export <i,*,*,*>, <j,*,*,*>
+    behavior
+      [ : j = nil -> exit | : j != nil -> skip ];
+      *[ exists p1,v1,p2,v2,nn :
+             <i,p1,v1,j>^, <j,p2,v2,nn>^ : p1 > p2
+             -> (i,p2,v2,j), (j,p1,v1,nn)
+       | exists p1,p2 : <i,p1,*,j>, <j,p2,*,*> : p1 <= p2  ^^  exit ]
+    end
+
+Correspondence with the paper:
+
+=====================  ==========================
+paper                  surface syntax
+=====================  ==========================
+``∃ α:``               ``exists a :``
+``∀ α:``               ``all a :``
+``¬∃``                 ``no``
+``⟨year, α⟩↑``         ``<year, a>^``
+``→`` / ``⇒`` / ``⇑``  ``->`` / ``=>`` / ``^^``
+``[ ... | ... ]``      ``[ ... | ... ]``
+``*[ ... ]``           ``*[ ... ]``
+``≈[ ... ]``           ``~[ ... ]``
+``let N = α``          ``let N = a``
+membership sub-query   ``has(some v: <p, v> : v > 0)``
+=====================  ==========================
+
+Identifier resolution: names bound by ``process`` parameters, quantifier
+lists, ``some`` lists, or ``let`` are variables; names registered in the
+compile-time *functions* mapping are host predicates/functions; all other
+names denote symbolic atoms (``year``, ``nil``, ``not_found``...).
+"""
+
+from repro.lang.lexer import Token, tokenize
+from repro.lang.parser import parse_program, parse_process
+from repro.lang.compiler import compile_program, compile_process
+from repro.lang.pretty import pretty_process, pretty_statement, pretty_transaction
+from repro.lang import ast
+
+__all__ = [
+    "Token",
+    "tokenize",
+    "parse_program",
+    "parse_process",
+    "compile_program",
+    "compile_process",
+    "pretty_process",
+    "pretty_statement",
+    "pretty_transaction",
+    "ast",
+]

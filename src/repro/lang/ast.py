@@ -1,0 +1,259 @@
+"""Abstract syntax tree for the SDL surface language.
+
+The surface AST is deliberately separate from the semantic objects in
+:mod:`repro.core`; the compiler (:mod:`repro.lang.compiler`) performs name
+resolution (variable vs. atom vs. host function) and lowers these nodes to
+patterns, queries, transactions, and constructs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+__all__ = [
+    "Expr", "Num", "Str", "Bool", "Name", "Unary", "Binary", "CallExpr", "Has",
+    "Field", "Wild", "PatternNode", "AtomNode",
+    "QueryNode", "ActionNode", "AssertNode", "LetNode", "SpawnNode",
+    "SimpleAction", "TxnNode", "StmtNode", "SeqNode", "BranchNode",
+    "SelectNode", "RepeatNode", "ReplicateNode", "RuleNode", "ProcessNode",
+]
+
+
+# -- expressions -------------------------------------------------------
+
+class Expr:
+    """Base surface expression node."""
+
+    __slots__ = ("line", "column")
+
+    def __init__(self, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+
+
+class Num(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: int | float, line: int = 0, column: int = 0) -> None:
+        super().__init__(line, column)
+        self.value = value
+
+
+class Str(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: str, line: int = 0, column: int = 0) -> None:
+        super().__init__(line, column)
+        self.value = value
+
+
+class Bool(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool, line: int = 0, column: int = 0) -> None:
+        super().__init__(line, column)
+        self.value = value
+
+
+class Name(Expr):
+    """An identifier — variable, atom, or function, resolved at compile time."""
+
+    __slots__ = ("ident",)
+
+    def __init__(self, ident: str, line: int = 0, column: int = 0) -> None:
+        super().__init__(line, column)
+        self.ident = ident
+
+
+class Unary(Expr):
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Expr, line: int = 0, column: int = 0) -> None:
+        super().__init__(line, column)
+        self.op = op
+        self.operand = operand
+
+
+class Binary(Expr):
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr, line: int = 0, column: int = 0) -> None:
+        super().__init__(line, column)
+        self.op = op
+        self.left = left
+        self.right = right
+
+
+class CallExpr(Expr):
+    """``name(args...)`` — a host-function application."""
+
+    __slots__ = ("func", "args")
+
+    def __init__(self, func: str, args: Sequence[Expr], line: int = 0, column: int = 0) -> None:
+        super().__init__(line, column)
+        self.func = func
+        self.args = tuple(args)
+
+
+class Has(Expr):
+    """``has(some v1, v2: <...>, <...> : test)`` — membership sub-query."""
+
+    __slots__ = ("locals", "patterns", "test")
+
+    def __init__(
+        self,
+        locals_: Sequence[str],
+        patterns: Sequence["PatternNode"],
+        test: Expr | None,
+        line: int = 0,
+        column: int = 0,
+    ) -> None:
+        super().__init__(line, column)
+        self.locals = tuple(locals_)
+        self.patterns = tuple(patterns)
+        self.test = test
+
+
+# -- patterns ----------------------------------------------------------
+
+@dataclass(slots=True)
+class Wild:
+    """The ``*`` field."""
+
+
+Field = Any  # Expr | Wild
+
+
+@dataclass(slots=True)
+class PatternNode:
+    """``<field, field, ...>``"""
+
+    fields: tuple[Field, ...]
+    line: int = 0
+    column: int = 0
+
+
+@dataclass(slots=True)
+class AtomNode:
+    """A query atom: a pattern, possibly retraction-tagged (``^``)."""
+
+    pattern: PatternNode
+    retract: bool = False
+
+
+# -- queries -----------------------------------------------------------
+
+@dataclass(slots=True)
+class QueryNode:
+    """Quantifier + binding atoms + optional test, possibly negated."""
+
+    quantifier: str  # "exists" | "all"
+    variables: tuple[str, ...]
+    atoms: tuple[AtomNode, ...]
+    test: Expr | None
+    negated: bool = False
+
+
+# -- actions -----------------------------------------------------------
+
+class ActionNode:
+    __slots__ = ()
+
+
+@dataclass(slots=True)
+class AssertNode(ActionNode):
+    """``(expr, expr, ...)`` — assert a tuple."""
+
+    fields: tuple[Expr, ...]
+
+
+@dataclass(slots=True)
+class LetNode(ActionNode):
+    """``let NAME = expr``"""
+
+    name: str
+    expr: Expr
+
+
+@dataclass(slots=True)
+class SpawnNode(ActionNode):
+    """``ProcessName(args...)``"""
+
+    process: str
+    args: tuple[Expr, ...]
+
+
+@dataclass(slots=True)
+class SimpleAction(ActionNode):
+    """``exit`` | ``abort`` | ``skip``"""
+
+    kind: str
+
+
+# -- statements --------------------------------------------------------
+
+class StmtNode:
+    __slots__ = ()
+
+
+@dataclass(slots=True)
+class TxnNode(StmtNode):
+    """query? tag action_list"""
+
+    query: QueryNode | None
+    tag: str  # "->" | "=>" | "^^"
+    actions: tuple[ActionNode, ...]
+    line: int = 0
+
+
+@dataclass(slots=True)
+class SeqNode(StmtNode):
+    body: tuple[StmtNode, ...]
+
+
+@dataclass(slots=True)
+class BranchNode:
+    """One guarded sequence inside a selection/repetition/replication."""
+
+    guard: TxnNode
+    body: tuple[StmtNode, ...]
+
+
+@dataclass(slots=True)
+class SelectNode(StmtNode):
+    branches: tuple[BranchNode, ...]
+
+
+@dataclass(slots=True)
+class RepeatNode(StmtNode):
+    branches: tuple[BranchNode, ...]
+
+
+@dataclass(slots=True)
+class ReplicateNode(StmtNode):
+    branches: tuple[BranchNode, ...]
+
+
+# -- processes ---------------------------------------------------------
+
+@dataclass(slots=True)
+class RuleNode:
+    """An import/export rule: ``[some vars:] pattern [if guard]``.
+
+    Rule-local variables must be declared in the ``some`` list; undeclared
+    identifiers in rule patterns denote atoms, as everywhere else.
+    """
+
+    pattern: PatternNode
+    guard: Expr | None = None
+    locals: tuple[str, ...] = ()
+
+
+@dataclass(slots=True)
+class ProcessNode:
+    name: str
+    params: tuple[str, ...]
+    imports: tuple[RuleNode, ...] | None
+    exports: tuple[RuleNode, ...] | None
+    body: tuple[StmtNode, ...] = field(default_factory=tuple)

@@ -1,0 +1,268 @@
+"""Compiler: SDL surface AST → core semantic objects.
+
+Name resolution happens here:
+
+* identifiers bound by process parameters, quantifier lists, ``some``
+  lists, or ``let`` actions compile to :class:`~repro.core.expressions.Var`;
+* identifiers present in the compile-time *functions* mapping compile to
+  host-function calls (predicates such as ``neighbor`` or operators such
+  as the threshold ``T``);
+* every other identifier denotes a symbolic :class:`~repro.core.values.Atom`
+  (``nil``, ``year``, ``not_found``, ...).
+
+Scoping is lexical and flows forward: a ``let`` introduced by one
+transaction is visible to later statements of the same process body, which
+matches the engine's process-environment semantics.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, Mapping
+
+from repro.core import actions as core_actions
+from repro.core import constructs as core_constructs
+from repro.core.expressions import BinOp, Call, Const, Expr, UnOp, Var
+from repro.core.patterns import ANY, Pattern
+from repro.core.process import ProcessDefinition
+from repro.core.query import Membership, Query, QueryAtom
+from repro.core.transactions import Mode, Transaction
+from repro.core.values import Atom
+from repro.core.views import ViewRule
+from repro.errors import ParseError
+from repro.lang import ast
+from repro.lang.parser import parse_process, parse_program
+
+__all__ = ["compile_program", "compile_process", "CompileContext"]
+
+_TAG_MODES = {"->": Mode.IMMEDIATE, "=>": Mode.DELAYED, "^^": Mode.CONSENSUS}
+
+_BINOPS: dict[str, tuple[str, Callable[[Any, Any], Any]]] = {
+    "+": ("+", operator.add),
+    "-": ("-", operator.sub),
+    "*": ("*", operator.mul),
+    "/": ("/", operator.truediv),
+    "//": ("//", operator.floordiv),
+    "%": ("%", operator.mod),
+    "**": ("**", operator.pow),
+    "=": ("=", operator.eq),
+    "!=": ("!=", operator.ne),
+    "<": ("<", operator.lt),
+    "<=": ("<=", operator.le),
+    ">": (">", operator.gt),
+    ">=": (">=", operator.ge),
+    "and": ("&", lambda a, b: bool(a) and bool(b)),
+    "or": ("|", lambda a, b: bool(a) or bool(b)),
+}
+
+
+class CompileContext:
+    """Carries the lexical scope and the host-function registry."""
+
+    __slots__ = ("functions", "scope")
+
+    def __init__(self, functions: Mapping[str, Callable] | None, scope: set[str]) -> None:
+        self.functions = dict(functions or {})
+        self.scope = scope
+
+    def child(self, extra: set[str]) -> "CompileContext":
+        return CompileContext(self.functions, self.scope | extra)
+
+    def resolve(self, ident: str) -> Expr:
+        if ident in self.scope:
+            return Var(ident)
+        return Const(Atom(ident))
+
+
+# ----------------------------------------------------------------------
+# expressions
+# ----------------------------------------------------------------------
+
+def compile_expr(node: ast.Expr, ctx: CompileContext) -> Expr:
+    if isinstance(node, ast.Num):
+        return Const(node.value)
+    if isinstance(node, ast.Str):
+        return Const(node.value)
+    if isinstance(node, ast.Bool):
+        return Const(node.value)
+    if isinstance(node, ast.Name):
+        return ctx.resolve(node.ident)
+    if isinstance(node, ast.Unary):
+        operand = compile_expr(node.operand, ctx)
+        if node.op == "-":
+            return UnOp("-", operator.neg, operand)
+        if node.op == "not":
+            return UnOp("~", operator.not_, operand)
+        raise ParseError(f"unknown unary operator {node.op!r}", node.line, node.column)
+    if isinstance(node, ast.Binary):
+        symbol_op = _BINOPS.get(node.op)
+        if symbol_op is None:
+            raise ParseError(f"unknown operator {node.op!r}", node.line, node.column)
+        symbol, fn = symbol_op
+        return BinOp(symbol, fn, compile_expr(node.left, ctx), compile_expr(node.right, ctx))
+    if isinstance(node, ast.CallExpr):
+        fn = ctx.functions.get(node.func)
+        if fn is None:
+            raise ParseError(
+                f"unknown function {node.func!r} (register it in the compile-time "
+                "functions mapping)",
+                node.line,
+                node.column,
+            )
+        return Call(fn, tuple(compile_expr(a, ctx) for a in node.args), node.func)
+    if isinstance(node, ast.Has):
+        inner = ctx.child(set(node.locals))
+        patterns = tuple(compile_pattern(p, inner) for p in node.patterns)
+        test = compile_expr(node.test, inner) if node.test is not None else None
+        return Membership(*patterns, test=test)
+    raise ParseError(f"cannot compile expression node {node!r}", 0, 0)
+
+
+def compile_pattern(node: ast.PatternNode, ctx: CompileContext) -> Pattern:
+    fields: list[Any] = []
+    for field in node.fields:
+        if isinstance(field, ast.Wild):
+            fields.append(ANY)
+        else:
+            fields.append(compile_expr(field, ctx))
+    from repro.core.patterns import pattern as make_pattern
+
+    return make_pattern(*fields)
+
+
+# ----------------------------------------------------------------------
+# transactions and statements
+# ----------------------------------------------------------------------
+
+def compile_transaction(node: ast.TxnNode, ctx: CompileContext) -> tuple[Transaction, set[str]]:
+    """Compile one transaction; returns it plus the let-names it introduces."""
+    introduced: set[str] = set()
+    if node.query is None:
+        query = None
+        inner = ctx
+    else:
+        qvars = set(node.query.variables)
+        inner = ctx.child(qvars)
+        atoms = tuple(
+            QueryAtom(compile_pattern(a.pattern, inner), a.retract)
+            for a in node.query.atoms
+        )
+        test = compile_expr(node.query.test, inner) if node.query.test is not None else None
+        query = Query(
+            quantifier="forall" if node.query.quantifier == "all" else "exists",
+            variables=node.query.variables,
+            atoms=atoms,
+            test=test,
+            negated=node.query.negated,
+        )
+    compiled_actions: list[core_actions.Action] = []
+    for action in node.actions:
+        if isinstance(action, ast.SimpleAction):
+            if action.kind == "exit":
+                compiled_actions.append(core_actions.EXIT)
+            elif action.kind == "abort":
+                compiled_actions.append(core_actions.ABORT)
+            # skip compiles to nothing
+        elif isinstance(action, ast.LetNode):
+            compiled_actions.append(
+                core_actions.Let(action.name, compile_expr(action.expr, inner))
+            )
+            introduced.add(action.name)
+            inner = inner.child({action.name})
+        elif isinstance(action, ast.AssertNode):
+            from repro.core.patterns import pattern as make_pattern
+
+            fields = tuple(compile_expr(f, inner) for f in action.fields)
+            compiled_actions.append(core_actions.AssertTuple(make_pattern(*fields)))
+        elif isinstance(action, ast.SpawnNode):
+            args = tuple(compile_expr(a, inner) for a in action.args)
+            compiled_actions.append(core_actions.Spawn(action.process, *args))
+        else:  # pragma: no cover
+            raise ParseError(f"cannot compile action {action!r}", node.line, 0)
+    return Transaction(query, _TAG_MODES[node.tag], compiled_actions), introduced
+
+
+def compile_statement(
+    node: ast.StmtNode, ctx: CompileContext
+) -> tuple[core_constructs.Statement, set[str]]:
+    if isinstance(node, ast.TxnNode):
+        txn, introduced = compile_transaction(node, ctx)
+        return core_constructs.TransactionStatement(txn), introduced
+    if isinstance(node, (ast.SelectNode, ast.RepeatNode, ast.ReplicateNode)):
+        branches = []
+        for branch in node.branches:
+            guard, introduced = compile_transaction(branch.guard, ctx)
+            inner = ctx.child(introduced)
+            body = []
+            for stmt in branch.body:
+                compiled, more = compile_statement(stmt, inner)
+                inner = inner.child(more)
+                body.append(compiled)
+            branches.append(core_constructs.GuardedSequence(guard, body))
+        if isinstance(node, ast.SelectNode):
+            return core_constructs.Selection(branches), set()
+        if isinstance(node, ast.RepeatNode):
+            return core_constructs.Repetition(branches), set()
+        return core_constructs.Replication(branches), set()
+    if isinstance(node, ast.SeqNode):
+        inner = ctx
+        body = []
+        for stmt in node.body:
+            compiled, more = compile_statement(stmt, inner)
+            inner = inner.child(more)
+            body.append(compiled)
+        return core_constructs.Sequence(body), set()
+    raise ParseError(f"cannot compile statement {node!r}", 0, 0)
+
+
+# ----------------------------------------------------------------------
+# processes and programs
+# ----------------------------------------------------------------------
+
+def compile_process_node(
+    node: ast.ProcessNode, functions: Mapping[str, Callable] | None = None
+) -> ProcessDefinition:
+    ctx = CompileContext(functions, set(node.params))
+
+    def compile_rules(rules: tuple[ast.RuleNode, ...] | None):
+        if rules is None:
+            return None
+        out = []
+        for rule in rules:
+            inner = ctx.child(set(rule.locals))
+            pattern = compile_pattern(rule.pattern, inner)
+            guard = compile_expr(rule.guard, inner) if rule.guard is not None else None
+            out.append(ViewRule(pattern, guard=guard))
+        return out
+
+    imports = compile_rules(node.imports)
+    exports = compile_rules(node.exports)
+
+    inner = ctx
+    body: list[core_constructs.Statement] = []
+    for stmt in node.body:
+        compiled, introduced = compile_statement(stmt, inner)
+        inner = inner.child(introduced)
+        body.append(compiled)
+    return ProcessDefinition(
+        node.name, node.params, body, imports=imports, exports=exports
+    )
+
+
+def compile_process(
+    source: str, functions: Mapping[str, Callable] | None = None
+) -> ProcessDefinition:
+    """Parse and compile exactly one ``process ... end`` definition."""
+    return compile_process_node(parse_process(source), functions)
+
+
+def compile_program(
+    source: str, functions: Mapping[str, Callable] | None = None
+) -> dict[str, ProcessDefinition]:
+    """Parse and compile a whole program; returns definitions by name."""
+    out: dict[str, ProcessDefinition] = {}
+    for node in parse_program(source):
+        if node.name in out:
+            raise ParseError(f"duplicate process {node.name!r}", 0, 0)
+        out[node.name] = compile_process_node(node, functions)
+    return out

@@ -1,0 +1,129 @@
+"""Tokenizer for the SDL surface syntax."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import ParseError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+#: Reserved words of the surface language.
+KEYWORDS = frozenset(
+    {
+        "process", "import", "export", "behavior", "end",
+        "exists", "all", "no", "some", "has",
+        "let", "exit", "abort", "skip",
+        "and", "or", "not", "if",
+        "true", "false",
+    }
+)
+
+#: Multi-character operators, longest first so maximal munch works.
+_MULTI_OPS = (
+    "**", "^^", "->", "=>", "!=", "<=", ">=", "//",
+)
+
+_SINGLE_OPS = "<>=+-*/%(),:;|[]^~"
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """One lexical token: ``kind`` is NAME/NUMBER/STRING/OP/KEYWORD/EOF."""
+
+    kind: str
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"{self.kind}:{self.value!r}@{self.line}:{self.column}"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize *source*; comments run from ``#`` to end of line."""
+    tokens: list[Token] = []
+    line = 1
+    column = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        if ch == "#":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        start_col = column
+        # multi-char operators
+        matched = False
+        for op in _MULTI_OPS:
+            if source.startswith(op, i):
+                tokens.append(Token("OP", op, line, start_col))
+                i += len(op)
+                column += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (source[j].isdigit() or (source[j] == "." and not seen_dot)):
+                if source[j] == ".":
+                    # don't swallow '..' or trailing dot before non-digit
+                    if j + 1 >= n or not source[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            text = source[i:j]
+            tokens.append(Token("NUMBER", text, line, start_col))
+            column += j - i
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = "KEYWORD" if text in KEYWORDS else "NAME"
+            tokens.append(Token(kind, text, line, start_col))
+            column += j - i
+            i = j
+            continue
+        if ch == '"':
+            j = i + 1
+            buf: list[str] = []
+            while j < n and source[j] != '"':
+                if source[j] == "\n":
+                    raise ParseError("unterminated string literal", line, start_col)
+                if source[j] == "\\" and j + 1 < n:
+                    esc = source[j + 1]
+                    buf.append({"n": "\n", "t": "\t", '"': '"', "\\": "\\"}.get(esc, esc))
+                    j += 2
+                    continue
+                buf.append(source[j])
+                j += 1
+            if j >= n:
+                raise ParseError("unterminated string literal", line, start_col)
+            tokens.append(Token("STRING", "".join(buf), line, start_col))
+            column += (j + 1) - i
+            i = j + 1
+            continue
+        if ch in _SINGLE_OPS:
+            tokens.append(Token("OP", ch, line, start_col))
+            i += 1
+            column += 1
+            continue
+        raise ParseError(f"unexpected character {ch!r}", line, start_col)
+    tokens.append(Token("EOF", "", line, column))
+    return tokens

@@ -1,0 +1,441 @@
+"""Recursive-descent parser for the SDL surface syntax.
+
+Grammar (informal)::
+
+    program     := process*
+    process     := "process" NAME "(" [names] ")"
+                   ["import" rules] ["export" rules]
+                   "behavior" sequence "end"
+    rules       := rule ("," rule)*          rule := pattern ["if" expr]
+    sequence    := statement (";" statement)*
+    statement   := selection | repetition | replication | transaction
+    selection   := "[" branch ("|" branch)* "]"
+    repetition  := "*" "[" branch ("|" branch)* "]"
+    replication := "~" "[" branch ("|" branch)* "]"
+    branch      := transaction (";" statement)*
+    transaction := [quant] [atoms] [":" expr] tag actions
+    quant       := ("exists" | "all") names ":"  |  "no"
+    atoms       := atom ("," atom)*          atom := pattern ["^"]
+    pattern     := "<" field ("," field)* ">"
+    field       := "*" | additive-expression
+    tag         := "->" | "=>" | "^^"
+    actions     := action ("," action)*
+    action      := "(" expr ("," expr)* ")"      (assert a tuple)
+                 | "let" NAME "=" expr
+                 | NAME "(" [expr ("," expr)*] ")"   (spawn)
+                 | "exit" | "abort" | "skip"
+
+Expressions use ``or``/``and``/``not``, comparisons (``= != < <= > >=``),
+arithmetic (``+ - * / // % **``), host-function calls, and membership
+sub-queries ``has(some v: <...> [: expr])``.  Pattern fields are limited to
+additive expressions so ``>`` unambiguously closes the pattern.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ParseError
+from repro.lang import ast
+from repro.lang.lexer import Token, tokenize
+
+__all__ = ["parse_program", "parse_process", "Parser"]
+
+_TAGS = ("->", "=>", "^^")
+
+
+class Parser:
+    """Token-stream parser; one instance per compilation."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # token plumbing
+    # ------------------------------------------------------------------
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "EOF":
+            self.pos += 1
+        return token
+
+    def at_op(self, *ops: str) -> bool:
+        token = self.peek()
+        return token.kind == "OP" and token.value in ops
+
+    def at_keyword(self, *words: str) -> bool:
+        token = self.peek()
+        return token.kind == "KEYWORD" and token.value in words
+
+    def expect_op(self, op: str) -> Token:
+        token = self.peek()
+        if not (token.kind == "OP" and token.value == op):
+            raise ParseError(f"expected {op!r}, found {token.value!r}", token.line, token.column)
+        return self.advance()
+
+    def expect_keyword(self, word: str) -> Token:
+        token = self.peek()
+        if not (token.kind == "KEYWORD" and token.value == word):
+            raise ParseError(f"expected {word!r}, found {token.value!r}", token.line, token.column)
+        return self.advance()
+
+    def expect_name(self) -> Token:
+        token = self.peek()
+        if token.kind != "NAME":
+            raise ParseError(f"expected a name, found {token.value!r}", token.line, token.column)
+        return self.advance()
+
+    def error(self, message: str) -> ParseError:
+        token = self.peek()
+        return ParseError(message + f" (found {token.value!r})", token.line, token.column)
+
+    # ------------------------------------------------------------------
+    # top level
+    # ------------------------------------------------------------------
+    def parse_program(self) -> list[ast.ProcessNode]:
+        processes = []
+        while not self.peek().kind == "EOF":
+            processes.append(self.parse_process())
+        return processes
+
+    def parse_process(self) -> ast.ProcessNode:
+        self.expect_keyword("process")
+        name = self.expect_name().value
+        self.expect_op("(")
+        params: list[str] = []
+        if not self.at_op(")"):
+            params.append(self.expect_name().value)
+            while self.at_op(","):
+                self.advance()
+                params.append(self.expect_name().value)
+        self.expect_op(")")
+        imports = exports = None
+        if self.at_keyword("import"):
+            self.advance()
+            imports = self._parse_rules()
+        if self.at_keyword("export"):
+            self.advance()
+            exports = self._parse_rules()
+        self.expect_keyword("behavior")
+        body = self._parse_sequence(terminators=("end",))
+        self.expect_keyword("end")
+        return ast.ProcessNode(
+            name=name,
+            params=tuple(params),
+            imports=imports,
+            exports=exports,
+            body=tuple(body),
+        )
+
+    def _parse_rules(self) -> tuple[ast.RuleNode, ...]:
+        rules = [self._parse_rule()]
+        while self.at_op(","):
+            self.advance()
+            rules.append(self._parse_rule())
+        return tuple(rules)
+
+    def _parse_rule(self) -> ast.RuleNode:
+        locals_: list[str] = []
+        if self.at_keyword("some"):
+            self.advance()
+            locals_.append(self.expect_name().value)
+            while self.at_op(",") and self.peek(1).kind == "NAME":
+                # lookahead: "some a, b : <...>" vs rule separator commas
+                self.advance()
+                locals_.append(self.expect_name().value)
+            self.expect_op(":")
+        pattern = self.parse_pattern()
+        guard = None
+        if self.at_keyword("if"):
+            self.advance()
+            guard = self.parse_expr()
+        return ast.RuleNode(pattern, guard, tuple(locals_))
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+    def _parse_sequence(self, terminators: tuple[str, ...]) -> list[ast.StmtNode]:
+        body = [self.parse_statement()]
+        while self.at_op(";"):
+            self.advance()
+            body.append(self.parse_statement())
+        token = self.peek()
+        if token.kind == "KEYWORD" and token.value in terminators:
+            return body
+        if token.kind == "OP" and token.value in terminators:
+            return body
+        if token.kind == "EOF" and "end" not in terminators:
+            return body
+        raise self.error(f"expected one of {terminators!r} after sequence")
+
+    def parse_statement(self) -> ast.StmtNode:
+        if self.at_op("["):
+            return ast.SelectNode(self._parse_branches())
+        if self.at_op("*") and self.peek(1).kind == "OP" and self.peek(1).value == "[":
+            self.advance()
+            return ast.RepeatNode(self._parse_branches())
+        if self.at_op("~") and self.peek(1).kind == "OP" and self.peek(1).value == "[":
+            self.advance()
+            return ast.ReplicateNode(self._parse_branches())
+        return self.parse_transaction()
+
+    def _parse_branches(self) -> tuple[ast.BranchNode, ...]:
+        self.expect_op("[")
+        branches = [self._parse_branch()]
+        while self.at_op("|"):
+            self.advance()
+            branches.append(self._parse_branch())
+        self.expect_op("]")
+        return tuple(branches)
+
+    def _parse_branch(self) -> ast.BranchNode:
+        guard = self.parse_transaction()
+        body: list[ast.StmtNode] = []
+        while self.at_op(";"):
+            self.advance()
+            body.append(self.parse_statement())
+        return ast.BranchNode(guard, tuple(body))
+
+    # ------------------------------------------------------------------
+    # transactions
+    # ------------------------------------------------------------------
+    def parse_transaction(self) -> ast.TxnNode:
+        line = self.peek().line
+        quantifier = "exists"
+        variables: list[str] = []
+        negated = False
+        if self.at_keyword("exists", "all"):
+            quantifier = "all" if self.advance().value == "all" else "exists"
+            variables.append(self.expect_name().value)
+            while self.at_op(","):
+                self.advance()
+                variables.append(self.expect_name().value)
+            self.expect_op(":")
+        elif self.at_keyword("no"):
+            self.advance()
+            negated = True
+        atoms: list[ast.AtomNode] = []
+        if self.at_op("<"):
+            atoms.append(self._parse_atom())
+            while self.at_op(",") and self.peek(1).kind == "OP" and self.peek(1).value == "<":
+                self.advance()
+                atoms.append(self._parse_atom())
+        test = None
+        if self.at_op(":"):
+            self.advance()
+            test = self.parse_expr()
+        token = self.peek()
+        if not (token.kind == "OP" and token.value in _TAGS):
+            raise self.error("expected a transaction tag (->, =>, ^^)")
+        tag = self.advance().value
+        actions = self._parse_actions()
+        query: ast.QueryNode | None
+        if not atoms and test is None and not negated and not variables:
+            query = None
+        else:
+            query = ast.QueryNode(
+                quantifier=quantifier,
+                variables=tuple(variables),
+                atoms=tuple(atoms),
+                test=test,
+                negated=negated,
+            )
+        return ast.TxnNode(query=query, tag=tag, actions=tuple(actions), line=line)
+
+    def _parse_atom(self) -> ast.AtomNode:
+        pattern = self.parse_pattern()
+        retract = False
+        if self.at_op("^"):
+            self.advance()
+            retract = True
+        return ast.AtomNode(pattern, retract)
+
+    def parse_pattern(self) -> ast.PatternNode:
+        token = self.expect_op("<")
+        fields: list[Any] = [self._parse_field()]
+        while self.at_op(","):
+            self.advance()
+            fields.append(self._parse_field())
+        self.expect_op(">")
+        return ast.PatternNode(tuple(fields), token.line, token.column)
+
+    def _parse_field(self) -> Any:
+        if self.at_op("*"):
+            self.advance()
+            return ast.Wild()
+        return self.parse_additive()
+
+    def _parse_actions(self) -> list[ast.ActionNode]:
+        actions = [self._parse_action()]
+        while self.at_op(","):
+            self.advance()
+            actions.append(self._parse_action())
+        return actions
+
+    def _parse_action(self) -> ast.ActionNode:
+        if self.at_keyword("exit", "abort", "skip"):
+            return ast.SimpleAction(self.advance().value)
+        if self.at_keyword("let"):
+            self.advance()
+            name = self.expect_name().value
+            self.expect_op("=")
+            return ast.LetNode(name, self.parse_expr())
+        if self.at_op("("):
+            self.advance()
+            fields = [self.parse_expr()]
+            while self.at_op(","):
+                self.advance()
+                fields.append(self.parse_expr())
+            self.expect_op(")")
+            return ast.AssertNode(tuple(fields))
+        if self.peek().kind == "NAME" and self.peek(1).kind == "OP" and self.peek(1).value == "(":
+            name = self.advance().value
+            self.advance()  # '('
+            args: list[ast.Expr] = []
+            if not self.at_op(")"):
+                args.append(self.parse_expr())
+                while self.at_op(","):
+                    self.advance()
+                    args.append(self.parse_expr())
+            self.expect_op(")")
+            return ast.SpawnNode(name, tuple(args))
+        raise self.error("expected an action (tuple, let, spawn, exit, abort, skip)")
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+    def parse_expr(self) -> ast.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expr:
+        left = self._parse_and()
+        while self.at_keyword("or"):
+            token = self.advance()
+            left = ast.Binary("or", left, self._parse_and(), token.line, token.column)
+        return left
+
+    def _parse_and(self) -> ast.Expr:
+        left = self._parse_not()
+        while self.at_keyword("and"):
+            token = self.advance()
+            left = ast.Binary("and", left, self._parse_not(), token.line, token.column)
+        return left
+
+    def _parse_not(self) -> ast.Expr:
+        if self.at_keyword("not"):
+            token = self.advance()
+            return ast.Unary("not", self._parse_not(), token.line, token.column)
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> ast.Expr:
+        left = self.parse_additive()
+        token = self.peek()
+        if token.kind == "OP" and token.value in ("=", "!=", "<", "<=", ">", ">="):
+            self.advance()
+            right = self.parse_additive()
+            return ast.Binary(token.value, left, right, token.line, token.column)
+        return left
+
+    def parse_additive(self) -> ast.Expr:
+        left = self._parse_term()
+        while self.at_op("+", "-"):
+            token = self.advance()
+            left = ast.Binary(token.value, left, self._parse_term(), token.line, token.column)
+        return left
+
+    def _parse_term(self) -> ast.Expr:
+        left = self._parse_factor()
+        while self.at_op("*", "/", "//", "%"):
+            token = self.advance()
+            left = ast.Binary(token.value, left, self._parse_factor(), token.line, token.column)
+        return left
+
+    def _parse_factor(self) -> ast.Expr:
+        if self.at_op("-"):
+            token = self.advance()
+            return ast.Unary("-", self._parse_factor(), token.line, token.column)
+        return self._parse_power()
+
+    def _parse_power(self) -> ast.Expr:
+        base = self._parse_primary()
+        if self.at_op("**"):
+            token = self.advance()
+            # right-associative
+            return ast.Binary("**", base, self._parse_factor(), token.line, token.column)
+        return base
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self.peek()
+        if token.kind == "NUMBER":
+            self.advance()
+            value: int | float = float(token.value) if "." in token.value else int(token.value)
+            return ast.Num(value, token.line, token.column)
+        if token.kind == "STRING":
+            self.advance()
+            return ast.Str(token.value, token.line, token.column)
+        if self.at_keyword("true", "false"):
+            self.advance()
+            return ast.Bool(token.value == "true", token.line, token.column)
+        if self.at_keyword("has"):
+            return self._parse_has()
+        if token.kind == "NAME":
+            self.advance()
+            if self.at_op("(") :
+                self.advance()
+                args: list[ast.Expr] = []
+                if not self.at_op(")"):
+                    args.append(self.parse_expr())
+                    while self.at_op(","):
+                        self.advance()
+                        args.append(self.parse_expr())
+                self.expect_op(")")
+                return ast.CallExpr(token.value, args, token.line, token.column)
+            return ast.Name(token.value, token.line, token.column)
+        if self.at_op("("):
+            self.advance()
+            inner = self.parse_expr()
+            self.expect_op(")")
+            return inner
+        raise self.error("expected an expression")
+
+    def _parse_has(self) -> ast.Expr:
+        token = self.expect_keyword("has")
+        self.expect_op("(")
+        locals_: list[str] = []
+        if self.at_keyword("some"):
+            self.advance()
+            locals_.append(self.expect_name().value)
+            while self.at_op(","):
+                self.advance()
+                locals_.append(self.expect_name().value)
+            self.expect_op(":")
+        patterns = [self.parse_pattern()]
+        while self.at_op(",") and self.peek(1).kind == "OP" and self.peek(1).value == "<":
+            self.advance()
+            patterns.append(self.parse_pattern())
+        test = None
+        if self.at_op(":"):
+            self.advance()
+            test = self.parse_expr()
+        self.expect_op(")")
+        return ast.Has(locals_, patterns, test, token.line, token.column)
+
+
+def parse_program(source: str) -> list[ast.ProcessNode]:
+    """Parse a whole SDL program into process AST nodes."""
+    return Parser(tokenize(source)).parse_program()
+
+
+def parse_process(source: str) -> ast.ProcessNode:
+    """Parse exactly one process definition."""
+    parser = Parser(tokenize(source))
+    node = parser.parse_process()
+    trailing = parser.peek()
+    if trailing.kind != "EOF":
+        raise ParseError("trailing input after process", trailing.line, trailing.column)
+    return node

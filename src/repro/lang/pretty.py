@@ -1,0 +1,214 @@
+"""Pretty-printer: core semantic objects → SDL surface syntax.
+
+The inverse of :mod:`repro.lang.compiler`: renders process definitions,
+transactions, queries, patterns, and expressions as parseable surface
+text.  Used for program listings, debugging, and the round-trip tests
+(``compile(pretty(d))`` must behave like ``d``).
+
+Limitations (documented, checked where relevant):
+
+* host-function calls render by name — re-compiling needs the same
+  ``functions`` mapping;
+* view rules with ``where`` context atoms have no surface form (the
+  surface grammar supports guards only) and raise :class:`PrettyError`;
+* ``CallPython`` actions are host-side escape hatches and also raise.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core import actions as core_actions
+from repro.core.constructs import (
+    GuardedSequence,
+    Repetition,
+    Replication,
+    Selection,
+    Sequence,
+    Statement,
+    TransactionStatement,
+)
+from repro.core.expressions import BinOp, Call, Const, Expr, UnOp, Var
+from repro.core.patterns import LitElement, Pattern, VarElement, WildElement
+from repro.core.process import ProcessDefinition
+from repro.core.query import Membership, Query, QueryAtom
+from repro.core.transactions import Mode, Transaction
+from repro.core.values import Atom
+from repro.core.views import View, ViewRule
+from repro.errors import SDLError
+
+__all__ = ["pretty_process", "pretty_statement", "pretty_transaction", "PrettyError"]
+
+
+class PrettyError(SDLError):
+    """The object has no surface-syntax representation."""
+
+
+_TAGS = {Mode.IMMEDIATE: "->", Mode.DELAYED: "=>", Mode.CONSENSUS: "^^"}
+
+#: operator symbol (core) -> surface spelling
+_BINOP_SURFACE = {
+    "+": "+", "-": "-", "*": "*", "/": "/", "//": "//", "%": "%", "**": "**",
+    "=": "=", "!=": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">=",
+    "&": "and", "|": "or",
+}
+
+
+def pretty_expr(expr: Expr) -> str:
+    """Render an expression (fully parenthesised — valid, if verbose)."""
+    if isinstance(expr, Const):
+        return _pretty_value(expr.value)
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, BinOp):
+        op = _BINOP_SURFACE.get(expr.symbol)
+        if op is None:
+            raise PrettyError(f"operator {expr.symbol!r} has no surface form")
+        return f"({pretty_expr(expr.left)} {op} {pretty_expr(expr.right)})"
+    if isinstance(expr, UnOp):
+        if expr.symbol == "-":
+            return f"(-{pretty_expr(expr.operand)})"
+        if expr.symbol == "~":
+            return f"(not {pretty_expr(expr.operand)})"
+        raise PrettyError(f"unary {expr.symbol!r} has no surface form")
+    if isinstance(expr, Membership):
+        # declare the patterns' bare variables as sub-query locals; outer
+        # variables referenced from the TEST stay outer.  (An outer variable
+        # used in a membership PATTERN position would be mis-localised —
+        # a documented printer limitation.)
+        locals_: set[str] = set()
+        for pat in expr.patterns:
+            locals_ |= pat.binding_variables()
+        prefix = f"some {', '.join(sorted(locals_))}: " if locals_ else ""
+        body = ", ".join(pretty_pattern(p) for p in expr.patterns)
+        if expr.test is not None:
+            return f"has({prefix}{body} : {pretty_expr(expr.test)})"
+        return f"has({prefix}{body})"
+    if isinstance(expr, Call):
+        inner = ", ".join(pretty_expr(a) for a in expr.args)
+        return f"{expr.name}({inner})"
+    raise PrettyError(f"cannot pretty-print expression {expr!r}")
+
+
+def _pretty_value(value: Any) -> str:
+    if isinstance(value, Atom):
+        return str(value)
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, str):
+        escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    raise PrettyError(f"value {value!r} has no surface literal")
+
+
+def pretty_pattern(pattern: Pattern) -> str:
+    fields = []
+    for element in pattern.elements:
+        if isinstance(element, WildElement):
+            fields.append("*")
+        elif isinstance(element, VarElement):
+            fields.append(element.name)
+        else:
+            assert isinstance(element, LitElement)
+            fields.append(pretty_expr(element.expr))
+    return "<" + ", ".join(fields) + ">"
+
+
+def pretty_query(query: Query) -> str:
+    parts: list[str] = []
+    if query.negated:
+        parts.append("no")
+    elif query.variables:
+        quant = "all" if query.quantifier == "forall" else "exists"
+        parts.append(f"{quant} {', '.join(query.variables)} :")
+    atoms = ", ".join(
+        pretty_pattern(a.pattern) + ("^" if a.retract else "") for a in query.atoms
+    )
+    if atoms:
+        parts.append(atoms)
+    if query.test is not None:
+        parts.append(f": {pretty_expr(query.test)}")
+    return " ".join(parts)
+
+
+def pretty_action(action: core_actions.Action) -> str:
+    if isinstance(action, core_actions.Let):
+        return f"let {action.name} = {pretty_expr(action.expr)}"
+    if isinstance(action, core_actions.AssertTuple):
+        fields = []
+        for element in action.pattern.elements:
+            if isinstance(element, VarElement):
+                fields.append(element.name)
+            elif isinstance(element, LitElement):
+                fields.append(pretty_expr(element.expr))
+            else:
+                raise PrettyError("cannot assert a wildcard")
+        return "(" + ", ".join(fields) + ")"
+    if isinstance(action, core_actions.Spawn):
+        inner = ", ".join(pretty_expr(a) for a in action.args)
+        return f"{action.process_name}({inner})"
+    if isinstance(action, core_actions.Exit):
+        return "exit"
+    if isinstance(action, core_actions.Abort):
+        return "abort"
+    if isinstance(action, core_actions.Skip):
+        return "skip"
+    raise PrettyError(f"action {action!r} has no surface form")
+
+
+def pretty_transaction(txn: Transaction) -> str:
+    query = pretty_query(txn.query)
+    tag = _TAGS[txn.mode]
+    actions = ", ".join(pretty_action(a) for a in txn.actions) or "skip"
+    if query:
+        return f"{query} {tag} {actions}"
+    return f"{tag} {actions}"
+
+
+def pretty_statement(statement: Statement, indent: int = 0) -> str:
+    pad = "  " * indent
+    if isinstance(statement, TransactionStatement):
+        return pad + pretty_transaction(statement.transaction)
+    if isinstance(statement, Sequence):
+        return (" ;\n").join(pretty_statement(s, indent) for s in statement.body)
+    if isinstance(statement, (Selection, Repetition, Replication)):
+        opener = {Selection: "[", Repetition: "*[", Replication: "~["}[type(statement)]
+        branches = []
+        for branch in statement.branches:
+            lines = [pretty_transaction(branch.guard)]
+            lines += [pretty_statement(s, 0) for s in branch.body]
+            branches.append(" ;\n  ".join(lines))
+        body = ("\n" + pad + "| ").join(branches)
+        return f"{pad}{opener} {body}\n{pad}]"
+    raise PrettyError(f"statement {statement!r} has no surface form")
+
+
+def _pretty_rule(rule: ViewRule) -> str:
+    locals_ = sorted(rule.pattern.binding_variables())
+    prefix = f"some {', '.join(locals_)}: " if locals_ else ""
+    out = prefix + pretty_pattern(rule.pattern)
+    if rule.where:
+        raise PrettyError(
+            "view rules with `where` context atoms have no surface form; "
+            "define this view through the Python API"
+        )
+    if rule.guard is not None:
+        out += f" if {pretty_expr(rule.guard)}"
+    return out
+
+
+def pretty_process(definition: ProcessDefinition) -> str:
+    """Render a complete ``process ... end`` block."""
+    lines = [f"process {definition.name}({', '.join(definition.params)})"]
+    view: View = definition.view
+    if view.imports is not None:
+        lines.append("import " + ",\n       ".join(_pretty_rule(r) for r in view.imports))
+    if view.exports is not None:
+        lines.append("export " + ",\n       ".join(_pretty_rule(r) for r in view.exports))
+    lines.append("behavior")
+    body = " ;\n".join(pretty_statement(s, 1) for s in definition.body.body)
+    lines.append(body)
+    lines.append("end")
+    return "\n".join(lines)

@@ -1,0 +1,15 @@
+"""A from-scratch Linda kernel, used as the comparison baseline.
+
+The paper positions SDL against Linda: "Linda provides processes with very
+simple dataspace access primitives (read, assert, and retract one tuple at
+a time)."  This package implements exactly that primitive set —
+``out``/``in``/``rd`` plus the conventional non-blocking ``inp``/``rdp``
+and ``eval`` for process creation — over the same content-addressable
+store and the same cooperative virtual-time scheduling discipline as the
+SDL engine, so E7's comparison isolates the *language* difference rather
+than an implementation difference.
+"""
+
+from repro.linda.kernel import LindaKernel, LindaProcessHandle, linda_process
+
+__all__ = ["LindaKernel", "LindaProcessHandle", "linda_process"]

@@ -1,0 +1,258 @@
+"""The Linda kernel: tuple space plus the six classic primitives.
+
+Processes are Python generator functions that *yield operation requests*
+and receive results, mirroring the SDL interpreter protocol::
+
+    def consumer(kernel):
+        while True:
+            tup = yield kernel.in_("task", ANY)   # blocks until present
+            if tup[1] == "stop":
+                return
+            yield kernel.out("done", tup[1])
+
+    kernel = LindaKernel(seed=1)
+    kernel.eval(consumer)
+    kernel.out_now("task", 1)
+    kernel.run()
+
+Operations:
+
+* ``out(*fields)``   — assert a tuple (never blocks);
+* ``in_(*fields)``   — withdraw a matching tuple, blocking until one exists;
+* ``rd(*fields)``    — read a matching tuple, blocking;
+* ``inp(*fields)``   — non-blocking ``in``: a tuple or ``None``;
+* ``rdp(*fields)``   — non-blocking ``rd``: a tuple or ``None``;
+* ``eval(fn, *args)``— spawn a new process running ``fn(kernel, *args)``.
+
+Pattern fields follow the SDL pattern language (constants, ``ANY``,
+variables), so formal/actual matching behaves exactly like SDL queries
+restricted to a single atom — which is the point of the baseline.
+
+Scheduling mirrors the SDL engine: seeded-RNG round-robin over ready
+processes, FIFO-aged wakeups of blocked ones, virtual rounds, and deadlock
+detection.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Iterator
+
+from repro.core.dataspace import Dataspace
+from repro.core.patterns import Pattern, pattern as make_pattern
+from repro.errors import DeadlockError, LindaError, StepLimitExceeded
+
+__all__ = ["LindaKernel", "LindaProcessHandle", "linda_process"]
+
+
+@dataclass(slots=True)
+class _Op:
+    kind: str  # "out" | "in" | "rd" | "inp" | "rdp" | "eval"
+    pattern: Pattern | None = None
+    fields: tuple | None = None
+    func: Callable | None = None
+    args: tuple = ()
+
+
+class LindaProcessHandle:
+    """One Linda process: a generator plus scheduling state."""
+
+    __slots__ = ("pid", "gen", "state", "send_value", "waiting_on", "name")
+
+    def __init__(self, pid: int, gen: Generator, name: str) -> None:
+        self.pid = pid
+        self.gen = gen
+        self.state = "ready"  # ready | blocked | done
+        self.send_value: Any = None
+        self.waiting_on: _Op | None = None
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"linda:{self.name}#{self.pid}[{self.state}]"
+
+
+def linda_process(func: Callable) -> Callable:
+    """Optional decorator documenting that *func* is a Linda process body."""
+    func.__linda_process__ = True
+    return func
+
+
+class LindaKernel:
+    """Tuple space, primitives, and the cooperative scheduler."""
+
+    def __init__(self, seed: int = 0, dataspace: Dataspace | None = None) -> None:
+        self.space = dataspace if dataspace is not None else Dataspace()
+        self.rng = random.Random(seed)
+        self._procs: dict[int, LindaProcessHandle] = {}
+        self._next_pid = 1
+        self._ready: deque[LindaProcessHandle] = deque()
+        self._blocked: deque[LindaProcessHandle] = deque()  # FIFO: weak fairness
+        self.steps = 0
+        self.rounds = 0
+        self.op_counts: dict[str, int] = {
+            "out": 0, "in": 0, "rd": 0, "inp": 0, "rdp": 0, "eval": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # operation constructors (yielded by process bodies)
+    # ------------------------------------------------------------------
+    def out(self, *fields: Any) -> _Op:
+        return _Op("out", fields=fields)
+
+    def in_(self, *fields: Any) -> _Op:
+        return _Op("in", pattern=make_pattern(*fields))
+
+    def rd(self, *fields: Any) -> _Op:
+        return _Op("rd", pattern=make_pattern(*fields))
+
+    def inp(self, *fields: Any) -> _Op:
+        return _Op("inp", pattern=make_pattern(*fields))
+
+    def rdp(self, *fields: Any) -> _Op:
+        return _Op("rdp", pattern=make_pattern(*fields))
+
+    def eval(self, func: Callable, *args: Any) -> LindaProcessHandle:
+        """Spawn a process immediately (also usable from outside a process)."""
+        self.op_counts["eval"] += 1
+        pid = self._next_pid
+        self._next_pid += 1
+        gen = func(self, *args)
+        if not isinstance(gen, Generator):
+            raise LindaError(
+                f"{func!r} is not a generator function; Linda process bodies "
+                "must yield kernel operations"
+            )
+        handle = LindaProcessHandle(pid, gen, getattr(func, "__name__", "proc"))
+        self._procs[pid] = handle
+        self._ready.append(handle)
+        return handle
+
+    # ------------------------------------------------------------------
+    # immediate (non-process) conveniences
+    # ------------------------------------------------------------------
+    def out_now(self, *fields: Any) -> None:
+        """Assert a tuple from outside any process (initial space setup)."""
+        self.op_counts["out"] += 1
+        self.space.insert(fields)
+
+    def inp_now(self, *fields: Any) -> tuple | None:
+        """Non-blocking withdraw from outside any process."""
+        self.op_counts["inp"] += 1
+        return self._take(make_pattern(*fields), remove=True)
+
+    def rdp_now(self, *fields: Any) -> tuple | None:
+        """Non-blocking read from outside any process."""
+        self.op_counts["rdp"] += 1
+        return self._take(make_pattern(*fields), remove=False)
+
+    # ------------------------------------------------------------------
+    # scheduler
+    # ------------------------------------------------------------------
+    def run(self, max_steps: int = 1_000_000) -> None:
+        """Run until every process finishes; raises on deadlock."""
+        while True:
+            if not self._ready:
+                if self._blocked:
+                    # No producer can run: every blocked in/rd is stuck.
+                    raise DeadlockError([repr(p) for p in self._blocked])
+                return
+            self.rounds += 1
+            batch = list(self._ready)
+            self._ready.clear()
+            self.rng.shuffle(batch)
+            for handle in batch:
+                if handle.state != "ready":
+                    continue
+                if self.steps >= max_steps:
+                    raise StepLimitExceeded(max_steps)
+                self.steps += 1
+                self._step(handle)
+
+    def _step(self, handle: LindaProcessHandle) -> None:
+        if handle.waiting_on is not None:
+            op = handle.waiting_on
+            got = self._take(op.pattern, remove=(op.kind == "in"))
+            if got is None:
+                handle.state = "blocked"
+                self._blocked.append(handle)
+                return
+            handle.waiting_on = None
+            self._resume(handle, got)
+            return
+        self._resume(handle, handle.send_value)
+
+    def _resume(self, handle: LindaProcessHandle, value: Any) -> None:
+        handle.send_value = None
+        try:
+            op = handle.gen.send(value)
+        except StopIteration:
+            handle.state = "done"
+            return
+        self._perform(handle, op)
+
+    def _perform(self, handle: LindaProcessHandle, op: Any) -> None:
+        if isinstance(op, LindaProcessHandle):
+            # the body yielded kernel.eval(...) which already spawned
+            handle.send_value = op
+            self._requeue(handle)
+            return
+        if not isinstance(op, _Op):
+            raise LindaError(f"Linda process yielded {op!r}, expected an operation")
+        self.op_counts[op.kind] += 1
+        if op.kind == "out":
+            self.space.insert(op.fields, owner=handle.pid)
+            handle.send_value = None
+            self._requeue(handle)
+            self._wake_blocked()
+        elif op.kind in ("inp", "rdp"):
+            handle.send_value = self._take(op.pattern, remove=(op.kind == "inp"))
+            self._requeue(handle)
+        elif op.kind in ("in", "rd"):
+            got = self._take(op.pattern, remove=(op.kind == "in"))
+            if got is None:
+                handle.waiting_on = op
+                handle.state = "blocked"
+                self._blocked.append(handle)
+            else:
+                handle.send_value = got
+                self._requeue(handle)
+        else:  # pragma: no cover
+            raise LindaError(f"unknown Linda operation {op.kind!r}")
+
+    def _requeue(self, handle: LindaProcessHandle) -> None:
+        handle.state = "ready"
+        self._ready.append(handle)
+
+    def _wake_blocked(self) -> None:
+        # FIFO wake of every blocked process; those still unmatched will
+        # re-block.  This is the weak-fairness discipline the SDL engine
+        # uses, kept identical so E7 compares like with like.
+        while self._blocked:
+            handle = self._blocked.popleft()
+            handle.state = "ready"
+            self._ready.append(handle)
+
+    def _take(self, pat: Pattern | None, remove: bool) -> tuple | None:
+        assert pat is not None
+        candidates = self.space.candidates(pat)
+        if not candidates:
+            return None
+        start = self.rng.randrange(len(candidates)) if len(candidates) > 1 else 0
+        n = len(candidates)
+        for offset in range(n):
+            inst = candidates[(start + offset) % n]
+            if pat.match(inst.values, {}) is not None:
+                if remove:
+                    self.space.retract(inst.tid)
+                return inst.values
+        return None
+
+    # ------------------------------------------------------------------
+    def live_processes(self) -> Iterator[LindaProcessHandle]:
+        return (p for p in self._procs.values() if p.state != "done")
+
+    def __repr__(self) -> str:
+        live = sum(1 for __ in self.live_processes())
+        return f"LindaKernel(|space|={len(self.space)}, live={live}, steps={self.steps})"

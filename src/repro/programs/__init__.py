@@ -1,0 +1,76 @@
+"""Executable encodings of every program in the paper's Section 3.
+
+These are the reproduction's "evaluation artifacts": the three array
+summation codings (3.1), the property-list Search/Find/Sort programs (3.2),
+and the two region-labeling programs (3.3) — worker model and community
+model.  The modules expose both the raw :class:`ProcessDefinition` builders
+and convenience ``run_*`` drivers that set up the initial dataspace and
+process society exactly as the paper prescribes.
+
+Examples, tests, and the benchmark harness all import from here, so the
+paper's programs exist in exactly one place.
+"""
+
+from repro.programs.summation import (
+    SummationRun,
+    sum1_definition,
+    sum2_definition,
+    sum3_definition,
+    run_sum1,
+    run_sum2,
+    run_sum3,
+)
+from repro.programs.plist import (
+    PlistRun,
+    search_definition,
+    find_definition,
+    sort_definition,
+    run_search,
+    run_find,
+    run_sort,
+)
+from repro.programs.labeling import (
+    LabelingRun,
+    worker_definition,
+    threshold_definition,
+    label_definition,
+    run_worker_labeling,
+    run_community_labeling,
+    default_threshold,
+)
+from repro.programs.scanning import (
+    StreamingRun,
+    scanner_definition,
+    streaming_threshold_definition,
+    streaming_label_definition,
+    run_streaming_labeling,
+)
+
+__all__ = [
+    "SummationRun",
+    "sum1_definition",
+    "sum2_definition",
+    "sum3_definition",
+    "run_sum1",
+    "run_sum2",
+    "run_sum3",
+    "PlistRun",
+    "search_definition",
+    "find_definition",
+    "sort_definition",
+    "run_search",
+    "run_find",
+    "run_sort",
+    "LabelingRun",
+    "worker_definition",
+    "threshold_definition",
+    "label_definition",
+    "run_worker_labeling",
+    "run_community_labeling",
+    "default_threshold",
+    "StreamingRun",
+    "scanner_definition",
+    "streaming_threshold_definition",
+    "streaming_label_definition",
+    "run_streaming_labeling",
+]

@@ -1,0 +1,216 @@
+"""Section 3.2 — property-list programs: Search, Find, and Sort.
+
+The property list is a linked list of ``<node_id, property_name, value,
+next_node_id>`` tuples terminated by ``nil``.
+
+* **Search(id, P)** — simulates recursive traversal: looks at node ``id``;
+  on a miss it *spawns a new process* to continue at the next node.
+  Produces ``<P, value>`` or ``<P, not_found>``.
+* **Find(P)** — the preferred content-addressed one-shot lookup:
+  ``∃ν: <*,P,ν,*>`` or the negated form for a miss.
+* **Sort(node_id, next_node_id)** — one process per adjacent pair with a
+  view restricted to its two nodes; swaps out-of-order (name, value) pairs
+  and exits through a consensus transaction that detects global order —
+  the paper's showcase of "process communities by means of import set
+  overlap" and "consensus transactions to specify the termination of a
+  distributed computation".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.actions import EXIT, assert_tuple, spawn
+from repro.core.constructs import guarded, repeat, select
+from repro.core.expressions import fn, variables
+from repro.core.patterns import ANY, P
+from repro.core.process import ProcessDefinition
+from repro.core.query import exists, no
+from repro.core.transactions import consensus, immediate
+from repro.core.values import NIL, Atom
+from repro.runtime.engine import Engine, RunResult
+from repro.runtime.events import Trace
+from repro.workloads.plists import chain_order
+
+__all__ = [
+    "PlistRun",
+    "search_definition",
+    "find_definition",
+    "sort_definition",
+    "run_search",
+    "run_find",
+    "run_sort",
+    "NOT_FOUND",
+]
+
+#: The paper's miss marker.
+NOT_FOUND = Atom("not_found")
+
+_gt = fn(lambda x, y: x > y, "gt")
+_le = fn(lambda x, y: x <= y, "le")
+
+
+@dataclass(slots=True)
+class PlistRun:
+    """Outcome of one property-list run."""
+
+    answer: Any
+    result: RunResult
+    trace: Trace
+    engine: Engine
+
+
+def search_definition() -> ProcessDefinition:
+    """``PROCESS Search(id, P)`` — recursive traversal via process creation."""
+    node, prop = variables("id prop")
+    v, pi, i = variables("nu pi i")
+    return ProcessDefinition(
+        "Search",
+        params=("id", "prop"),
+        body=[
+            select(
+                # found the property at this node
+                guarded(
+                    immediate(exists(v).match(P[node, prop, v, ANY]))
+                    .then(assert_tuple(prop, v))
+                    .labeled("hit")
+                ),
+                # end of list, property absent
+                guarded(
+                    immediate(
+                        exists(pi).match(P[node, pi, ANY, NIL]).such_that(pi != prop)
+                    )
+                    .then(assert_tuple(prop, NOT_FOUND))
+                    .labeled("miss")
+                ),
+                # keep looking: spawn the continuation "in place of the
+                # normal recursive calls"
+                guarded(
+                    immediate(
+                        exists(pi, i)
+                        .match(P[node, pi, ANY, i])
+                        .such_that((pi != prop) & (i != NIL))
+                    )
+                    .then(spawn("Search", i, prop))
+                    .labeled("recurse")
+                ),
+            ),
+        ],
+    )
+
+
+def find_definition() -> ProcessDefinition:
+    """``PROCESS Find(P)`` — direct content-addressed lookup."""
+    prop, v = variables("prop nu")
+    return ProcessDefinition(
+        "Find",
+        params=("prop",),
+        body=[
+            select(
+                guarded(
+                    immediate(exists(v).match(P[ANY, prop, v, ANY]))
+                    .then(assert_tuple(prop, v))
+                    .labeled("hit")
+                ),
+                guarded(
+                    immediate(no(P[ANY, prop, ANY, ANY]))
+                    .then(assert_tuple(prop, NOT_FOUND))
+                    .labeled("miss")
+                ),
+            ),
+        ],
+    )
+
+
+def sort_definition() -> ProcessDefinition:
+    """``PROCESS Sort(node_id, next_node_id)`` with its two-node view."""
+    i, j = variables("i j")
+    p1, v1, p2, v2, nn = variables("p1 v1 p2 v2 nn")
+    return ProcessDefinition(
+        "Sort",
+        params=("i", "j"),
+        imports=[P[i, ANY, ANY, ANY], P[j, ANY, ANY, ANY]],
+        exports=[P[i, ANY, ANY, ANY], P[j, ANY, ANY, ANY]],
+        body=[
+            # the last pair has nothing to do
+            select(
+                guarded(immediate(exists().such_that(j == NIL)).then(EXIT)),
+                guarded(immediate(exists().such_that(j != NIL))),
+            ),
+            repeat(
+                # swap the (name, value) payloads when out of order
+                guarded(
+                    immediate(
+                        exists(p1, v1, p2, v2, nn)
+                        .match(
+                            P[i, p1, v1, j].retract(),
+                            P[j, p2, v2, nn].retract(),
+                        )
+                        .such_that(_gt(p1, p2))
+                    )
+                    .then(assert_tuple(i, p2, v2, j), assert_tuple(j, p1, v1, nn))
+                    .labeled("swap")
+                ),
+                # "when all Sort processes see ordered entries ... the
+                # consensus transaction then takes place with the processes
+                # exiting their respective loops"
+                guarded(
+                    consensus(
+                        exists(p1, p2)
+                        .match(P[i, p1, ANY, j], P[j, p2, ANY, ANY])
+                        .such_that(_le(p1, p2))
+                    )
+                    .then(EXIT)
+                    .labeled("ordered")
+                ),
+            ),
+        ],
+    )
+
+
+# ----------------------------------------------------------------------
+# drivers
+# ----------------------------------------------------------------------
+
+def _lookup_answer(engine: Engine, prop: Any) -> Any:
+    hits = engine.dataspace.find_matching(P[prop, ANY])
+    if not hits:
+        raise AssertionError(f"lookup for {prop!r} produced no answer tuple")
+    return hits[0].values[1]
+
+
+def run_search(
+    rows: list[tuple], prop: Any, seed: int = 0, detail: bool = False
+) -> PlistRun:
+    """Search for *prop* starting at node 0 of the list in *rows*."""
+    engine = Engine(definitions=[search_definition()], seed=seed, trace=Trace(detail))
+    engine.assert_tuples(rows)
+    engine.start("Search", (0, prop))
+    result = engine.run()
+    return PlistRun(_lookup_answer(engine, prop), result, engine.trace, engine)
+
+
+def run_find(
+    rows: list[tuple], prop: Any, seed: int = 0, detail: bool = False
+) -> PlistRun:
+    """Find *prop* anywhere in the (stable) list in *rows*."""
+    engine = Engine(definitions=[find_definition()], seed=seed, trace=Trace(detail))
+    engine.assert_tuples(rows)
+    engine.start("Find", (prop,))
+    result = engine.run()
+    return PlistRun(_lookup_answer(engine, prop), result, engine.trace, engine)
+
+
+def run_sort(rows: list[tuple], seed: int = 0, detail: bool = False) -> PlistRun:
+    """Sort the list in *rows* by property name; one Sort per node.
+
+    The answer is the resulting name order (walked along the chain).
+    """
+    engine = Engine(definitions=[sort_definition()], seed=seed, trace=Trace(detail))
+    engine.assert_tuples(rows)
+    for row in rows:
+        engine.start("Sort", (row[0], row[3]))
+    result = engine.run()
+    final_rows = [inst.values for inst in engine.dataspace.instances()]
+    return PlistRun(chain_order(final_rows), result, engine.trace, engine)

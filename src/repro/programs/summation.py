@@ -1,0 +1,176 @@
+"""Section 3.1 — the three array-summation codings.
+
+* **Sum1** — synchronous shared-variable style: the initial society holds
+  one ``Sum1(k, 1)`` per even k; each phase merges pairs, a consensus
+  transaction closes the phase, and survivors spawn the next phase.
+* **Sum2** — asynchronous message style: phase-tagged tuples
+  ``<k, v, j>``; one ``Sum2(k, j)`` per (k multiple of 2^j); a single
+  delayed transaction per process waits for its two inputs.
+* **Sum3** — the idiomatic dataspace coding the paper prefers: one process,
+  one replication, no synchronization; merges any two tuples until one
+  remains.
+
+All three assume N a power of two, as in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.actions import assert_tuple, spawn
+from repro.core.constructs import guarded, replicate, select
+from repro.core.expressions import variables
+from repro.core.patterns import P
+from repro.core.process import ProcessDefinition
+from repro.core.query import exists
+from repro.core.transactions import consensus, delayed, immediate
+from repro.runtime.engine import Engine, RunResult
+from repro.runtime.events import Trace
+from repro.workloads.arrays import array_tuples, phase_tagged_tuples
+
+__all__ = [
+    "SummationRun",
+    "sum1_definition",
+    "sum2_definition",
+    "sum3_definition",
+    "run_sum1",
+    "run_sum2",
+    "run_sum3",
+]
+
+
+@dataclass(slots=True)
+class SummationRun:
+    """Outcome of one summation run."""
+
+    total: int
+    result: RunResult
+    trace: Trace
+    engine: Engine
+
+
+def _require_power_of_two(n: int) -> int:
+    if n < 2 or n & (n - 1):
+        raise ValueError(f"the paper's summation programs require N = 2^a >= 2, got {n}")
+    return int(math.log2(n))
+
+
+def sum1_definition() -> ProcessDefinition:
+    """``PROCESS Sum1(k, j)`` — merge, synchronize, spawn the next phase."""
+    k, j = variables("k j")
+    a, b = variables("alpha beta")
+    return ProcessDefinition(
+        "Sum1",
+        params=("k", "j"),
+        body=[
+            # replace the two phase-j entries with their sum
+            immediate(
+                exists(a, b).match(
+                    P[k - 2 ** (j - 1), a].retract(),
+                    P[k, b].retract(),
+                )
+            ).then(assert_tuple(k, a + b)).labeled("merge"),
+            # "the consensus transaction is used to force synchronous
+            # execution of all the processes present in each phase j"
+            consensus().labeled("phase-barrier"),
+            select(
+                guarded(
+                    immediate(exists().such_that((k % (2 ** (j + 1))) == 0))
+                    .then(spawn("Sum1", k, j + 1))
+                    .labeled("promote")
+                ),
+                guarded(
+                    immediate(exists().such_that((k % (2 ** (j + 1))) != 0))
+                    .labeled("retire")
+                ),
+            ),
+        ],
+    )
+
+
+def sum2_definition() -> ProcessDefinition:
+    """``PROCESS Sum2(k, j)`` — one delayed transaction on phase-tagged data."""
+    k, j = variables("k j")
+    a, b = variables("alpha beta")
+    return ProcessDefinition(
+        "Sum2",
+        params=("k", "j"),
+        body=[
+            delayed(
+                exists(a, b).match(
+                    P[k - 2 ** (j - 1), a, j].retract(),
+                    P[k, b, j].retract(),
+                )
+            ).then(assert_tuple(k, a + b, j + 1)).labeled("merge"),
+        ],
+    )
+
+
+def sum3_definition() -> ProcessDefinition:
+    """``PROCESS Sum3`` — the paper's preferred one-replication coding."""
+    n, m = variables("nu mu")
+    a, b = variables("alpha beta")
+    return ProcessDefinition(
+        "Sum3",
+        body=[
+            replicate(
+                immediate(
+                    exists(n, a, m, b)
+                    .match(P[n, a].retract(), P[m, b].retract())
+                    .such_that(n != m)
+                ).then(assert_tuple(m, a + b)).labeled("merge")
+            )
+        ],
+    )
+
+
+def _finish(engine: Engine, result: RunResult, value_field: int) -> SummationRun:
+    snapshot = engine.dataspace.snapshot()
+    if len(snapshot) != 1:
+        raise AssertionError(f"summation left {len(snapshot)} tuples: {snapshot!r}")
+    return SummationRun(
+        total=snapshot[0][value_field],
+        result=result,
+        trace=engine.trace,
+        engine=engine,
+    )
+
+
+def run_sum1(values: list[int], seed: int = 0, detail: bool = False) -> SummationRun:
+    """Run Sum1 on A = *values* (the paper's initial dataspace and society)."""
+    _require_power_of_two(len(values))
+    engine = Engine(definitions=[sum1_definition()], seed=seed, trace=Trace(detail))
+    engine.assert_tuples(array_tuples(values))
+    for k in range(2, len(values) + 1, 2):
+        engine.start("Sum1", (k, 1))
+    result = engine.run()
+    return _finish(engine, result, value_field=1)
+
+
+def run_sum2(values: list[int], seed: int = 0, detail: bool = False) -> SummationRun:
+    """Run Sum2: society { Sum2(k,j) | k mod 2^j = 0 }, phase-tagged data."""
+    log_n = _require_power_of_two(len(values))
+    engine = Engine(definitions=[sum2_definition()], seed=seed, trace=Trace(detail))
+    engine.assert_tuples(phase_tagged_tuples(values))
+    n = len(values)
+    for j in range(1, log_n + 1):
+        for k in range(2 ** j, n + 1, 2 ** j):
+            engine.start("Sum2", (k, j))
+    result = engine.run()
+    return _finish(engine, result, value_field=1)
+
+
+def run_sum3(values: list[int], seed: int = 0, detail: bool = False) -> SummationRun:
+    """Run Sum3: a single process over the plain ``<k, A(k)>`` dataspace.
+
+    Unlike Sum1/Sum2, any array length works — the replication simply
+    merges until one tuple remains.
+    """
+    if not values:
+        raise ValueError("need at least one value")
+    engine = Engine(definitions=[sum3_definition()], seed=seed, trace=Trace(detail))
+    engine.assert_tuples(array_tuples(values))
+    engine.start("Sum3")
+    result = engine.run()
+    return _finish(engine, result, value_field=1)

@@ -1,0 +1,34 @@
+"""The SDL runtime: a deterministic virtual-time engine.
+
+The engine interleaves the logical processes of an SDL program on a single
+OS thread (see DESIGN.md's substitution table: the paper's "highly parallel
+multiprocessor" is replaced by a reproducible virtual-time scheduler).
+Virtual time advances in **rounds**: a round ends once every task that was
+ready at its start has been stepped once, so round counts approximate the
+parallel makespan while step counts give total work.
+"""
+
+from repro.runtime.events import (
+    ConsensusFired,
+    Event,
+    ProcessCreated,
+    ProcessFinished,
+    TaskBlocked,
+    Trace,
+    TxnCommitted,
+    TxnFailed,
+)
+from repro.runtime.engine import Engine, RunResult
+
+__all__ = [
+    "Engine",
+    "RunResult",
+    "Trace",
+    "Event",
+    "ProcessCreated",
+    "ProcessFinished",
+    "TxnCommitted",
+    "TxnFailed",
+    "TaskBlocked",
+    "ConsensusFired",
+]

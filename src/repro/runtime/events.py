@@ -1,0 +1,189 @@
+"""Run traces: the raw material for visualization and the benchmark suite.
+
+The paper argues (Sections 1 and 4) that large-scale concurrency demands
+"powerful visualization capabilities" and that the shared dataspace
+"elegantly accommodates programmer-defined visualization" because the data
+state is globally observable.  The trace layer realises the engine side of
+that: every semantically meaningful runtime occurrence is emitted as an
+:class:`Event` carrying both *step* (sequential work) and *round*
+(virtual parallel time) stamps.
+
+``Trace`` keeps cheap aggregate counters unconditionally and the full event
+list only when ``detail=True``, so benchmarks can run with counters alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+__all__ = [
+    "Event",
+    "ProcessCreated",
+    "ProcessFinished",
+    "TxnCommitted",
+    "TxnFailed",
+    "TaskBlocked",
+    "TaskWoken",
+    "ConsensusFired",
+    "ReplicaSpawned",
+    "Trace",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """Base event: virtual-time stamps common to all event kinds."""
+
+    step: int
+    round: int
+
+
+@dataclass(frozen=True, slots=True)
+class ProcessCreated(Event):
+    pid: int
+    name: str
+    args: tuple
+    spawner: int | None
+
+
+@dataclass(frozen=True, slots=True)
+class ProcessFinished(Event):
+    pid: int
+    name: str
+    aborted: bool
+
+
+@dataclass(frozen=True, slots=True)
+class TxnCommitted(Event):
+    pid: int
+    mode: str
+    label: str | None
+    retracted: int
+    asserted: int
+    matches: int
+    reads: int
+
+
+@dataclass(frozen=True, slots=True)
+class TxnFailed(Event):
+    pid: int
+    mode: str
+    label: str | None
+
+
+@dataclass(frozen=True, slots=True)
+class TaskBlocked(Event):
+    pid: int
+    kind: str  # "delayed" | "selection" | "consensus" | "replication"
+
+
+@dataclass(frozen=True, slots=True)
+class TaskWoken(Event):
+    pid: int
+
+
+@dataclass(frozen=True, slots=True)
+class ConsensusFired(Event):
+    pids: tuple[int, ...]
+    retracted: int
+    asserted: int
+
+
+@dataclass(frozen=True, slots=True)
+class ReplicaSpawned(Event):
+    pid: int
+    branch: int
+
+
+@dataclass(slots=True)
+class TraceCounters:
+    """Aggregate counters kept for every run."""
+
+    commits: int = 0
+    failures: int = 0
+    asserts: int = 0
+    retracts: int = 0
+    reads: int = 0
+    blocks: int = 0
+    wakeups: int = 0
+    consensus_rounds: int = 0
+    consensus_participants: int = 0
+    processes_created: int = 0
+    processes_finished: int = 0
+    replicas: int = 0
+
+
+class Trace:
+    """Event sink with aggregate counters and optional full event history."""
+
+    def __init__(self, detail: bool = False) -> None:
+        self.detail = detail
+        self.events: list[Event] = []
+        self.counters = TraceCounters()
+        self._observers: list[Callable[[Event], None]] = []
+
+    def observe(self, callback: Callable[[Event], None]) -> Callable[[], None]:
+        """Attach a live observer (used by visualization processes)."""
+        self._observers.append(callback)
+
+        def detach() -> None:
+            self._observers.remove(callback)
+
+        return detach
+
+    def emit(self, event: Event) -> None:
+        counters = self.counters
+        if isinstance(event, TxnCommitted):
+            counters.commits += 1
+            counters.asserts += event.asserted
+            counters.retracts += event.retracted
+            counters.reads += event.reads
+        elif isinstance(event, TxnFailed):
+            counters.failures += 1
+        elif isinstance(event, TaskBlocked):
+            counters.blocks += 1
+        elif isinstance(event, TaskWoken):
+            counters.wakeups += 1
+        elif isinstance(event, ConsensusFired):
+            counters.consensus_rounds += 1
+            counters.consensus_participants += len(event.pids)
+        elif isinstance(event, ProcessCreated):
+            counters.processes_created += 1
+        elif isinstance(event, ProcessFinished):
+            counters.processes_finished += 1
+        elif isinstance(event, ReplicaSpawned):
+            counters.replicas += 1
+        if self.detail:
+            self.events.append(event)
+        for observer in self._observers:
+            observer(event)
+
+    # ------------------------------------------------------------------
+    # queries over the detailed history
+    # ------------------------------------------------------------------
+    def of_kind(self, kind: type) -> Iterator[Event]:
+        return (e for e in self.events if isinstance(e, kind))
+
+    def commits_by_round(self) -> dict[int, int]:
+        """Round -> number of committed transactions; the concurrency profile."""
+        out: dict[int, int] = {}
+        for event in self.of_kind(TxnCommitted):
+            out[event.round] = out.get(event.round, 0) + 1
+        return out
+
+    def commits_by_pid(self) -> dict[int, int]:
+        out: dict[int, int] = {}
+        for event in self.of_kind(TxnCommitted):
+            out[event.pid] = out.get(event.pid, 0) + 1
+        return out
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        c = self.counters
+        return (
+            f"Trace(commits={c.commits}, failures={c.failures}, "
+            f"consensus={c.consensus_rounds}, events={len(self.events)})"
+        )

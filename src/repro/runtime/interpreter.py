@@ -1,0 +1,135 @@
+"""Behaviour-tree interpreter.
+
+A process behaviour (a :class:`~repro.core.constructs.Sequence`) is walked
+by a Python generator that *yields requests* to the engine and receives the
+engine's responses:
+
+* :class:`TxnRequest` → a :class:`~repro.core.transactions.TransactionOutcome`
+  (the engine blocks the task for delayed/consensus modes, so a response
+  to those is always a success);
+* :class:`SelectRequest` → ``(branch_index, outcome)`` for a committed
+  guard, or ``None`` when an all-immediate selection fails (the selection
+  then acts as ``skip``);
+* :class:`ReplicationRequest` → a :class:`~repro.core.transactions.Control`
+  once every replica has terminated.
+
+``exit`` unwinds to the innermost enclosing repetition (terminating it) or,
+absent one, terminates the behaviour; ``abort`` always terminates the
+process.  The generator's return value is the final control state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Sequence as Seq
+
+from repro.core.constructs import (
+    GuardedSequence,
+    Repetition,
+    Replication,
+    Selection,
+    Sequence,
+    Statement,
+    TransactionStatement,
+)
+from repro.core.transactions import Control, Transaction, TransactionOutcome
+from repro.errors import EngineError
+
+__all__ = [
+    "TxnRequest",
+    "SelectRequest",
+    "ReplicationRequest",
+    "Request",
+    "interpret",
+    "interpret_body",
+]
+
+
+@dataclass(slots=True)
+class TxnRequest:
+    """Ask the engine to execute one transaction for the issuing task."""
+
+    transaction: Transaction
+
+
+@dataclass(slots=True)
+class SelectRequest:
+    """Ask the engine to arbitrate a selection's guarding transactions."""
+
+    branches: tuple[GuardedSequence, ...]
+
+
+@dataclass(slots=True)
+class ReplicationRequest:
+    """Ask the engine to drive a replication construct to completion."""
+
+    replication: Replication
+
+
+Request = TxnRequest | SelectRequest | ReplicationRequest
+
+Interp = Generator[Request, Any, Control]
+
+
+def interpret(statements: Seq[Statement]) -> Interp:
+    """Interpret a behaviour body; returns the final :class:`Control`."""
+    return _exec_sequence(statements)
+
+
+def interpret_body(branch: GuardedSequence) -> Interp:
+    """Interpret the body of an already-committed guarded sequence."""
+    return _exec_sequence(branch.body)
+
+
+def _exec_sequence(statements: Seq[Statement]) -> Interp:
+    for statement in statements:
+        control = yield from _exec(statement)
+        if control is not Control.NONE:
+            return control
+    return Control.NONE
+
+
+def _exec(statement: Statement) -> Interp:
+    if isinstance(statement, TransactionStatement):
+        outcome: TransactionOutcome = yield TxnRequest(statement.transaction)
+        if not outcome.success:
+            # A failed immediate transaction "has no effect on the
+            # dataspace"; as a bare statement it acts like skip.
+            return Control.NONE
+        return outcome.control
+
+    if isinstance(statement, Sequence):
+        return (yield from _exec_sequence(statement.body))
+
+    if isinstance(statement, Selection):
+        response = yield SelectRequest(statement.branches)
+        if response is None:
+            return Control.NONE  # "the selection is modeled as a 'skip'"
+        index, outcome = response
+        if outcome.control is not Control.NONE:
+            return outcome.control
+        return (yield from _exec_sequence(statement.branches[index].body))
+
+    if isinstance(statement, Repetition):
+        while True:
+            response = yield SelectRequest(statement.branches)
+            if response is None:
+                return Control.NONE  # a failing selection ends the repetition
+            index, outcome = response
+            if outcome.control is Control.ABORT:
+                return Control.ABORT
+            if outcome.control is Control.EXIT:
+                return Control.NONE  # exit "terminates ... the repetition"
+            control = yield from _exec_sequence(statement.branches[index].body)
+            if control is Control.ABORT:
+                return Control.ABORT
+            if control is Control.EXIT:
+                return Control.NONE
+
+    if isinstance(statement, Replication):
+        control = yield ReplicationRequest(statement)
+        if control is Control.ABORT:
+            return Control.ABORT
+        return Control.NONE
+
+    raise EngineError(f"unknown statement {statement!r}")

@@ -1,0 +1,100 @@
+"""Serialization of dataspaces and traces for offline visualization.
+
+The paper's environment vision needs the program state to leave the
+process: this module renders dataspace snapshots and run traces as plain
+JSON-compatible structures (and JSON-lines streams), so external tools —
+or a later session — can replay and visualise a run.
+
+Value encoding: atoms become ``{"atom": name}``, position tuples become
+``{"tuple": [...]}``; scalars pass through.  ``load_values`` inverts it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, IO, Iterable
+
+from repro.core.dataspace import Dataspace
+from repro.core.values import Atom
+from repro.errors import SDLError
+from repro.runtime.events import Event, Trace
+
+__all__ = [
+    "encode_value",
+    "decode_value",
+    "dump_dataspace",
+    "load_dataspace",
+    "dump_trace_jsonl",
+    "trace_records",
+]
+
+
+def encode_value(value: Any) -> Any:
+    if isinstance(value, Atom):
+        return {"atom": str(value)}
+    if isinstance(value, tuple):
+        return {"tuple": [encode_value(v) for v in value]}
+    if isinstance(value, (str, int, float, bool)):
+        return value
+    raise SDLError(f"cannot encode value {value!r}")
+
+
+def decode_value(blob: Any) -> Any:
+    if isinstance(blob, dict):
+        if "atom" in blob:
+            return Atom(blob["atom"])
+        if "tuple" in blob:
+            return tuple(decode_value(v) for v in blob["tuple"])
+        raise SDLError(f"cannot decode {blob!r}")
+    return blob
+
+
+def dump_dataspace(dataspace: Dataspace) -> dict[str, Any]:
+    """A JSON-compatible snapshot: tuples with ids and owners."""
+    return {
+        "version": dataspace.version,
+        "tuples": [
+            {
+                "serial": inst.tid.serial,
+                "owner": inst.tid.owner,
+                "values": [encode_value(v) for v in inst.values],
+            }
+            for inst in dataspace.instances()
+        ],
+    }
+
+
+def load_dataspace(blob: dict[str, Any]) -> Dataspace:
+    """Rebuild a dataspace from :func:`dump_dataspace` output.
+
+    Tuple *values* and owners are preserved; serials are re-issued (they
+    are engine-internal), so identifiers will differ from the original.
+    """
+    dataspace = Dataspace()
+    for row in blob["tuples"]:
+        dataspace.insert(
+            tuple(decode_value(v) for v in row["values"]), owner=row["owner"]
+        )
+    return dataspace
+
+
+def trace_records(trace: Trace) -> Iterable[dict[str, Any]]:
+    """One JSON-compatible record per event in a detailed trace."""
+    for event in trace.events:
+        record: dict[str, Any] = {"kind": type(event).__name__}
+        for field in dataclasses.fields(event):
+            value = getattr(event, field.name)
+            if isinstance(value, tuple):
+                value = [encode_value(v) for v in value]
+            record[field.name] = value
+        yield record
+
+
+def dump_trace_jsonl(trace: Trace, stream: IO[str]) -> int:
+    """Write a detailed trace as JSON lines; returns the record count."""
+    count = 0
+    for record in trace_records(trace):
+        stream.write(json.dumps(record) + "\n")
+        count += 1
+    return count

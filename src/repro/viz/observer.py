@@ -1,0 +1,88 @@
+"""Decoupled dataspace observers — "visualization processes".
+
+The paper's closing claim: "Potentially one can create visualization
+processes completely decoupled from the rest of the process society, yet
+having complete access to the data state of the computation."
+
+:class:`DataspaceObserver` realises that claim on the engine's trace/change
+hooks: it watches the dataspace for changes, and on every change (or every
+*n*-th) records the current count — or full extension — of each registered
+pattern.  It never issues transactions, so it cannot perturb the program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.dataspace import Dataspace, DataspaceChange
+from repro.core.patterns import Pattern
+
+__all__ = ["DataspaceObserver", "ObservedSeries"]
+
+
+@dataclass(slots=True)
+class ObservedSeries:
+    """The evolution of one observed pattern: (version, count) samples."""
+
+    name: str
+    pattern: Pattern
+    samples: list[tuple[int, int]] = field(default_factory=list)
+
+    def counts(self) -> list[int]:
+        return [count for __, count in self.samples]
+
+    def final(self) -> int:
+        return self.samples[-1][1] if self.samples else 0
+
+    def peak(self) -> int:
+        return max((count for __, count in self.samples), default=0)
+
+
+class DataspaceObserver:
+    """Watches a dataspace, sampling pattern extensions as it changes.
+
+    Usage::
+
+        observer = DataspaceObserver(engine.dataspace, every=16)
+        observer.watch("labels", P["label", ANY, ANY])
+        ... run the engine ...
+        observer.detach()
+        print(observer.series["labels"].counts())
+    """
+
+    def __init__(self, dataspace: Dataspace, every: int = 1) -> None:
+        if every < 1:
+            raise ValueError("'every' must be >= 1")
+        self.dataspace = dataspace
+        self.every = every
+        self.series: dict[str, ObservedSeries] = {}
+        self._change_count = 0
+        self._unsubscribe = dataspace.subscribe(self._on_change)
+
+    def watch(self, name: str, pattern: Pattern) -> ObservedSeries:
+        """Register a pattern to observe; samples immediately."""
+        series = ObservedSeries(name, pattern)
+        self.series[name] = series
+        self._sample_one(series)
+        return series
+
+    def detach(self) -> None:
+        """Stop observing (idempotent)."""
+        if self._unsubscribe is not None:
+            self._unsubscribe()
+            self._unsubscribe = None
+
+    def sample_now(self) -> None:
+        """Force a sample of every registered series."""
+        for series in self.series.values():
+            self._sample_one(series)
+
+    def _sample_one(self, series: ObservedSeries) -> None:
+        count = self.dataspace.count_matching(series.pattern)
+        series.samples.append((self.dataspace.version, count))
+
+    def _on_change(self, change: DataspaceChange) -> None:
+        self._change_count += 1
+        if self._change_count % self.every == 0:
+            self.sample_now()

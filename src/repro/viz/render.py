@@ -1,0 +1,119 @@
+"""Plain-ASCII renderers for dataspaces, traces, and image grids.
+
+Deliberately dependency-free: output is a string suitable for terminals,
+logs, and doctest-style assertions.  These renderers are the textual stand-
+in for the visualization environment the paper's companion work proposes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.core.dataspace import Dataspace
+from repro.core.values import value_repr
+from repro.runtime.events import (
+    ConsensusFired,
+    ProcessCreated,
+    ProcessFinished,
+    Trace,
+    TxnCommitted,
+)
+
+__all__ = [
+    "render_dataspace",
+    "render_histogram",
+    "render_profile",
+    "render_timeline",
+    "render_grid",
+]
+
+
+def render_dataspace(dataspace: Dataspace, limit: int = 40) -> str:
+    """A sorted table of the dataspace's value tuples with multiplicities."""
+    counts = dataspace.multiset()
+    lines = [f"dataspace |D|={len(dataspace)} (v{dataspace.version})"]
+    shown = 0
+    for values in sorted(counts, key=lambda v: tuple(map(repr, v))):
+        n = counts[values]
+        mult = f" x{n}" if n > 1 else ""
+        lines.append("  <" + ",".join(value_repr(v) for v in values) + ">" + mult)
+        shown += 1
+        if shown >= limit:
+            lines.append(f"  ... ({len(counts) - shown} more distinct tuples)")
+            break
+    return "\n".join(lines)
+
+
+def render_histogram(
+    series: Mapping[Any, int | float],
+    width: int = 40,
+    label: str = "",
+) -> str:
+    """A horizontal bar chart: keys down the side, bars of '#' across."""
+    if not series:
+        return f"{label}(empty)"
+    peak = max(series.values()) or 1
+    key_width = max(len(str(k)) for k in series)
+    lines = [label] if label else []
+    for key in sorted(series):
+        value = series[key]
+        bar = "#" * max(1 if value else 0, round(width * value / peak))
+        lines.append(f"{str(key).rjust(key_width)} |{bar} {value}")
+    return "\n".join(lines)
+
+
+def render_profile(trace: Trace, width: int = 40) -> str:
+    """The concurrency profile (commits per round) as a histogram."""
+    return render_histogram(
+        trace.commits_by_round(), width=width, label="commits per virtual round"
+    )
+
+
+def render_timeline(trace: Trace, limit: int = 60) -> str:
+    """A flat event timeline: one line per notable event."""
+    lines: list[str] = []
+    for event in trace.events:
+        if isinstance(event, TxnCommitted):
+            label = f" {event.label}" if event.label else ""
+            lines.append(
+                f"r{event.round:>4} s{event.step:>5}  pid {event.pid:>4} commit "
+                f"{event.mode.lower()}{label} (-{event.retracted}/+{event.asserted})"
+            )
+        elif isinstance(event, ConsensusFired):
+            lines.append(
+                f"r{event.round:>4} s{event.step:>5}  CONSENSUS {len(event.pids)} processes "
+                f"(-{event.retracted}/+{event.asserted})"
+            )
+        elif isinstance(event, ProcessCreated):
+            lines.append(
+                f"r{event.round:>4} s{event.step:>5}  pid {event.pid:>4} + {event.name}{event.args!r}"
+            )
+        elif isinstance(event, ProcessFinished):
+            flag = "aborted" if event.aborted else "done"
+            lines.append(f"r{event.round:>4} s{event.step:>5}  pid {event.pid:>4} {flag}")
+        if len(lines) >= limit:
+            lines.append("  ...")
+            break
+    return "\n".join(lines)
+
+
+def render_grid(
+    cells: Mapping[tuple[int, int], Any],
+    width: int,
+    height: int,
+    fmt: Callable[[Any], str] | None = None,
+    empty: str = ".",
+) -> str:
+    """Render an (x, y)-keyed mapping as a grid (region-labeling images).
+
+    Cell values are formatted by *fmt* (default: single-character repr) and
+    padded to a common width.
+    """
+    fmt = fmt or (lambda v: str(v))
+    rendered = {pos: fmt(v) for pos, v in cells.items()}
+    cell_width = max([len(s) for s in rendered.values()] + [len(empty)])
+    rows = []
+    for y in range(height):
+        row = [rendered.get((x, y), empty).rjust(cell_width) for x in range(width)]
+        rows.append(" ".join(row))
+    return "\n".join(rows)

@@ -1,0 +1,25 @@
+"""Array workloads for the Section 3.1 summation experiments."""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["random_array", "array_tuples", "phase_tagged_tuples"]
+
+
+def random_array(n: int, seed: int = 0, low: int = -100, high: int = 100) -> list[int]:
+    """A reproducible random integer array A(1..n) (returned 0-indexed)."""
+    if n < 1:
+        raise ValueError("array length must be >= 1")
+    rng = random.Random(seed)
+    return [rng.randint(low, high) for __ in range(n)]
+
+
+def array_tuples(values: list[int]) -> list[tuple[int, int]]:
+    """The paper's initial dataspace ``D = { <k, A(k)> | 1 <= k <= N }``."""
+    return [(k, v) for k, v in enumerate(values, start=1)]
+
+
+def phase_tagged_tuples(values: list[int]) -> list[tuple[int, int, int]]:
+    """Sum2's initial dataspace ``D = { <k, A(k), 1> }`` (phase-tagged)."""
+    return [(k, v, 1) for k, v in enumerate(values, start=1)]

@@ -1,0 +1,45 @@
+"""Tuple-soup workloads for the view-scoping experiment (E6).
+
+The soup mixes *relevant* tuples (matching a process's restricted view)
+with *irrelevant* ballast of the same arity, so view filtering — not the
+arity index — is what separates them.  This isolates the paper's claim that
+views "provide bounds on the scope of the transactions which, in turn,
+reduce the transaction execution time".
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.core.values import Atom
+
+__all__ = ["soup_rows"]
+
+
+def soup_rows(
+    total: int,
+    relevant_fraction: float = 0.1,
+    groups: int = 10,
+    seed: int = 0,
+) -> tuple[list[tuple[Any, ...]], Atom]:
+    """Build *total* tuples ``<group, key, payload>`` and return the rows
+    plus the distinguished group atom the experiment's view imports.
+
+    ``relevant_fraction`` of the rows carry the distinguished group; the
+    rest are spread over ``groups`` ballast groups.  All rows share arity 3
+    so plain arity indexing cannot tell them apart.
+    """
+    if not 0.0 <= relevant_fraction <= 1.0:
+        raise ValueError("relevant_fraction must be in [0, 1]")
+    rng = random.Random(seed)
+    target = Atom("wanted")
+    ballast = [Atom(f"ballast{i}") for i in range(groups)]
+    rows: list[tuple[Any, ...]] = []
+    relevant = round(total * relevant_fraction)
+    for key in range(relevant):
+        rows.append((target, key, rng.randint(0, 10_000)))
+    for key in range(total - relevant):
+        rows.append((rng.choice(ballast), key, rng.randint(0, 10_000)))
+    rng.shuffle(rows)
+    return rows, target

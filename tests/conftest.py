@@ -1,0 +1,29 @@
+"""Shared fixtures for the SDL reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dataspace import Dataspace
+from repro.core.expressions import variables
+from repro.core.patterns import ANY, P
+
+
+@pytest.fixture
+def space() -> Dataspace:
+    """An empty dataspace."""
+    return Dataspace()
+
+
+@pytest.fixture
+def year_space() -> Dataspace:
+    """The paper's running example: a few <year, n> tuples."""
+    ds = Dataspace()
+    ds.insert_many([("year", y) for y in (85, 87, 88, 90)])
+    return ds
+
+
+@pytest.fixture
+def abc():
+    """Three fresh variables, the workhorse of query tests."""
+    return variables("a b c")

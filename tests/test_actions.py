@@ -1,0 +1,85 @@
+"""Unit tests for transaction actions (repro.core.actions)."""
+
+import pytest
+
+from repro.core.actions import (
+    ABORT,
+    EXIT,
+    SKIP,
+    Abort,
+    AssertTuple,
+    CallPython,
+    Exit,
+    Let,
+    Skip,
+    Spawn,
+    assert_tuple,
+    let,
+    spawn,
+    validate_actions,
+)
+from repro.core.expressions import Var
+from repro.core.patterns import P, Pattern
+from repro.errors import ActionError
+
+
+class TestConstruction:
+    def test_let_accepts_var_or_name(self):
+        a = Var("a")
+        assert Let(a, 1).name == "a"
+        assert Let("N", a).name == "N"
+        assert let("N", a + 1).name == "N"
+
+    def test_assert_tuple_from_fields(self):
+        action = assert_tuple("found", Var("a"))
+        assert isinstance(action.pattern, Pattern)
+        assert action.pattern.arity == 2
+
+    def test_assert_tuple_from_prebuilt_pattern(self):
+        pat = P["found", 1]
+        assert assert_tuple(pat).pattern is pat
+
+    def test_spawn_lifts_arguments(self):
+        action = spawn("Search", 0, Var("prop"))
+        assert action.process_name == "Search"
+        assert len(action.args) == 2
+
+    def test_singletons(self):
+        assert isinstance(EXIT, Exit)
+        assert isinstance(ABORT, Abort)
+        assert isinstance(SKIP, Skip)
+
+
+class TestPerMatchClassification:
+    def test_per_match_actions(self):
+        assert AssertTuple(P["x"]).per_match
+        assert Spawn("P").per_match
+        assert CallPython(lambda env: None).per_match
+
+    def test_once_actions(self):
+        assert not Let("n", 1).per_match
+        assert not EXIT.per_match
+        assert not ABORT.per_match
+        assert not SKIP.per_match
+
+
+class TestValidation:
+    def test_let_under_forall_rejected(self):
+        with pytest.raises(ActionError):
+            validate_actions((Let("n", 1),), "forall")
+
+    def test_let_under_exists_allowed(self):
+        validate_actions((Let("n", 1),), "exists")
+
+    def test_assert_under_forall_allowed(self):
+        validate_actions((AssertTuple(P["x"]),), "forall")
+
+
+class TestReprs:
+    def test_readable_reprs(self):
+        assert repr(let("N", Var("a"))) == "let N = a"
+        assert repr(EXIT) == "exit"
+        assert repr(ABORT) == "abort"
+        assert repr(SKIP) == "skip"
+        assert repr(spawn("Sum1", 2, 1)) == "Sum1(2,1)"
+        assert "assert" in repr(assert_tuple("x", 1))

@@ -1,0 +1,90 @@
+"""Unit tests for the traditional-model baselines (repro.baselines)."""
+
+import pytest
+
+from repro.baselines import ActorNetwork, MessageSummer, SharedArraySummer
+from repro.errors import DeadlockError
+from repro.workloads import random_array
+
+
+class TestSharedArray:
+    def test_computes_sum(self):
+        values = random_array(64, seed=1)
+        summer = SharedArraySummer(values)
+        assert summer.run() == sum(values)
+
+    def test_phase_structure(self):
+        summer = SharedArraySummer([1] * 16)
+        summer.run()
+        assert summer.phases == 4  # log2(16)
+        assert summer.barriers == 4
+        assert summer.adds == 15  # N - 1
+        assert summer.work_per_phase == [8, 4, 2, 1]
+
+    def test_single_element(self):
+        summer = SharedArraySummer([42])
+        assert summer.run() == 42
+        assert summer.phases == 0
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            SharedArraySummer([1, 2, 3])
+
+
+class TestActorNetwork:
+    def test_message_delivery(self):
+        net = ActorNetwork(seed=1)
+        log = []
+        net.actor("a", lambda n, name, msg: log.append(msg))
+        net.send("a", "hello")
+        net.run()
+        assert log == ["hello"]
+
+    def test_duplicate_actor_rejected(self):
+        net = ActorNetwork(seed=1)
+        net.actor("a", lambda n, name, msg: None)
+        with pytest.raises(ValueError):
+            net.actor("a", lambda n, name, msg: None)
+
+    def test_send_to_finished_actor_rejected(self):
+        net = ActorNetwork(seed=1)
+        net.actor("a", lambda n, name, msg: None)
+        net.finish("a")
+        with pytest.raises(DeadlockError):
+            net.send("a", 1)
+
+    def test_round_counting(self):
+        net = ActorNetwork(seed=1)
+        net.actor("relay", lambda n, name, msg: n.send("sink", msg) if msg else None)
+        net.actor("sink", lambda n, name, msg: None)
+        net.send("relay", 1)
+        net.run()
+        assert net.rounds == 2  # relay round, then sink round
+        assert net.deliveries == 2
+
+
+class TestMessageSummer:
+    @pytest.mark.parametrize("n", [2, 4, 16, 128])
+    def test_computes_sum(self, n):
+        values = random_array(n, seed=n)
+        summer = MessageSummer(values, seed=1)
+        assert summer.run() == sum(values)
+
+    def test_message_count_linear(self):
+        n = 32
+        summer = MessageSummer([1] * n, seed=2)
+        summer.run()
+        # N leaf injections + one forward from every internal actor except
+        # the root: N + (N - 1) - 1 = 2N - 2
+        assert summer.network.messages_sent == 2 * n - 2
+
+    def test_rounds_logarithmic(self):
+        summer = MessageSummer([1] * 64, seed=2)
+        summer.run()
+        assert summer.network.rounds <= 16  # ~2*log2(64), far below N
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ValueError):
+            MessageSummer([1, 2, 3])
+        with pytest.raises(ValueError):
+            MessageSummer([1])

@@ -1,0 +1,129 @@
+"""Tests for the ``python -m repro`` command-line runner."""
+
+import pytest
+
+from repro.__main__ import _load_tuples, _parse_start, _parse_value, main
+from repro.core.values import Atom
+from repro.errors import SDLError
+
+PROGRAM = """
+process Harvest()
+behavior
+  *[ exists a : <year, a>^ : a > 87 -> (found, a) ]
+end
+
+process Main(k)
+behavior
+  -> (started, k) ;
+  -> Harvest()
+end
+"""
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "prog.sdl"
+    path.write_text(PROGRAM)
+    return str(path)
+
+
+@pytest.fixture
+def data_file(tmp_path):
+    path = tmp_path / "data.txt"
+    path.write_text(
+        "# initial dataspace\n"
+        "year, 85\n"
+        "year, 88\n"
+        "\n"
+        'item, "hello world", 2.5, true\n'
+    )
+    return str(path)
+
+
+class TestValueParsing:
+    def test_scalars(self):
+        assert _parse_value("42") == 42
+        assert _parse_value("2.5") == 2.5
+        assert _parse_value("true") is True
+        assert _parse_value("false") is False
+        assert _parse_value('"x y"') == "x y"
+        assert _parse_value("nil") == Atom("nil")
+
+    def test_empty_rejected(self):
+        with pytest.raises(SDLError):
+            _parse_value("  ")
+
+    def test_load_tuples(self, data_file):
+        rows = _load_tuples(data_file)
+        assert rows == [
+            (Atom("year"), 85),
+            (Atom("year"), 88),
+            (Atom("item"), "hello world", 2.5, True),
+        ]
+
+    def test_parse_start(self):
+        assert _parse_start("Main") == ("Main", ())
+        assert _parse_start("Worker(1, x)") == ("Worker", (1, Atom("x")))
+        assert _parse_start("NoArgs()") == ("NoArgs", ())
+        with pytest.raises(SDLError):
+            _parse_start("Broken(1")
+
+
+class TestCommands:
+    def test_check(self, program_file, capsys):
+        assert main(["check", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "Harvest" in out and "Main" in out
+
+    def test_check_bad_program(self, tmp_path, capsys):
+        bad = tmp_path / "bad.sdl"
+        bad.write_text("process Broken( behavior end")
+        assert main(["check", str(bad)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_pretty_is_recompilable(self, program_file, capsys, tmp_path):
+        assert main(["pretty", program_file]) == 0
+        text = capsys.readouterr().out
+        again = tmp_path / "again.sdl"
+        again.write_text(text)
+        assert main(["check", str(again)]) == 0
+
+    def test_run(self, program_file, data_file, capsys):
+        code = main(
+            ["run", program_file, "--start", "Main(7)", "--data", data_file, "--seed", "3"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "completed" in out
+        assert "<found,88>" in out
+        assert "<started,7>" in out
+
+    def test_run_requires_start(self, program_file, capsys):
+        assert main(["run", program_file]) == 2
+
+    def test_run_trace_and_profile(self, program_file, data_file, capsys):
+        code = main(
+            [
+                "run", program_file,
+                "--start", "Main(1)",
+                "--data", data_file,
+                "--trace", "--profile",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "commit" in out
+        assert "commits per virtual round" in out
+
+    def test_run_deadlock_exit_code(self, tmp_path, capsys):
+        stuck = tmp_path / "stuck.sdl"
+        stuck.write_text(
+            "process Stuck() behavior <never, *> => skip end"
+        )
+        code = main(["run", str(stuck), "--start", "Stuck"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "deadlock" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["check", "/no/such/file.sdl"]) == 2

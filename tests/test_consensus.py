@@ -1,0 +1,119 @@
+"""Unit tests for consensus sets and composite evaluation (repro.core.consensus)."""
+
+import pytest
+
+from repro.core.consensus import (
+    ConsensusParticipant,
+    evaluate_composite,
+    needs,
+    partition,
+)
+from repro.core.dataspace import Dataspace
+from repro.core.expressions import Var
+from repro.core.patterns import ANY, P
+from repro.core.query import exists
+from repro.core.transactions import consensus
+from repro.core.views import FULL_VIEW, View
+
+
+@pytest.fixture
+def chain_space():
+    """Three 'nodes' 0-1-2: windows {0,1}, {1,2}, plus an isolated 'z'."""
+    ds = Dataspace()
+    ds.insert_many([("n", 0), ("n", 1), ("n", 2), ("z", 0)])
+    return ds
+
+
+def node_window(ds, *keys):
+    view = View(imports=[P["n", k] for k in keys])
+    return view.window(ds)
+
+
+class TestNeeds:
+    def test_overlapping_windows(self, chain_space):
+        w01 = node_window(chain_space, 0, 1)
+        w12 = node_window(chain_space, 1, 2)
+        assert needs(w01, w12)
+        assert needs(w12, w01)
+
+    def test_disjoint_windows(self, chain_space):
+        w0 = node_window(chain_space, 0)
+        w2 = node_window(chain_space, 2)
+        assert not needs(w0, w2)
+
+    def test_full_view_overlaps_everyone(self, chain_space):
+        assert needs(FULL_VIEW.window(chain_space), node_window(chain_space, 2))
+
+
+class TestPartition:
+    def test_transitive_closure_chains(self, chain_space):
+        windows = {
+            1: node_window(chain_space, 0, 1),
+            2: node_window(chain_space, 1, 2),
+            3: View(imports=[P["z", ANY]]).window(chain_space),
+        }
+        groups = sorted(partition(windows), key=len)
+        # 1 and 2 are linked through node 1; 3 is isolated
+        assert groups == [frozenset({3}), frozenset({1, 2})]
+
+    def test_empty_footprints_are_singletons(self):
+        ds = Dataspace()
+        windows = {1: node_window(ds, 0), 2: node_window(ds, 0)}
+        assert sorted(partition(windows), key=min) == [frozenset({1}), frozenset({2})]
+
+    def test_full_views_form_one_set(self, chain_space):
+        windows = {i: FULL_VIEW.window(chain_space) for i in range(5)}
+        assert partition(windows) == [frozenset(range(5))]
+
+    def test_partition_of_nothing(self):
+        assert partition({}) == []
+
+
+class TestCompositeEvaluation:
+    def _participant(self, pid, ds, pattern, retract=True):
+        a = Var("a")
+        atom = pattern.retract() if retract else pattern
+        txn = consensus(exists(a).match(atom)).build()
+        return ConsensusParticipant(
+            pid=pid, transaction=txn, window=FULL_VIEW.window(ds), scope={}
+        )
+
+    def test_all_ready_produces_effect(self, chain_space):
+        p1 = self._participant(1, chain_space, P["n", 0])
+        p2 = self._participant(2, chain_space, P["n", 1])
+        effect = evaluate_composite([p1, p2])
+        assert effect is not None
+        assert effect.pids == [1, 2]
+        assert len(effect.retract_tids) == 2
+
+    def test_not_ready_when_member_fails(self, chain_space):
+        p1 = self._participant(1, chain_space, P["n", 0])
+        p2 = self._participant(2, chain_space, P["missing", ANY])
+        assert evaluate_composite([p1, p2]) is None
+
+    def test_members_cannot_share_retracted_instance(self):
+        ds = Dataspace()
+        ds.insert(("shared", 1))  # exactly ONE instance both want to retract
+        p1 = self._participant(1, ds, P["shared", ANY])
+        p2 = self._participant(2, ds, P["shared", ANY])
+        assert evaluate_composite([p1, p2]) is None
+        ds.insert(("shared", 1))  # second instance: now both can have one
+        p1b = self._participant(1, ds, P["shared", ANY])
+        p2b = self._participant(2, ds, P["shared", ANY])
+        effect = evaluate_composite([p1b, p2b])
+        assert effect is not None
+        assert len(effect.retract_tids) == 2
+
+    def test_no_effects_applied_during_evaluation(self, chain_space):
+        before = chain_space.snapshot()
+        p1 = self._participant(1, chain_space, P["n", 0])
+        evaluate_composite([p1])
+        assert chain_space.snapshot() == before
+
+    def test_read_only_members_allowed(self, chain_space):
+        p1 = self._participant(1, chain_space, P["n", 0], retract=False)
+        p2 = self._participant(2, chain_space, P["n", 0], retract=False)
+        # both READ the same instance — fine, only retractions conflict
+        effect = evaluate_composite([p1, p2])
+        assert effect is not None
+        assert effect.retract_tids == []

@@ -1,0 +1,101 @@
+"""Unit tests for flow-of-control constructs (repro.core.constructs)."""
+
+import pytest
+
+from repro.core.constructs import (
+    GuardedSequence,
+    Repetition,
+    Replication,
+    Selection,
+    Sequence,
+    TransactionStatement,
+    as_statement,
+    guarded,
+    repeat,
+    replicate,
+    select,
+    seq,
+)
+from repro.core.patterns import P
+from repro.core.query import exists
+from repro.core.transactions import consensus, delayed, immediate
+from repro.errors import TransactionError
+
+
+class TestCoercions:
+    def test_builder_becomes_statement(self):
+        stmt = as_statement(immediate())
+        assert isinstance(stmt, TransactionStatement)
+
+    def test_transaction_becomes_statement(self):
+        stmt = as_statement(immediate().build())
+        assert isinstance(stmt, TransactionStatement)
+
+    def test_statement_passthrough(self):
+        stmt = TransactionStatement(immediate())
+        assert as_statement(stmt) is stmt
+
+    def test_bad_coercion_rejected(self):
+        with pytest.raises(TransactionError):
+            as_statement("nope")  # type: ignore[arg-type]
+
+
+class TestSequences:
+    def test_seq_builds_sequence(self):
+        s = seq(immediate(), immediate())
+        assert isinstance(s, Sequence)
+        assert len(s.body) == 2
+
+    def test_nested_sequences_allowed(self):
+        inner = seq(immediate())
+        outer = seq(inner, immediate())
+        assert isinstance(outer.body[0], Sequence)
+
+
+class TestGuardedConstructs:
+    def test_guarded_sugar(self):
+        branch = guarded(immediate(), immediate(), immediate())
+        assert isinstance(branch, GuardedSequence)
+        assert len(branch.body) == 2
+
+    def test_selection_requires_branches(self):
+        with pytest.raises(TransactionError):
+            Selection(())
+
+    def test_repetition_requires_branches(self):
+        with pytest.raises(TransactionError):
+            Repetition(())
+
+    def test_replication_requires_branches(self):
+        with pytest.raises(TransactionError):
+            Replication(())
+
+    def test_bare_transaction_promoted_to_branch(self):
+        sel = select(immediate(), delayed())
+        assert all(isinstance(b, GuardedSequence) for b in sel.branches)
+        assert len(sel.branches) == 2
+
+    def test_replication_rejects_consensus_guard(self):
+        with pytest.raises(TransactionError):
+            replicate(consensus())
+
+    def test_replication_allows_delayed_guard(self):
+        rep = replicate(delayed(exists().match(P["x"])))
+        assert isinstance(rep, Replication)
+
+    def test_repetition_allows_consensus_guard(self):
+        # the Sort pattern: swap | consensus-exit
+        rep = repeat(immediate(), consensus())
+        assert isinstance(rep, Repetition)
+
+
+class TestReprs:
+    def test_select_repr(self):
+        text = repr(select(immediate(), immediate()))
+        assert text.startswith("[") and "|" in text
+
+    def test_repeat_repr(self):
+        assert repr(repeat(immediate())).startswith("*[")
+
+    def test_replicate_repr(self):
+        assert repr(replicate(immediate())).startswith("~[")

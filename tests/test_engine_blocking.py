@@ -1,0 +1,256 @@
+"""Engine tests: delayed transactions, blocking selections, deadlock, fairness."""
+
+import pytest
+
+from repro.core.actions import EXIT, assert_tuple
+from repro.core.constructs import guarded, repeat, select
+from repro.core.expressions import Var, variables
+from repro.core.patterns import ANY, P
+from repro.core.process import ProcessDefinition
+from repro.core.query import exists, no
+from repro.core.transactions import delayed, immediate
+from repro.core.views import import_rule
+from repro.errors import DeadlockError
+from repro.runtime.engine import Engine
+from repro.runtime.events import TaskBlocked, TaskWoken, Trace
+
+
+class TestDelayed:
+    def test_delayed_waits_for_producer(self):
+        a = Var("a")
+        consumer = ProcessDefinition(
+            "Consumer",
+            body=[
+                delayed(exists(a).match(P["item", a].retract())).then(
+                    assert_tuple("got", a)
+                )
+            ],
+        )
+        producer = ProcessDefinition(
+            "Producer", body=[immediate().then(assert_tuple("item", 42))]
+        )
+        engine = Engine(
+            definitions=[consumer, producer], seed=1, trace=Trace(True), policy="fifo"
+        )
+        engine.start("Consumer")  # starts first, must block (fifo order)
+        engine.start("Producer")
+        result = engine.run()
+        assert result.completed
+        assert engine.dataspace.multiset() == {("got", 42): 1}
+        assert any(isinstance(e, TaskBlocked) for e in engine.trace.events)
+        assert any(isinstance(e, TaskWoken) for e in engine.trace.events)
+
+    def test_delayed_succeeds_immediately_when_possible(self):
+        a = Var("a")
+        p = ProcessDefinition(
+            "P", body=[delayed(exists(a).match(P["x", a])).then(assert_tuple("y", a))]
+        )
+        engine = Engine(definitions=[p], seed=1)
+        engine.assert_tuples([("x", 5)])
+        engine.start("P")
+        assert engine.run().completed
+
+    def test_delayed_negated_query_waits_for_retraction(self):
+        # wait until no <busy> tuple remains — enabled by a RETRACTION
+        waiter = ProcessDefinition(
+            "Waiter", body=[delayed(no(P["busy", ANY])).then(assert_tuple("quiet", 1))]
+        )
+        a = Var("a")
+        cleaner = ProcessDefinition(
+            "Cleaner",
+            body=[
+                repeat(
+                    guarded(immediate(exists(a).match(P["busy", a].retract())))
+                )
+            ],
+        )
+        engine = Engine(definitions=[waiter, cleaner], seed=2)
+        engine.assert_tuples([("busy", i) for i in range(3)])
+        engine.start("Waiter")
+        engine.start("Cleaner")
+        assert engine.run().completed
+        assert ("quiet", 1) in engine.dataspace.multiset()
+
+    def test_deadlock_detected(self):
+        p = ProcessDefinition(
+            "P", body=[delayed(exists().match(P["never", ANY]))]
+        )
+        engine = Engine(definitions=[p], seed=1)
+        engine.start("P")
+        with pytest.raises(DeadlockError):
+            engine.run()
+
+    def test_deadlock_returned_when_configured(self):
+        p = ProcessDefinition("P", body=[delayed(exists().match(P["never", ANY]))])
+        engine = Engine(definitions=[p], seed=1, on_deadlock="return")
+        engine.start("P")
+        result = engine.run()
+        assert result.reason == "deadlock"
+        assert result.deadlocked
+
+    def test_mutual_delayed_deadlock(self):
+        a = ProcessDefinition(
+            "A",
+            body=[
+                delayed(exists().match(P["from_b"])).then(assert_tuple("from_a"))
+            ],
+        )
+        b = ProcessDefinition(
+            "B",
+            body=[
+                delayed(exists().match(P["from_a"])).then(assert_tuple("from_b"))
+            ],
+        )
+        engine = Engine(definitions=[a, b], seed=1, on_deadlock="return")
+        engine.start("A")
+        engine.start("B")
+        assert engine.run().reason == "deadlock"
+
+    def test_weak_fairness_all_waiters_eventually_served(self):
+        # many waiters on the same stream: every one must eventually commit
+        a = Var("a")
+        waiter = ProcessDefinition(
+            "Waiter",
+            params=("w",),
+            body=[
+                delayed(exists(a).match(P["item", a].retract())).then(
+                    assert_tuple("served", Var("w"))
+                )
+            ],
+        )
+        feeder = ProcessDefinition(
+            "Feeder",
+            params=("n",),
+            body=[
+                repeat(
+                    guarded(
+                        immediate(
+                            exists(a).match(P["fuel", a].retract())
+                        ).then(assert_tuple("item", a))
+                    )
+                )
+            ],
+        )
+        n = 12
+        engine = Engine(definitions=[waiter, feeder], seed=7)
+        engine.assert_tuples([("fuel", i) for i in range(n)])
+        for w in range(n):
+            engine.start("Waiter", (w,))
+        engine.start("Feeder", (n,))
+        assert engine.run().completed
+        served = {
+            inst.values[1] for inst in engine.dataspace.find_matching(P["served", ANY])
+        }
+        assert served == set(range(n))
+
+
+class TestBlockingSelection:
+    def test_selection_with_delayed_guard_blocks(self):
+        a = Var("a")
+        chooser = ProcessDefinition(
+            "Chooser",
+            body=[
+                select(
+                    guarded(
+                        delayed(exists(a).match(P["left", a].retract())).then(
+                            assert_tuple("chose", "left")
+                        )
+                    ),
+                    guarded(
+                        delayed(exists(a).match(P["right", a].retract())).then(
+                            assert_tuple("chose", "right")
+                        )
+                    ),
+                )
+            ],
+        )
+        producer = ProcessDefinition(
+            "Producer", body=[immediate().then(assert_tuple("right", 1))]
+        )
+        engine = Engine(definitions=[chooser, producer], seed=3)
+        engine.start("Chooser")
+        engine.start("Producer")
+        assert engine.run().completed
+        assert ("chose", "right") in engine.dataspace.multiset()
+
+    def test_blocked_selection_retries_immediate_guards(self):
+        # an immediate guard that becomes true later must still fire as long
+        # as a delayed guard keeps the selection blocked
+        a = Var("a")
+        chooser = ProcessDefinition(
+            "Chooser",
+            body=[
+                select(
+                    guarded(
+                        immediate(exists(a).match(P["now", a].retract())).then(
+                            assert_tuple("chose", "immediate")
+                        )
+                    ),
+                    guarded(
+                        delayed(exists(a).match(P["never", a].retract())).then(
+                            assert_tuple("chose", "delayed")
+                        )
+                    ),
+                )
+            ],
+        )
+        producer = ProcessDefinition(
+            "Producer", body=[immediate().then(assert_tuple("now", 1))]
+        )
+        engine = Engine(definitions=[chooser, producer], seed=3)
+        engine.start("Chooser")
+        engine.start("Producer")
+        assert engine.run().completed
+        assert ("chose", "immediate") in engine.dataspace.multiset()
+
+
+class TestWakeFilters:
+    def test_unrelated_arity_does_not_wake(self):
+        # waiter watches arity-2 <item, a>; producer spams arity-3 tuples
+        a = Var("a")
+        waiter = ProcessDefinition(
+            "Waiter",
+            body=[delayed(exists(a).match(P["item", a]))],
+        )
+        spammer = ProcessDefinition(
+            "Spammer",
+            body=[immediate().then(*(assert_tuple("noise", i, i) for i in range(5)))],
+        )
+        feeder = ProcessDefinition(
+            "Feeder", body=[immediate().then(assert_tuple("item", 1))]
+        )
+        engine = Engine(
+            definitions=[waiter, spammer, feeder], seed=1, trace=Trace(True),
+            policy="fifo",
+        )
+        engine.start("Waiter")  # fifo: blocks before any producer runs
+        engine.start("Spammer")
+        engine.start("Feeder")
+        assert engine.run().completed
+        wakeups = [e for e in engine.trace.events if isinstance(e, TaskWoken)]
+        # woken by the matching-arity change only (one wake, not six)
+        assert len(wakeups) == 1
+
+    def test_config_dependent_view_wakes_on_any_change(self):
+        # the waiter's view depends on a context tuple of DIFFERENT arity;
+        # the conservative filter must still wake it
+        a = Var("a")
+        pi = Var("pi")
+        waiter = ProcessDefinition(
+            "Waiter",
+            imports=[
+                import_rule("item", pi, where=[P["enable", pi, 1]]),
+            ],
+            body=[
+                delayed(exists(a).match(P["item", a])).then(assert_tuple("woke", a))
+            ],
+        )
+        enabler = ProcessDefinition(
+            "Enabler", body=[immediate().then(assert_tuple("enable", 5, 1))]
+        )
+        engine = Engine(definitions=[waiter, enabler], seed=1)
+        engine.assert_tuples([("item", 5)])
+        engine.start("Waiter")
+        engine.start("Enabler")
+        assert engine.run().completed
+        assert ("woke", 5) in engine.dataspace.multiset()

@@ -1,0 +1,263 @@
+"""Engine tests: nested and combined flow-of-control constructs."""
+
+import pytest
+
+from repro.core.actions import EXIT, ABORT, assert_tuple, let
+from repro.core.constructs import guarded, repeat, replicate, select, seq
+from repro.core.expressions import Var, variables
+from repro.core.patterns import ANY, P
+from repro.core.process import ProcessDefinition
+from repro.core.query import exists, no
+from repro.core.transactions import delayed, immediate
+from repro.runtime.engine import Engine
+
+
+def run_single(body, rows=(), seed=0, defs=()):
+    main = ProcessDefinition("Main", body=body)
+    engine = Engine(definitions=[main, *defs], seed=seed)
+    engine.assert_tuples(rows)
+    engine.start("Main")
+    return engine, engine.run(max_steps=200_000)
+
+
+class TestSelectionInsideRepetition:
+    def test_repetition_body_contains_selection(self):
+        # NB: guard bindings cross into later statements only via `let`
+        # (paper: "∃p: [index,p] -> let X = p ; ...")
+        a = Var("a")
+        N = Var("N")
+        engine, __ = run_single(
+            [
+                repeat(
+                    guarded(
+                        immediate(exists(a).match(P["n", a].retract())).then(
+                            let("N", a)
+                        ),
+                        select(
+                            guarded(
+                                immediate(exists().such_that((N % 2) == 0)).then(
+                                    assert_tuple("even", N)
+                                )
+                            ),
+                            guarded(
+                                immediate(exists().such_that((N % 2) != 0)).then(
+                                    assert_tuple("odd", N)
+                                )
+                            ),
+                        ),
+                    )
+                )
+            ],
+            rows=[("n", i) for i in range(6)],
+        )
+        assert engine.dataspace.count_matching(P["even", ANY]) == 3
+        assert engine.dataspace.count_matching(P["odd", ANY]) == 3
+
+    def test_exit_from_inner_selection_ends_only_selection(self):
+        # exit in a selection GUARD propagates out of the selection; with an
+        # enclosing repetition it terminates that repetition
+        a = Var("a")
+        N = Var("N")
+        engine, __ = run_single(
+            [
+                repeat(
+                    guarded(
+                        immediate(exists(a).match(P["n", a].retract())).then(
+                            let("N", a)
+                        ),
+                        select(
+                            guarded(
+                                immediate(exists().such_that(N == 2)).then(EXIT)
+                            ),
+                            guarded(
+                                immediate(exists().such_that(N != 2)).then(
+                                    assert_tuple("kept", N)
+                                )
+                            ),
+                        ),
+                    )
+                ),
+                immediate().then(assert_tuple("after", 1)),
+            ],
+            rows=[("n", i) for i in range(5)],
+            seed=1,
+        )
+        assert ("after", 1) in engine.dataspace.multiset()
+        # everything processed before the n=2 draw was kept
+        assert engine.dataspace.count_matching(P["kept", ANY]) >= 0
+
+
+class TestNestedRepetition:
+    def test_inner_repetition_drains_per_outer_item(self):
+        a, b = variables("a b")
+        A = Var("A")
+        engine, __ = run_single(
+            [
+                repeat(
+                    guarded(
+                        immediate(exists(a).match(P["batch", a].retract())).then(
+                            let("A", a)
+                        ),
+                        repeat(
+                            guarded(
+                                immediate(
+                                    exists(b).match(P["work", A, b].retract())
+                                ).then(assert_tuple("done", A, b))
+                            )
+                        ),
+                    )
+                )
+            ],
+            rows=[("batch", 0), ("batch", 1), ("work", 0, 10), ("work", 0, 11), ("work", 1, 20)],
+        )
+        assert engine.dataspace.count_matching(P["done", ANY, ANY]) == 3
+        assert engine.dataspace.count_matching(P["work", ANY, ANY]) == 0
+
+    def test_exit_in_inner_repetition_continues_outer(self):
+        a, b = variables("a b")
+        A = Var("A")
+        engine, __ = run_single(
+            [
+                repeat(
+                    guarded(
+                        immediate(exists(a).match(P["batch", a].retract())).then(
+                            let("A", a)
+                        ),
+                        repeat(
+                            guarded(
+                                immediate(exists(b).match(P["stop", A, b].retract())).then(EXIT)
+                            ),
+                            guarded(
+                                immediate(exists(b).match(P["work", A, b].retract())).then(
+                                    assert_tuple("done", A, b)
+                                )
+                            ),
+                        ),
+                        immediate().then(assert_tuple("batch_done", A)),
+                    )
+                )
+            ],
+            rows=[("batch", 0), ("batch", 1), ("stop", 0, 1), ("work", 1, 5)],
+            seed=2,
+        )
+        # both batches completed despite batch 0's early inner exit
+        assert engine.dataspace.count_matching(P["batch_done", ANY]) == 2
+
+
+class TestReplicationNesting:
+    def test_replication_inside_repetition(self):
+        a, b = variables("a b")
+        engine, __ = run_single(
+            [
+                repeat(
+                    guarded(
+                        immediate(exists(a).match(P["wave", a].retract())),
+                        replicate(
+                            guarded(
+                                immediate(
+                                    exists(b).match(P["item", a, b].retract())
+                                ).then(assert_tuple("out", a, b))
+                            )
+                        ),
+                    )
+                )
+            ],
+            rows=[("wave", 0), ("wave", 1)]
+            + [("item", w, i) for w in (0, 1) for i in range(4)],
+        )
+        assert engine.dataspace.count_matching(P["out", ANY, ANY]) == 8
+
+    def test_replica_bodies_with_nested_replication(self):
+        # replicas share the process environment, so `let` is unsafe for
+        # per-replica state; carry the binding through the dataspace instead
+        a, a2, b = variables("a a2 b")
+        engine, __ = run_single(
+            [
+                replicate(
+                    guarded(
+                        immediate(exists(a).match(P["outer", a].retract())).then(
+                            assert_tuple("active", a)
+                        ),
+                        replicate(
+                            guarded(
+                                immediate(
+                                    exists(a2, b).match(
+                                        P["active", a2], P["inner", a2, b].retract()
+                                    )
+                                ).then(assert_tuple("leaf", a2, b))
+                            )
+                        ),
+                    )
+                )
+            ],
+            rows=[("outer", 0), ("outer", 1)]
+            + [("inner", w, i) for w in (0, 1) for i in range(3)],
+        )
+        assert engine.dataspace.count_matching(P["leaf", ANY, ANY]) == 6
+
+    def test_abort_deep_inside_nesting_kills_process(self):
+        a = Var("a")
+        N = Var("N")
+        engine, result = run_single(
+            [
+                repeat(
+                    guarded(
+                        immediate(exists(a).match(P["n", a].retract())).then(
+                            let("N", a)
+                        ),
+                        select(
+                            guarded(immediate(exists().such_that(N == 1)).then(ABORT)),
+                            guarded(immediate(exists().such_that(N != 1))),
+                        ),
+                    )
+                ),
+                immediate().then(assert_tuple("survived", 1)),
+            ],
+            rows=[("n", 1)],
+        )
+        assert result.completed
+        assert ("survived", 1) not in engine.dataspace.multiset()
+        assert engine.society.get(1).status.value == "aborted"
+
+
+class TestSequenceEdgeCases:
+    def test_deeply_nested_sequences(self):
+        engine, __ = run_single(
+            [seq(seq(seq(immediate().then(assert_tuple("deep", 1)))))]
+        )
+        assert ("deep", 1) in engine.dataspace.multiset()
+
+    def test_guard_lets_visible_in_branch_body(self):
+        a = Var("a")
+        engine, __ = run_single(
+            [
+                select(
+                    guarded(
+                        immediate(exists(a).match(P["x", a].retract())).then(
+                            let("N", a * 10)
+                        ),
+                        immediate().then(assert_tuple("scaled", Var("N"))),
+                    )
+                )
+            ],
+            rows=[("x", 4)],
+        )
+        assert ("scaled", 40) in engine.dataspace.multiset()
+
+    def test_selection_after_blocking_statement_with_producer(self):
+        a = Var("a")
+        consumer = ProcessDefinition(
+            "Consumer",
+            body=[
+                delayed(exists(a).match(P["go", a].retract())),
+                select(guarded(immediate().then(assert_tuple("then", 1)))),
+            ],
+        )
+        producer = ProcessDefinition(
+            "Producer", body=[immediate().then(assert_tuple("go", 1))]
+        )
+        engine = Engine(definitions=[consumer, producer], seed=1, policy="fifo")
+        engine.start("Consumer")
+        engine.start("Producer")
+        assert engine.run().completed
+        assert ("then", 1) in engine.dataspace.multiset()

@@ -1,0 +1,232 @@
+"""Engine tests: the replication construct (unbounded concurrency)."""
+
+import pytest
+
+from repro.core.actions import EXIT, ABORT, assert_tuple
+from repro.core.constructs import guarded, replicate
+from repro.core.expressions import Var, variables
+from repro.core.patterns import ANY, P
+from repro.core.process import ProcessDefinition
+from repro.core.query import exists
+from repro.core.transactions import delayed, immediate
+from repro.runtime.engine import Engine
+from repro.runtime.events import ReplicaSpawned, Trace
+
+
+def run_single(body, rows=(), seed=0, defs=(), detail=False):
+    main = ProcessDefinition("Main", body=body)
+    engine = Engine(definitions=[main, *defs], seed=seed, trace=Trace(detail))
+    engine.assert_tuples(rows)
+    engine.start("Main")
+    return engine, engine.run()
+
+
+class TestFixpoint:
+    def test_drains_to_fixpoint(self):
+        a = Var("a")
+        engine, result = run_single(
+            [
+                replicate(
+                    guarded(
+                        immediate(exists(a).match(P["in", a].retract())).then(
+                            assert_tuple("out", a)
+                        )
+                    )
+                )
+            ],
+            rows=[("in", i) for i in range(10)],
+        )
+        assert result.completed
+        assert engine.dataspace.count_matching(P["out", ANY]) == 10
+
+    def test_pairwise_merge_terminates(self):
+        n, m, a, b = variables("n m a b")
+        engine, result = run_single(
+            [
+                replicate(
+                    guarded(
+                        immediate(
+                            exists(n, a, m, b)
+                            .match(P[n, a].retract(), P[m, b].retract())
+                            .such_that(n != m)
+                        ).then(assert_tuple(m, a + b))
+                    )
+                )
+            ],
+            rows=[(k, 1) for k in range(1, 9)],
+        )
+        (final,) = engine.dataspace.snapshot()
+        assert final[1] == 8
+
+    def test_empty_dataspace_terminates_immediately(self):
+        a = Var("a")
+        engine, result = run_single(
+            [replicate(guarded(immediate(exists(a).match(P["in", a].retract()))))]
+        )
+        assert result.completed
+
+    def test_statements_after_replication_run(self):
+        a = Var("a")
+        engine, __ = run_single(
+            [
+                replicate(
+                    guarded(immediate(exists(a).match(P["in", a].retract())))
+                ),
+                immediate().then(assert_tuple("after", 1)),
+            ],
+            rows=[("in", 1)],
+        )
+        assert ("after", 1) in engine.dataspace.multiset()
+
+
+class TestParallelRounds:
+    def test_merges_happen_in_logarithmic_rounds(self):
+        """The replication pump fires a maximal conflict-free batch per
+        round, so N/2 merges land in round one, N/4 in round two, ..."""
+        n, m, a, b = variables("n m a b")
+        N = 64
+        engine, result = run_single(
+            [
+                replicate(
+                    guarded(
+                        immediate(
+                            exists(n, a, m, b)
+                            .match(P[n, a].retract(), P[m, b].retract())
+                            .such_that(n != m)
+                        ).then(assert_tuple(m, a + b))
+                    )
+                )
+            ],
+            rows=[(k, 1) for k in range(1, N + 1)],
+            seed=5,
+        )
+        assert result.commits == N - 1
+        # log2(64)=6 waves plus construct overhead; far below N-1
+        assert result.rounds <= 12
+        assert result.parallelism > 4
+
+    def test_batch_reads_pre_round_snapshot(self):
+        """Tuples asserted during a batch are invisible to that batch, like
+        a synchronous parallel step: each <v, k> increments once per round,
+        so the chain of C increments takes exactly C extra rounds."""
+        a = Var("a")
+        engine, result = run_single(
+            [
+                replicate(
+                    guarded(
+                        immediate(
+                            exists(a).match(P["v", a].retract()).such_that(a < 5)
+                        ).then(assert_tuple("v", a + 1))
+                    )
+                )
+            ],
+            rows=[("v", 0)],
+            detail=True,
+        )
+        assert ("v", 5) in engine.dataspace.multiset()
+        per_round = engine.trace.commits_by_round()
+        assert all(count == 1 for count in per_round.values())
+
+
+class TestBodiesAndControl:
+    def test_branch_bodies_run_as_replicas(self):
+        a = Var("a")
+        engine, __ = run_single(
+            [
+                replicate(
+                    guarded(
+                        immediate(exists(a).match(P["task", a].retract())).then(
+                            assert_tuple("claimed", a)
+                        ),
+                        immediate(exists(a).match(P["claimed", a].retract())).then(
+                            assert_tuple("finished", a)
+                        ),
+                    )
+                )
+            ],
+            rows=[("task", i) for i in range(6)],
+        )
+        assert engine.dataspace.count_matching(P["finished", ANY]) == 6
+
+    def test_exit_in_guard_stops_replication(self):
+        a = Var("a")
+        engine, result = run_single(
+            [
+                replicate(
+                    guarded(
+                        immediate(
+                            exists(a).match(P["n", a].retract()).such_that(a == 0)
+                        ).then(EXIT)
+                    ),
+                    guarded(
+                        immediate(
+                            exists(a).match(P["n", a].retract()).such_that(a > 0)
+                        ).then(assert_tuple("seen", a))
+                    ),
+                ),
+                immediate().then(assert_tuple("after", 1)),
+            ],
+            rows=[("n", 0)],
+        )
+        assert result.completed
+        assert ("after", 1) in engine.dataspace.multiset()
+
+    def test_abort_in_replica_kills_process(self):
+        a = Var("a")
+        engine, result = run_single(
+            [
+                replicate(
+                    guarded(
+                        immediate(exists(a).match(P["n", a].retract())).then(ABORT)
+                    )
+                ),
+                immediate().then(assert_tuple("after", 1)),
+            ],
+            rows=[("n", 1)],
+        )
+        assert result.completed
+        assert ("after", 1) not in engine.dataspace.multiset()
+        assert engine.society.get(1).status.value == "aborted"
+
+    def test_delayed_guard_replication_waits_then_exits(self):
+        a = Var("a")
+        worker = [
+            replicate(
+                guarded(
+                    delayed(exists(a).match(P["job", a].retract())).then(
+                        assert_tuple("done", a)
+                    )
+                ),
+                guarded(
+                    delayed(exists().match(P["stop", ANY].retract())).then(EXIT)
+                ),
+            )
+        ]
+        feeder = ProcessDefinition(
+            "Feeder",
+            body=[
+                immediate().then(assert_tuple("job", 1)),
+                immediate().then(assert_tuple("job", 2)),
+                immediate().then(assert_tuple("stop", 0)),
+            ],
+        )
+        main = ProcessDefinition("Main", body=worker)
+        engine = Engine(definitions=[main, feeder], seed=4)
+        engine.start("Main")
+        engine.start("Feeder")
+        result = engine.run()
+        assert result.completed
+        # the stop signal races the remaining jobs; at least one job must
+        # have been served before the exit could possibly fire
+        assert engine.dataspace.count_matching(P["done", ANY]) >= 1
+        assert engine.society.get(1).status.value == "terminated"
+
+    def test_replica_spawn_events_recorded(self):
+        a = Var("a")
+        engine, __ = run_single(
+            [replicate(guarded(immediate(exists(a).match(P["x", a].retract()))))],
+            rows=[("x", i) for i in range(3)],
+            detail=True,
+        )
+        fired = [e for e in engine.trace.events if isinstance(e, ReplicaSpawned)]
+        assert len(fired) == 3

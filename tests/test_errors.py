@@ -1,0 +1,59 @@
+"""Tests for the exception hierarchy (repro.errors)."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_is_sdlerror(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.SDLError), name
+
+    def test_dual_inheritance_for_catchability(self):
+        # library errors should also be catchable as their natural builtin
+        assert issubclass(errors.ValueDomainError, TypeError)
+        assert issubclass(errors.ArityError, ValueError)
+        assert issubclass(errors.UnboundVariableError, NameError)
+        assert issubclass(errors.ParseError, SyntaxError)
+        assert issubclass(errors.ExportViolation, PermissionError)
+        assert issubclass(errors.DeadlockError, RuntimeError)
+
+    def test_unknown_process_is_process_error(self):
+        assert issubclass(errors.UnknownProcessError, errors.ProcessError)
+
+
+class TestMessages:
+    def test_unbound_variable_names_the_variable(self):
+        err = errors.UnboundVariableError("alpha")
+        assert "alpha" in str(err)
+        assert err.name == "alpha"
+
+    def test_rebind_names_the_variable(self):
+        assert "x" in str(errors.RebindError("x"))
+
+    def test_export_violation_carries_payload(self):
+        err = errors.ExportViolation("Sorter", ("secret", 1))
+        assert "Sorter" in str(err)
+        assert err.values == ("secret", 1)
+
+    def test_deadlock_lists_blocked(self):
+        err = errors.DeadlockError(["A#1", "B#2"])
+        assert "A#1" in str(err) and "B#2" in str(err)
+        assert err.blocked == ["A#1", "B#2"]
+
+    def test_step_limit_mentions_limit(self):
+        err = errors.StepLimitExceeded(500)
+        assert "500" in str(err)
+        assert err.limit == 500
+
+    def test_parse_error_carries_position(self):
+        err = errors.ParseError("bad token", 3, 7)
+        assert "line 3" in str(err)
+        assert (err.line, err.column) == (3, 7)
+
+    def test_unknown_process_names_target(self):
+        err = errors.UnknownProcessError("Ghost")
+        assert "Ghost" in str(err)

@@ -1,0 +1,140 @@
+"""Unit tests for the expression mini-language (repro.core.expressions)."""
+
+import pytest
+
+from repro.core.expressions import (
+    Bindings,
+    Call,
+    Const,
+    EvalContext,
+    Expr,
+    Var,
+    as_expr,
+    fn,
+    lift,
+    variables,
+)
+from repro.errors import RebindError, UnboundVariableError
+
+
+def ev(expr, **bound):
+    return expr.evaluate(EvalContext(Bindings(bound)))
+
+
+class TestBindings:
+    def test_empty(self):
+        assert len(Bindings.EMPTY) == 0
+        assert "x" not in Bindings.EMPTY
+
+    def test_bind_is_persistent(self):
+        base = Bindings({"a": 1})
+        child = base.bind("b", 2)
+        assert "b" not in base
+        assert child.get("b") == 2
+        assert child.get("a") == 1
+
+    def test_rebind_rejected(self):
+        with pytest.raises(RebindError):
+            Bindings({"a": 1}).bind("a", 2)
+
+    def test_get_missing_raises(self):
+        with pytest.raises(UnboundVariableError):
+            Bindings.EMPTY.get("zzz")
+
+    def test_bind_all_and_equality(self):
+        a = Bindings().bind_all({"x": 1, "y": 2})
+        b = Bindings({"x": 1, "y": 2})
+        assert a == b
+        assert a.as_dict() == {"x": 1, "y": 2}
+
+
+class TestArithmetic:
+    def test_operators(self):
+        a, b = variables("a b")
+        assert ev(a + b, a=2, b=3) == 5
+        assert ev(a - b, a=2, b=3) == -1
+        assert ev(a * b, a=2, b=3) == 6
+        assert ev(a / b, a=6, b=3) == 2
+        assert ev(a // b, a=7, b=2) == 3
+        assert ev(a % b, a=7, b=2) == 1
+        assert ev(a ** b, a=2, b=5) == 32
+        assert ev(-a, a=4) == -4
+
+    def test_reflected_operators(self):
+        a = Var("a")
+        assert ev(10 - a, a=4) == 6
+        assert ev(2 ** a, a=3) == 8
+        assert ev(1 + a, a=1) == 2
+
+    def test_nested_expression(self):
+        k, j = variables("k j")
+        expr = k - 2 ** (j - 1)
+        assert ev(expr, k=8, j=3) == 4
+
+
+class TestComparisonsAndLogic:
+    def test_comparisons(self):
+        a = Var("a")
+        assert ev(a > 87, a=90) is True
+        assert ev(a > 87, a=80) is False
+        assert ev(a <= 87, a=87) is True
+        assert ev(a == 87, a=87) is True
+        assert ev(a != 87, a=87) is False
+
+    def test_paper_connectives(self):
+        a, b = variables("a b")
+        conj = (a > 0) & (b > 0)
+        disj = (a > 0) | (b > 0)
+        neg = ~(a > 0)
+        assert ev(conj, a=1, b=1) is True
+        assert ev(conj, a=1, b=-1) is False
+        assert ev(disj, a=-1, b=1) is True
+        assert ev(neg, a=-1) is True
+
+    def test_bool_coercion_is_refused(self):
+        a = Var("a")
+        with pytest.raises(TypeError):
+            bool(a > 1)
+
+    def test_eq_builds_ast_not_bool(self):
+        a = Var("a")
+        node = a == 1
+        assert isinstance(node, Expr)
+
+
+class TestCallsAndHelpers:
+    def test_lift(self):
+        double = lift(lambda x: 2 * x, "double")
+        assert ev(double(Var("a")), a=21) == 42
+        assert "double" in repr(double(Var("a")))
+
+    def test_fn_alias(self):
+        assert fn is lift
+
+    def test_call_free_variables(self):
+        a, b = variables("a b")
+        call = lift(max)(a, b + 1)
+        assert call.free_variables() == {"a", "b"}
+
+    def test_as_expr(self):
+        assert isinstance(as_expr(5), Const)
+        v = Var("v")
+        assert as_expr(v) is v
+
+    def test_variables_splits_commas_and_spaces(self):
+        names = [v.name for v in variables("a, b c")]
+        assert names == ["a", "b", "c"]
+
+    def test_free_variables(self):
+        a, b = variables("a b")
+        assert (a + b * 2).free_variables() == {"a", "b"}
+        assert Const(1).free_variables() == frozenset()
+
+    def test_unbound_evaluation_raises(self):
+        with pytest.raises(UnboundVariableError):
+            ev(Var("nope") + 1)
+
+    def test_repr_readable(self):
+        a, b = variables("a b")
+        assert repr(a + b) == "(a + b)"
+        assert repr(~(a > b)) == "~(a > b)"

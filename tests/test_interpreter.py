@@ -1,0 +1,160 @@
+"""Direct tests of the behaviour-tree interpreter protocol.
+
+These drive the generator with hand-crafted responses — no engine, no
+dataspace — pinning the interpreter's control-flow contract: what it
+yields, what it expects back, and how exit/abort propagate.
+"""
+
+import pytest
+
+from repro.core.actions import EXIT, ABORT
+from repro.core.constructs import (
+    guarded,
+    repeat,
+    replicate,
+    select,
+    seq,
+)
+from repro.core.transactions import Control, TransactionOutcome, immediate
+from repro.runtime.interpreter import (
+    ReplicationRequest,
+    SelectRequest,
+    TxnRequest,
+    interpret,
+    interpret_body,
+)
+
+
+def ok(control=Control.NONE):
+    return TransactionOutcome(success=True, control=control)
+
+
+def fail():
+    return TransactionOutcome.failure()
+
+
+def drive(gen, responses):
+    """Feed *responses* to the generator; return (requests, final control)."""
+    requests = []
+    value = None
+    try:
+        while True:
+            request = gen.send(value)
+            requests.append(request)
+            if not responses:
+                raise AssertionError(f"interpreter asked for more than {requests}")
+            value = responses.pop(0)
+    except StopIteration as stop:
+        return requests, stop.value
+
+
+class TestSequenceProtocol:
+    def test_yields_each_transaction_in_order(self):
+        t1, t2 = immediate().labeled("a").build(), immediate().labeled("b").build()
+        gen = interpret([_stmt(t1), _stmt(t2)])
+        requests, control = drive(gen, [ok(), ok()])
+        assert [r.transaction.label for r in requests] == ["a", "b"]
+        assert control is Control.NONE
+
+    def test_failed_immediate_is_skip(self):
+        gen = interpret([_stmt(immediate().build()), _stmt(immediate().labeled("next").build())])
+        requests, control = drive(gen, [fail(), ok()])
+        assert len(requests) == 2  # the failure did not stop the sequence
+        assert control is Control.NONE
+
+    def test_exit_stops_sequence(self):
+        gen = interpret([_stmt(immediate().build()), _stmt(immediate().build())])
+        requests, control = drive(gen, [ok(Control.EXIT)])
+        assert len(requests) == 1
+        assert control is Control.EXIT
+
+    def test_abort_propagates(self):
+        gen = interpret([_stmt(immediate().build())])
+        __, control = drive(gen, [ok(Control.ABORT)])
+        assert control is Control.ABORT
+
+
+class TestSelectionProtocol:
+    def test_selected_branch_body_runs(self):
+        body_txn = immediate().labeled("body").build()
+        sel = select(guarded(immediate().build(), _stmt(body_txn)))
+        gen = interpret([sel])
+        requests, control = drive(gen, [(0, ok()), ok()])
+        assert isinstance(requests[0], SelectRequest)
+        assert isinstance(requests[1], TxnRequest)
+        assert requests[1].transaction.label == "body"
+        assert control is Control.NONE
+
+    def test_failed_selection_is_skip(self):
+        sel = select(guarded(immediate().build()))
+        gen = interpret([sel, _stmt(immediate().labeled("after").build())])
+        requests, control = drive(gen, [None, ok()])
+        assert requests[1].transaction.label == "after"
+
+    def test_guard_exit_propagates(self):
+        sel = select(guarded(immediate().build()))
+        gen = interpret([sel])
+        __, control = drive(gen, [(0, ok(Control.EXIT))])
+        assert control is Control.EXIT
+
+
+class TestRepetitionProtocol:
+    def test_repeats_until_selection_fails(self):
+        rep = repeat(guarded(immediate().build()))
+        gen = interpret([rep])
+        requests, control = drive(gen, [(0, ok()), (0, ok()), None])
+        assert len(requests) == 3
+        assert control is Control.NONE
+
+    def test_guard_exit_ends_repetition_not_process(self):
+        rep = repeat(guarded(immediate().build()))
+        after = immediate().labeled("after").build()
+        gen = interpret([rep, _stmt(after)])
+        requests, control = drive(gen, [(0, ok(Control.EXIT)), ok()])
+        assert requests[-1].transaction.label == "after"
+        assert control is Control.NONE
+
+    def test_body_exit_ends_repetition(self):
+        body = immediate().labeled("body").build()
+        rep = repeat(guarded(immediate().build(), _stmt(body)))
+        gen = interpret([rep])
+        __, control = drive(gen, [(0, ok()), ok(Control.EXIT)])
+        assert control is Control.NONE
+
+    def test_body_abort_propagates(self):
+        body = immediate().build()
+        rep = repeat(guarded(immediate().build(), _stmt(body)))
+        gen = interpret([rep])
+        __, control = drive(gen, [(0, ok()), ok(Control.ABORT)])
+        assert control is Control.ABORT
+
+
+class TestReplicationProtocol:
+    def test_replication_yields_single_request(self):
+        rep = replicate(guarded(immediate().build()))
+        gen = interpret([rep])
+        requests, control = drive(gen, [Control.NONE])
+        assert len(requests) == 1
+        assert isinstance(requests[0], ReplicationRequest)
+        assert control is Control.NONE
+
+    def test_replication_abort_response_propagates(self):
+        rep = replicate(guarded(immediate().build()))
+        gen = interpret([rep])
+        __, control = drive(gen, [Control.ABORT])
+        assert control is Control.ABORT
+
+    def test_interpret_body_runs_branch_statements(self):
+        branch = guarded(
+            immediate().build(), _stmt(immediate().labeled("inner").build())
+        )
+        gen = interpret_body(branch)
+        requests, control = drive(gen, [ok()])
+        assert requests[0].transaction.label == "inner"
+        assert control is Control.NONE
+
+
+def _stmt(txn):
+    from repro.core.constructs import TransactionStatement
+
+    return TransactionStatement(txn)

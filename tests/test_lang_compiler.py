@@ -1,0 +1,160 @@
+"""Unit tests for the surface-language compiler (repro.lang.compiler)."""
+
+import pytest
+
+from repro.core.expressions import Const, Var
+from repro.core.patterns import WildElement
+from repro.core.transactions import Mode
+from repro.core.values import Atom
+from repro.errors import ParseError
+from repro.lang import compile_process, compile_program
+from repro.runtime.engine import Engine
+
+
+class TestNameResolution:
+    def test_params_become_variables(self):
+        d = compile_process("process P(k) behavior -> (echo, k) end")
+        pattern = d.body.body[0].transaction.actions[0].pattern
+        # field 1 must be Var("k"), not Atom("k")
+        from repro.core.patterns import LitElement, VarElement
+
+        assert isinstance(pattern.elements[1], VarElement)
+
+    def test_unbound_names_become_atoms(self):
+        d = compile_process("process P() behavior -> (year, nil) end")
+        pattern = d.body.body[0].transaction.actions[0].pattern
+        values = pattern.instantiate.__self__  # just check compile worked
+        from repro.core.expressions import EvalContext, Bindings
+
+        got = pattern.instantiate(EvalContext(Bindings()))
+        assert got == (Atom("year"), Atom("nil"))
+
+    def test_quantified_variables_scoped_to_transaction(self):
+        d = compile_process(
+            "process P() behavior exists a : <x, a>^ -> (y, a) end"
+        )
+        txn = d.body.body[0].transaction
+        assert txn.query.variables == ("a",)
+
+    def test_let_visible_to_later_statements(self):
+        d = compile_process(
+            "process P() behavior -> let N = 2 ; -> (x, N + 1) end"
+        )
+        engine = Engine(definitions=[d], seed=0)
+        engine.start("P")
+        engine.run()
+        assert ("x", 3) in engine.dataspace.multiset()
+
+    def test_registered_function_called(self):
+        d = compile_process(
+            "process P() behavior : double(2) = 4 -> (ok, 1) end",
+            functions={"double": lambda x: 2 * x},
+        )
+        engine = Engine(definitions=[d], seed=0)
+        engine.start("P")
+        engine.run()
+        assert ("ok", 1) in engine.dataspace.multiset()
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(ParseError):
+            compile_process("process P() behavior : nope(1) -> skip end")
+
+
+class TestLowering:
+    def test_tags_map_to_modes(self):
+        d = compile_process(
+            "process P() behavior -> skip ; <x> => skip ; <x> ^^ skip end"
+        )
+        modes = [s.transaction.mode for s in d.body.body]
+        assert modes == [Mode.IMMEDIATE, Mode.DELAYED, Mode.CONSENSUS]
+
+    def test_wildcards(self):
+        d = compile_process("process P() behavior exists a : <x, *, a> -> skip end")
+        pattern = d.body.body[0].transaction.query.atoms[0].pattern
+        assert isinstance(pattern.elements[1], WildElement)
+
+    def test_view_rules_compiled(self):
+        d = compile_process(
+            "process P(i) import some a: <i, a> if a > 0 behavior -> skip end"
+        )
+        rule = d.view.imports[0]
+        assert rule.guard is not None
+
+    def test_duplicate_process_rejected(self):
+        with pytest.raises(ParseError):
+            compile_program(
+                "process P() behavior -> skip end process P() behavior -> skip end"
+            )
+
+    def test_exit_and_abort_actions(self):
+        d = compile_process("process P() behavior -> exit ; -> abort end")
+        from repro.core.actions import Abort, Exit
+
+        assert isinstance(d.body.body[0].transaction.actions[0], Exit)
+        assert isinstance(d.body.body[1].transaction.actions[0], Abort)
+
+
+class TestEndToEnd:
+    def test_paper_example_harvest_years(self):
+        source = """
+        process Harvest()
+        behavior
+          *[ exists a : <year, a>^ : a > 87 -> (found, a) ]
+        end
+        """
+        d = compile_process(source)
+        engine = Engine(definitions=[d], seed=0)
+        engine.assert_tuples([("year", y) for y in (85, 88, 90)])
+        engine.start("Harvest")
+        engine.run()
+        found = sorted(
+            v[1] for v in engine.dataspace.multiset() if v[0] == Atom("found")
+        )
+        assert found == [88, 90]
+
+    def test_replication_via_surface_syntax(self):
+        source = """
+        process Sum3()
+        behavior
+          ~[ exists n, a, m, b : <n, a>^, <m, b>^ : not n = m -> (m, a + b) ]
+        end
+        """
+        d = compile_process(source)
+        engine = Engine(definitions=[d], seed=1)
+        engine.assert_tuples([(k, k) for k in range(1, 9)])
+        engine.start("Sum3")
+        engine.run()
+        (final,) = engine.dataspace.snapshot()
+        assert final[1] == 36
+
+    def test_spawn_across_compiled_processes(self):
+        source = """
+        process Parent()
+        behavior
+          -> Child(5)
+        end
+        process Child(n)
+        behavior
+          -> (born, n)
+        end
+        """
+        defs = compile_program(source)
+        engine = Engine(definitions=defs.values(), seed=0)
+        engine.start("Parent")
+        engine.run()
+        assert ("born", 5) in engine.dataspace.multiset()
+
+    def test_has_membership_end_to_end(self):
+        source = """
+        process Check()
+        behavior
+          [ : has(some v: <n, v> : v > 10) -> (big, 1)
+          | : not has(some v: <n, v> : v > 10) -> (small, 1) ]
+        end
+        """
+        d = compile_process(source)
+        engine = Engine(definitions=[d], seed=0)
+        engine.assert_tuples([("n", 5), ("n", 20)])
+        engine.start("Check")
+        engine.run()
+        assert ("big", 1) in engine.dataspace.multiset()

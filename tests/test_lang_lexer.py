@@ -1,0 +1,67 @@
+"""Unit tests for the surface-language lexer (repro.lang.lexer)."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang.lexer import Token, tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.value) for t in tokenize(source) if t.kind != "EOF"]
+
+
+class TestBasics:
+    def test_names_and_keywords(self):
+        assert kinds("process Sum behavior end") == [
+            ("KEYWORD", "process"),
+            ("NAME", "Sum"),
+            ("KEYWORD", "behavior"),
+            ("KEYWORD", "end"),
+        ]
+
+    def test_numbers(self):
+        assert kinds("12 3.5 0") == [
+            ("NUMBER", "12"),
+            ("NUMBER", "3.5"),
+            ("NUMBER", "0"),
+        ]
+
+    def test_strings_with_escapes(self):
+        assert kinds(r'"a\"b" "x\n"') == [("STRING", 'a"b'), ("STRING", "x\n")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            tokenize('"oops')
+
+    def test_comments_skipped(self):
+        assert kinds("a # comment\nb") == [("NAME", "a"), ("NAME", "b")]
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            tokenize("a @ b")
+
+
+class TestOperators:
+    def test_maximal_munch(self):
+        assert [v for __, v in kinds("** ^^ -> => != <= >= //")] == [
+            "**", "^^", "->", "=>", "!=", "<=", ">=", "//",
+        ]
+
+    def test_caret_vs_consensus(self):
+        assert [v for __, v in kinds("^ ^^ ^")] == ["^", "^^", "^"]
+
+    def test_star_vs_power(self):
+        assert [v for __, v in kinds("* ** *")] == ["*", "**", "*"]
+
+    def test_pattern_tokens(self):
+        assert [v for __, v in kinds("<k, a>^")] == ["<", "k", ",", "a", ">", "^"]
+
+
+class TestPositions:
+    def test_line_and_column_tracked(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_eof_token_present(self):
+        assert tokenize("")[-1].kind == "EOF"

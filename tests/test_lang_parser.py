@@ -1,0 +1,163 @@
+"""Unit tests for the surface-language parser (repro.lang.parser)."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import ast
+from repro.lang.parser import parse_process, parse_program
+
+
+class TestProcessStructure:
+    def test_minimal_process(self):
+        node = parse_process("process P() behavior -> skip end")
+        assert node.name == "P"
+        assert node.params == ()
+        assert node.imports is None
+        assert len(node.body) == 1
+
+    def test_parameters(self):
+        node = parse_process("process Sum(k, j) behavior -> skip end")
+        assert node.params == ("k", "j")
+
+    def test_import_export_rules(self):
+        node = parse_process(
+            "process P(i) import <i,*,*>, some a: <tag, a> if a > 0 "
+            "export <i,*,*> behavior -> skip end"
+        )
+        assert len(node.imports) == 2
+        assert node.imports[1].locals == ("a",)
+        assert node.imports[1].guard is not None
+        assert len(node.exports) == 1
+
+    def test_program_with_multiple_processes(self):
+        nodes = parse_program(
+            "process A() behavior -> skip end process B() behavior -> skip end"
+        )
+        assert [n.name for n in nodes] == ["A", "B"]
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_process("process P() behavior -> skip end extra")
+
+
+class TestTransactions:
+    def _txn(self, text):
+        node = parse_process(f"process P() behavior {text} end")
+        stmt = node.body[0]
+        assert isinstance(stmt, ast.TxnNode)
+        return stmt
+
+    def test_pure_action(self):
+        txn = self._txn("-> (x, 1)")
+        assert txn.query is None
+        assert txn.tag == "->"
+        assert isinstance(txn.actions[0], ast.AssertNode)
+
+    def test_quantified_query_with_retract(self):
+        txn = self._txn("exists a : <year, a>^ : a > 87 -> (found, a)")
+        assert txn.query.quantifier == "exists"
+        assert txn.query.variables == ("a",)
+        assert txn.query.atoms[0].retract
+        assert txn.query.test is not None
+
+    def test_forall(self):
+        txn = self._txn("all a : <x, a>^ -> skip")
+        assert txn.query.quantifier == "all"
+
+    def test_negated_query(self):
+        txn = self._txn("no <x, *> -> (none, 1)")
+        assert txn.query.negated
+
+    def test_delayed_and_consensus_tags(self):
+        assert self._txn("<x> => skip").tag == "=>"
+        assert self._txn("<x> ^^ exit").tag == "^^"
+
+    def test_test_only_guard(self):
+        txn = self._txn(": 1 > 0 -> skip")
+        assert txn.query.atoms == ()
+        assert txn.query.test is not None
+
+    def test_action_list(self):
+        txn = self._txn("-> let N = 5, (x, N), Spawnee(N), exit")
+        kinds = [type(a) for a in txn.actions]
+        assert kinds == [ast.LetNode, ast.AssertNode, ast.SpawnNode, ast.SimpleAction]
+
+    def test_missing_tag_rejected(self):
+        with pytest.raises(ParseError):
+            self._txn("<x> skip")
+
+    def test_multiple_atoms(self):
+        txn = self._txn("exists a, b : <x, a>, <y, b> -> skip")
+        assert len(txn.query.atoms) == 2
+
+
+class TestConstructs:
+    def _stmt(self, text):
+        return parse_process(f"process P() behavior {text} end").body[0]
+
+    def test_selection(self):
+        node = self._stmt("[ -> (a, 1) | -> (b, 1) ]")
+        assert isinstance(node, ast.SelectNode)
+        assert len(node.branches) == 2
+
+    def test_repetition(self):
+        node = self._stmt("*[ <x>^ -> skip ]")
+        assert isinstance(node, ast.RepeatNode)
+
+    def test_replication(self):
+        node = self._stmt("~[ <x>^ -> skip ]")
+        assert isinstance(node, ast.ReplicateNode)
+
+    def test_branch_bodies(self):
+        node = self._stmt("[ -> (a, 1) ; -> (b, 1) ; -> (c, 1) | -> (d, 1) ]")
+        assert len(node.branches[0].body) == 2
+
+    def test_sequence_in_behavior(self):
+        node = parse_process("process P() behavior -> (a, 1) ; -> (b, 1) end")
+        assert len(node.body) == 2
+
+
+class TestExpressions:
+    def _test_expr(self, text):
+        txn = parse_process(f"process P() behavior : {text} -> skip end").body[0]
+        return txn.query.test
+
+    def test_precedence_arith_over_comparison(self):
+        node = self._test_expr("a + 1 > b * 2")
+        assert isinstance(node, ast.Binary) and node.op == ">"
+        assert node.left.op == "+" and node.right.op == "*"
+
+    def test_boolean_precedence(self):
+        node = self._test_expr("a > 0 and b > 0 or not c > 0")
+        assert node.op == "or"
+        assert node.left.op == "and"
+        assert isinstance(node.right, ast.Unary)
+
+    def test_power_right_associative(self):
+        node = self._test_expr("k - 2 ** (j - 1) = 0")
+        assert node.op == "="
+        assert node.left.op == "-"
+        assert node.left.right.op == "**"
+
+    def test_has_membership(self):
+        node = self._test_expr("has(some v: <label, v> : v > 3)")
+        assert isinstance(node, ast.Has)
+        assert node.locals == ("v",)
+        assert node.test is not None
+
+    def test_has_without_locals_or_test(self):
+        node = self._test_expr("has(<ready>)")
+        assert isinstance(node, ast.Has)
+        assert node.locals == ()
+        assert node.test is None
+
+    def test_call_expression(self):
+        node = self._test_expr("neighbor(p, q)")
+        assert isinstance(node, ast.CallExpr)
+        assert node.func == "neighbor"
+        assert len(node.args) == 2
+
+    def test_unary_minus_and_parens(self):
+        node = self._test_expr("-(a + 1) < 0")
+        assert node.op == "<"
+        assert isinstance(node.left, ast.Unary)

@@ -1,0 +1,178 @@
+"""Tests for the pretty-printer, including compile→pretty→compile round trips."""
+
+import pytest
+
+from repro.core.actions import EXIT, assert_tuple, let, spawn
+from repro.core.constructs import guarded, repeat, replicate, select
+from repro.core.expressions import Var, fn, variables
+from repro.core.patterns import ANY, P
+from repro.core.process import ProcessDefinition
+from repro.core.query import Membership, exists, forall, no
+from repro.core.transactions import consensus, delayed, immediate
+from repro.core.values import Atom
+from repro.core.views import import_rule
+from repro.lang import compile_process
+from repro.lang.pretty import (
+    PrettyError,
+    pretty_expr,
+    pretty_pattern,
+    pretty_process,
+    pretty_query,
+    pretty_transaction,
+)
+from repro.programs import sum1_definition, sum2_definition, sum3_definition
+from repro.programs.plist import find_definition, search_definition, sort_definition
+from repro.runtime.engine import Engine
+
+
+class TestUnits:
+    def test_expr(self):
+        a, b = variables("a b")
+        assert pretty_expr((a + b) * 2) == "((a + b) * 2)"
+        assert pretty_expr(~(a > 1)) == "(not (a > 1))"
+        assert pretty_expr((a > 0) & (b > 0)) == "((a > 0) and (b > 0))"
+
+    def test_values(self):
+        assert pretty_expr(P[Atom("x")].elements[0].expr) == "x"
+        from repro.core.expressions import Const
+
+        assert pretty_expr(Const("hi there")) == '"hi there"'
+        assert pretty_expr(Const(True)) == "true"
+        assert pretty_expr(Const(2.5)) == "2.5"
+
+    def test_pattern(self):
+        a = Var("a")
+        assert pretty_pattern(P[Atom("year"), a, ANY]) == "<year, a, *>"
+
+    def test_query(self):
+        a = Var("a")
+        q = exists(a).match(P[Atom("year"), a].retract()).such_that(a > 87).build()
+        text = pretty_query(q)
+        assert text == "exists a : <year, a>^ : (a > 87)"
+
+    def test_negated_query(self):
+        assert pretty_query(no(P[Atom("x"), ANY])) == "no <x, *>"
+
+    def test_membership_declares_locals(self):
+        v = Var("v")
+        m = Membership(P[Atom("n"), v], test=(v > 3))
+        assert pretty_expr(m) == "has(some v: <n, v> : (v > 3))"
+
+    def test_transaction(self):
+        a = Var("a")
+        txn = (
+            delayed(exists(a).match(P[Atom("year"), a].retract()))
+            .then(let("N", a), assert_tuple(Atom("found"), a))
+            .build()
+        )
+        text = pretty_transaction(txn)
+        assert "=>" in text and "let N = a" in text and "(found, a)" in text
+
+    def test_where_rules_rejected(self):
+        pi = Var("pi")
+        rule = import_rule(Atom("label"), pi, where=[P[Atom("t"), pi]])
+        d = ProcessDefinition("X", body=[immediate()], imports=[rule])
+        with pytest.raises(PrettyError):
+            pretty_process(d)
+
+
+def _behaviour_equivalent(defn, runner):
+    """Run original and round-tripped definitions; compare dataspaces."""
+    text = pretty_process(defn)
+    clone = compile_process(text)
+    return runner(defn), runner(clone), text
+
+
+class TestRoundTrips:
+    def _run_harvest(self, definition):
+        engine = Engine(definitions=[definition], seed=4)
+        engine.assert_tuples([(Atom("year"), y) for y in (85, 88, 90, 87)])
+        engine.start(definition.name)
+        engine.run()
+        return engine.dataspace.snapshot()
+
+    def test_harvest_round_trip(self):
+        a = Var("a")
+        harvest = ProcessDefinition(
+            "Harvest",
+            body=[
+                repeat(
+                    guarded(
+                        immediate(
+                            exists(a)
+                            .match(P[Atom("year"), a].retract())
+                            .such_that(a > 87)
+                        ).then(assert_tuple(Atom("found"), a))
+                    )
+                )
+            ],
+        )
+        original, clone, text = _behaviour_equivalent(harvest, self._run_harvest)
+        assert original == clone
+        assert "process Harvest()" in text
+
+    def test_sum2_round_trip(self):
+        defn = sum2_definition()
+        text = pretty_process(defn)
+        clone = compile_process(text)
+
+        import math
+
+        def run(d):
+            n = 16
+            engine = Engine(definitions=[d], seed=2)
+            engine.assert_tuples([(k, k, 1) for k in range(1, n + 1)])
+            for j in range(1, int(math.log2(n)) + 1):
+                for k in range(2 ** j, n + 1, 2 ** j):
+                    engine.start(d.name, (k, j))
+            engine.run()
+            return engine.dataspace.snapshot()
+
+        assert run(defn) == run(clone)
+
+    def test_sum3_round_trip(self):
+        defn = sum3_definition()
+        clone = compile_process(pretty_process(defn))
+
+        def run(d):
+            engine = Engine(definitions=[d], seed=3)
+            engine.assert_tuples([(k, 1) for k in range(1, 9)])
+            engine.start(d.name)
+            engine.run()
+            return engine.dataspace.snapshot()
+
+        assert run(defn) == run(clone)
+
+    def test_sum1_pretty_parses(self):
+        # Sum1 spawns itself; the pretty text must at least re-compile
+        text = pretty_process(sum1_definition())
+        clone = compile_process(text)
+        assert clone.name == "Sum1"
+        assert clone.params == ("k", "j")
+
+    def test_sort_round_trip(self):
+        from repro.core.values import NIL
+        from repro.workloads import property_list_rows, chain_order
+
+        defn = sort_definition()
+        text = pretty_process(defn)
+        # Sort's comparisons are host functions: re-register them
+        clone = compile_process(
+            text, functions={"gt": lambda x, y: x > y, "le": lambda x, y: x <= y}
+        )
+
+        def run(d):
+            rows = property_list_rows([("d", 1), ("a", 2), ("c", 3), ("b", 4)])
+            engine = Engine(definitions=[d], seed=5)
+            engine.assert_tuples(rows)
+            for i in range(4):
+                engine.start(d.name, (i, i + 1 if i + 1 < 4 else NIL))
+            engine.run()
+            return chain_order([inst.values for inst in engine.dataspace.instances()])
+
+        assert run(defn) == run(clone) == ["a", "b", "c", "d"]
+
+    def test_find_and_search_pretty_parse(self):
+        for definition in (find_definition(), search_definition()):
+            clone = compile_process(pretty_process(definition))
+            assert clone.name == definition.name

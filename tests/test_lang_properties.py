@@ -1,0 +1,107 @@
+"""Property-based tests for the surface language (lexer/parser/pretty)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lang import compile_process, pretty_process
+from repro.lang.lexer import tokenize
+
+# ----------------------------------------------------------------------
+# lexer properties
+# ----------------------------------------------------------------------
+
+name_strategy = st.from_regex(r"[a-z][a-z0-9_]{0,6}", fullmatch=True)
+number_strategy = st.integers(min_value=0, max_value=10**6)
+
+
+class TestLexerProperties:
+    @given(st.lists(name_strategy, min_size=1, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_names_tokenize_individually(self, names):
+        source = " ".join(names)
+        tokens = [t for t in tokenize(source) if t.kind != "EOF"]
+        assert [t.value for t in tokens] == names
+
+    @given(st.lists(number_strategy, min_size=1, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_numbers_round_trip(self, numbers):
+        source = " ".join(str(n) for n in numbers)
+        tokens = [t for t in tokenize(source) if t.kind == "NUMBER"]
+        assert [int(t.value) for t in tokens] == numbers
+
+    @given(st.text(alphabet=" \t\n", max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_whitespace_only_is_empty(self, blanks):
+        tokens = tokenize(blanks)
+        assert len(tokens) == 1 and tokens[0].kind == "EOF"
+
+    @given(st.text(alphabet="abcxyz0123456789_ <>*^,:;()[]|+-", max_size=40))
+    @settings(max_examples=80, deadline=None)
+    def test_lexer_never_crashes_on_benign_alphabet(self, source):
+        tokens = tokenize(source)
+        assert tokens[-1].kind == "EOF"
+
+    @given(st.lists(name_strategy, min_size=1, max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_comments_are_invisible(self, names):
+        plain = tokenize(" ".join(names))
+        commented = tokenize(" ".join(names) + " # trailing comment")
+        assert [t.value for t in plain] == [t.value for t in commented]
+
+
+# ----------------------------------------------------------------------
+# pretty/compile round-trip properties on generated programs
+# ----------------------------------------------------------------------
+
+atom_strategy = st.from_regex(r"[a-z][a-z]{1,4}", fullmatch=True)
+
+
+@st.composite
+def simple_process_source(draw):
+    """Generate a small, valid SDL process over harvest-style transactions."""
+    name = draw(st.from_regex(r"[A-Z][a-z]{1,5}", fullmatch=True))
+    tag_atom = draw(atom_strategy)
+    out_atom = draw(atom_strategy)
+    threshold = draw(st.integers(0, 99))
+    mode = draw(st.sampled_from(["->", "=>"]))
+    retract = draw(st.booleans())
+    caret = "^" if retract else ""
+    return (
+        f"process {name}()\n"
+        f"behavior\n"
+        f"  exists a : <{tag_atom}, a>{caret} : a > {threshold} {mode} ({out_atom}, a)\n"
+        f"end\n"
+    ), name
+
+
+class TestRoundTripProperties:
+    @given(simple_process_source())
+    @settings(max_examples=60, deadline=None)
+    def test_compile_pretty_compile_fixpoint(self, source_and_name):
+        source, name = source_and_name
+        first = compile_process(source)
+        printed = pretty_process(first)
+        second = compile_process(printed)
+        # printing the recompiled definition reaches a fixpoint
+        assert pretty_process(second) == printed
+        assert second.name == name
+
+    @given(simple_process_source(), st.lists(st.integers(0, 200), max_size=8), st.integers(0, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_round_trip_preserves_behaviour(self, source_and_name, values, seed):
+        from repro.core.values import Atom
+        from repro.runtime.engine import Engine
+
+        source, name = source_and_name
+        original = compile_process(source)
+        clone = compile_process(pretty_process(original))
+        # extract the tag atom from the source to build matching input
+        tag = source.split("<", 1)[1].split(",")[0]
+
+        def run(defn):
+            engine = Engine(definitions=[defn], seed=seed, on_deadlock="return")
+            engine.assert_tuples([(Atom(tag), v) for v in values])
+            engine.start(defn.name)
+            engine.run(max_steps=10_000)
+            return engine.dataspace.snapshot()
+
+        assert run(original) == run(clone)

@@ -1,0 +1,180 @@
+"""Unit tests for the Linda baseline kernel (repro.linda)."""
+
+import pytest
+
+from repro.core.patterns import ANY, P
+from repro.errors import DeadlockError, LindaError, StepLimitExceeded
+from repro.linda import LindaKernel
+
+
+class TestImmediatePrimitives:
+    def test_out_now_and_rdp_now(self):
+        k = LindaKernel()
+        k.out_now("x", 1)
+        assert k.rdp_now("x", ANY) == ("x", 1)
+        assert len(k.space) == 1  # rdp does not remove
+
+    def test_inp_now_removes(self):
+        k = LindaKernel()
+        k.out_now("x", 1)
+        assert k.inp_now("x", ANY) == ("x", 1)
+        assert len(k.space) == 0
+        assert k.inp_now("x", ANY) is None
+
+    def test_formal_matching_with_constants(self):
+        k = LindaKernel()
+        k.out_now("point", 3, 4)
+        assert k.rdp_now("point", 3, ANY) == ("point", 3, 4)
+        assert k.rdp_now("point", 9, ANY) is None
+
+
+class TestProcesses:
+    def test_out_then_in(self):
+        k = LindaKernel(seed=1)
+
+        def producer(kernel):
+            yield kernel.out("msg", "hello")
+
+        got = []
+
+        def consumer(kernel):
+            tup = yield kernel.in_("msg", ANY)
+            got.append(tup)
+
+        k.eval(consumer)
+        k.eval(producer)
+        k.run()
+        assert got == [("msg", "hello")]
+        assert len(k.space) == 0
+
+    def test_rd_leaves_tuple(self):
+        k = LindaKernel(seed=1)
+        k.out_now("cfg", 42)
+        seen = []
+
+        def reader(kernel):
+            tup = yield kernel.rd("cfg", ANY)
+            seen.append(tup)
+
+        k.eval(reader)
+        k.eval(reader)
+        k.run()
+        assert seen == [("cfg", 42)] * 2
+        assert len(k.space) == 1
+
+    def test_inp_rdp_nonblocking_inside_process(self):
+        k = LindaKernel(seed=1)
+        results = []
+
+        def prober(kernel):
+            results.append((yield kernel.inp("nope", ANY)))
+            results.append((yield kernel.rdp("nope", ANY)))
+
+        k.eval(prober)
+        k.run()
+        assert results == [None, None]
+
+    def test_eval_spawns_from_process(self):
+        k = LindaKernel(seed=1)
+
+        def child(kernel, n):
+            yield kernel.out("child", n)
+
+        def parent(kernel):
+            yield kernel.eval(child, 7)
+
+        k.eval(parent)
+        k.run()
+        assert k.rdp_now("child", 7) == ("child", 7)
+
+    def test_non_generator_body_rejected(self):
+        k = LindaKernel()
+        with pytest.raises(LindaError):
+            k.eval(lambda kernel: None)
+
+    def test_yielding_garbage_rejected(self):
+        k = LindaKernel()
+
+        def bad(kernel):
+            yield "not an op"
+
+        k.eval(bad)
+        with pytest.raises(LindaError):
+            k.run()
+
+
+class TestBlockingAndDeadlock:
+    def test_in_blocks_until_out(self):
+        k = LindaKernel(seed=2)
+        order = []
+
+        def consumer(kernel):
+            tup = yield kernel.in_("n", ANY)
+            order.append(("got", tup[1]))
+
+        def producer(kernel):
+            order.append(("put", 1))
+            yield kernel.out("n", 1)
+
+        k.eval(consumer)
+        k.eval(producer)
+        k.run()
+        assert ("put", 1) in order and ("got", 1) in order
+
+    def test_deadlock_raises(self):
+        k = LindaKernel(seed=1)
+
+        def stuck(kernel):
+            yield kernel.in_("never", ANY)
+
+        k.eval(stuck)
+        with pytest.raises(DeadlockError):
+            k.run()
+
+    def test_step_limit(self):
+        k = LindaKernel(seed=1)
+
+        def ping(kernel):
+            while True:
+                yield kernel.out("t", 0)
+                yield kernel.in_("t", ANY)
+
+        k.eval(ping)
+        with pytest.raises(StepLimitExceeded):
+            k.run(max_steps=50)
+
+    def test_many_producers_consumers_drain(self):
+        k = LindaKernel(seed=5)
+        served = []
+
+        def producer(kernel, base):
+            for i in range(5):
+                yield kernel.out("job", base + i)
+
+        def consumer(kernel):
+            while True:
+                tup = yield kernel.inp("job", ANY)
+                if tup is None:
+                    return
+                served.append(tup[1])
+
+        for b in (0, 100):
+            k.eval(producer, b)
+        k.run()  # producers fill the space first
+        for __ in range(3):
+            k.eval(consumer)
+        k.run()
+        assert sorted(served) == sorted(list(range(0, 5)) + list(range(100, 105)))
+
+    def test_op_counts_accumulate(self):
+        k = LindaKernel(seed=1)
+
+        def p(kernel):
+            yield kernel.out("a", 1)
+            yield kernel.in_("a", ANY)
+
+        k.eval(p)
+        k.run()
+        assert k.op_counts["out"] == 1
+        assert k.op_counts["in"] == 1
+        assert k.op_counts["eval"] == 1

@@ -1,0 +1,151 @@
+"""Unit tests for the pattern language (repro.core.patterns)."""
+
+import pytest
+
+from repro.core.expressions import Bindings, EvalContext, Var, variables
+from repro.core.patterns import (
+    ANY,
+    LitElement,
+    Pattern,
+    VarElement,
+    WildElement,
+    Wildcard,
+    P,
+    pattern,
+)
+from repro.errors import ArityError, PatternError, UnboundVariableError
+
+
+class TestConstruction:
+    def test_p_indexer_equals_pattern_call(self):
+        a = Var("a")
+        assert repr(P["year", a]) == repr(pattern("year", a))
+
+    def test_single_field_indexer(self):
+        assert P["x"].arity == 1
+
+    def test_wildcard_singleton(self):
+        assert Wildcard() is ANY
+
+    def test_field_kinds(self):
+        a = Var("a")
+        pat = P[87, a, ANY, a + 1]
+        kinds = [type(el) for el in pat.elements]
+        assert kinds == [LitElement, VarElement, WildElement, LitElement]
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ArityError):
+            Pattern(())
+
+    def test_invalid_field_rejected(self):
+        with pytest.raises(PatternError):
+            pattern(object())
+
+    def test_free_and_binding_variables(self):
+        a, b = variables("a b")
+        pat = P[a, b + 1, ANY]
+        assert pat.free_variables() == {"a", "b"}
+        assert pat.binding_variables() == {"a"}
+
+
+class TestMatching:
+    def test_constant_match(self):
+        assert P["year", 87].match(("year", 87), {}) == {}
+        assert P["year", 87].match(("year", 88), {}) is None
+
+    def test_arity_mismatch(self):
+        assert P["x", ANY].match(("x",), {}) is None
+        assert P["x"].match(("x", 1), {}) is None
+
+    def test_wildcard_matches_anything(self):
+        assert P[ANY, ANY].match(("a", (1, 2)), {}) == {}
+
+    def test_variable_binds(self):
+        a = Var("a")
+        assert P["year", a].match(("year", 90), {}) == {"a": 90}
+
+    def test_bound_variable_tests_equality(self):
+        a = Var("a")
+        assert P["year", a].match(("year", 90), {"a": 90}) == {}
+        assert P["year", a].match(("year", 90), {"a": 91}) is None
+
+    def test_repeated_variable_must_agree(self):
+        a = Var("a")
+        pat = P[a, a]
+        assert pat.match((5, 5), {}) == {"a": 5}
+        assert pat.match((5, 6), {}) is None
+
+    def test_expression_field_uses_bindings(self):
+        k, j, a = variables("k j a")
+        pat = P[k - 2 ** (j - 1), a]
+        assert pat.match((4, 99), {"k": 8, "j": 3}) == {"a": 99}
+        assert pat.match((5, 99), {"k": 8, "j": 3}) is None
+
+    def test_expression_field_unbound_raises(self):
+        k = Var("k")
+        with pytest.raises(UnboundVariableError):
+            P[k + 1].match((5,), {})
+
+    def test_matches_boolean_helper(self):
+        assert P["x", ANY].matches(("x", 3))
+        assert not P["x", ANY].matches(("y", 3))
+
+
+class TestInstantiate:
+    def _ctx(self, **bound):
+        return EvalContext(Bindings(bound))
+
+    def test_instantiate_evaluates_fields(self):
+        a, b = variables("a b")
+        pat = P["sum", a + b]
+        assert pat.instantiate(self._ctx(a=1, b=2)) == ("sum", 3)
+
+    def test_instantiate_variable(self):
+        a = Var("a")
+        assert P[a].instantiate(self._ctx(a="x")) == ("x",)
+
+    def test_wildcard_cannot_be_asserted(self):
+        with pytest.raises(PatternError):
+            P["x", ANY].instantiate(self._ctx())
+
+    def test_unbound_variable_fails(self):
+        with pytest.raises(UnboundVariableError):
+            P[Var("nope")].instantiate(self._ctx())
+
+
+class TestIndexConstants:
+    def test_pure_constants(self):
+        probes = P["year", 87].index_constants({})
+        assert probes == [(0, "year"), (1, 87)]
+
+    def test_bound_variable_contributes(self):
+        a = Var("a")
+        assert P["x", a].index_constants({"a": 3}) == [(0, "x"), (1, 3)]
+
+    def test_unbound_variable_and_wildcard_skip(self):
+        a = Var("a")
+        assert P[ANY, a].index_constants({}) == []
+
+    def test_evaluable_expression_contributes(self):
+        k = Var("k")
+        assert P[k * 2, ANY].index_constants({"k": 4}) == [(0, 8)]
+
+    def test_unevaluable_expression_skipped(self):
+        k = Var("k")
+        assert P[k * 2, "tag"].index_constants({}) == [(1, "tag")]
+
+
+class TestRetractTag:
+    def test_retract_builds_query_atom(self):
+        from repro.core.query import QueryAtom
+
+        atom = P["x", ANY].retract()
+        assert isinstance(atom, QueryAtom)
+        assert atom.retract is True
+
+    def test_repr(self):
+        from repro.core.values import Atom
+
+        a = Var("a")
+        assert repr(P[Atom("year"), a]) == "<year,a>"
+        assert "^" in repr(P["year", a].retract())

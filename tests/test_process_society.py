@@ -1,0 +1,123 @@
+"""Unit tests for process definitions, instances, and the society."""
+
+import pytest
+
+from repro.core.expressions import variables
+from repro.core.patterns import ANY, P
+from repro.core.process import (
+    ProcessDefinition,
+    ProcessInstance,
+    ProcessStatus,
+    process,
+)
+from repro.core.society import ProcessSociety
+from repro.core.transactions import immediate
+from repro.core.views import View
+from repro.errors import ProcessError, UnknownProcessError
+
+
+class TestProcessDefinition:
+    def test_basic_definition(self):
+        d = ProcessDefinition("Sum", params=("k", "j"), body=[immediate()])
+        assert d.name == "Sum"
+        assert d.params == ("k", "j")
+        assert d.view.unrestricted
+
+    def test_imports_exports_build_view(self):
+        d = ProcessDefinition(
+            "P", body=[], imports=[P["a", ANY]], exports=[P["b", ANY]]
+        )
+        assert not d.view.unrestricted
+
+    def test_view_and_rules_mutually_exclusive(self):
+        with pytest.raises(ProcessError):
+            ProcessDefinition("P", view=View(), imports=[P["a", ANY]])
+
+    def test_bind_args(self):
+        d = ProcessDefinition("P", params=("k", "j"))
+        assert d.bind_args((1, 2)) == {"k": 1, "j": 2}
+
+    def test_bind_args_arity_checked(self):
+        d = ProcessDefinition("P", params=("k",))
+        with pytest.raises(ProcessError):
+            d.bind_args((1, 2))
+
+    def test_decorator_passes_param_vars(self):
+        @process("Echo", params="k j")
+        def echo(k, j):
+            from repro.core.actions import assert_tuple
+            return [immediate().then(assert_tuple("echo", k + j))]
+
+        assert isinstance(echo, ProcessDefinition)
+        assert echo.params == ("k", "j")
+
+    def test_repr(self):
+        d = ProcessDefinition("P", params=("x",))
+        assert repr(d) == "PROCESS P(x)"
+
+
+class TestProcessInstance:
+    def _definition(self):
+        return ProcessDefinition("P", params=("k",), body=[immediate()])
+
+    def test_scope_merges_params_and_lets(self):
+        inst = ProcessInstance(1, self._definition(), (5,))
+        assert inst.scope() == {"k": 5}
+        inst.env["N"] = 9
+        assert inst.scope() == {"k": 5, "N": 9}
+
+    def test_liveness_transitions(self):
+        inst = ProcessInstance(1, self._definition(), (5,))
+        assert inst.is_live()
+        inst.status = ProcessStatus.TERMINATED
+        assert not inst.is_live()
+        inst.status = ProcessStatus.CONSENSUS_WAIT
+        assert inst.is_live()
+
+    def test_repr_mentions_name_pid_status(self):
+        inst = ProcessInstance(3, self._definition(), (7,))
+        text = repr(inst)
+        assert "P(" in text and "#3" in text and "running" in text
+
+
+class TestSociety:
+    def _society(self):
+        return ProcessSociety([ProcessDefinition("P", params=("k",))])
+
+    def test_define_and_lookup(self):
+        soc = self._society()
+        assert soc.definition("P").name == "P"
+        with pytest.raises(UnknownProcessError):
+            soc.definition("Q")
+
+    def test_duplicate_definition_rejected(self):
+        soc = self._society()
+        with pytest.raises(ProcessError):
+            soc.define(ProcessDefinition("P"))
+
+    def test_spawn_assigns_increasing_pids(self):
+        soc = self._society()
+        a = soc.spawn("P", (1,))
+        b = soc.spawn("P", (2,), spawner=a.pid)
+        assert b.pid > a.pid
+        assert b.spawner == a.pid
+        assert soc.total_spawned == 2
+
+    def test_live_tracking(self):
+        soc = self._society()
+        a = soc.spawn("P", (1,))
+        b = soc.spawn("P", (2,))
+        assert len(soc) == 2
+        soc.mark_terminated(a.pid)
+        assert len(soc) == 1
+        assert soc.live_pids() == {b.pid}
+
+    def test_aborted_status(self):
+        soc = self._society()
+        a = soc.spawn("P", (1,))
+        soc.mark_terminated(a.pid, aborted=True)
+        assert soc.get(a.pid).status is ProcessStatus.ABORTED
+
+    def test_get_unknown_pid(self):
+        with pytest.raises(ProcessError):
+            self._society().get(404)

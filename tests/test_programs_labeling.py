@@ -1,0 +1,119 @@
+"""Integration tests: the Section 3.3 region-labeling programs.
+
+Image sizes are kept small — the worker model's label-propagation join is
+quadratic in pixels and this is an interpreter, not a Connection Machine.
+"""
+
+import pytest
+
+from repro.programs import (
+    default_threshold,
+    run_community_labeling,
+    run_worker_labeling,
+)
+from repro.workloads import (
+    checkerboard_image,
+    connected_regions,
+    random_blob_image,
+    stripe_image,
+)
+
+
+class TestGroundTruth:
+    def test_default_threshold_binary(self):
+        t = default_threshold(128)
+        assert t(200) == 1 and t(100) == 0
+
+
+class TestWorkerModel:
+    @pytest.mark.parametrize(
+        "image",
+        [
+            stripe_image(4, 4, stripe=2),
+            checkerboard_image(4, 4, square=2),
+            random_blob_image(5, 5, blobs=2, seed=3),
+        ],
+        ids=["stripes", "checkerboard", "blobs"],
+    )
+    def test_labels_match_ground_truth(self, image):
+        out = run_worker_labeling(image, seed=2)
+        assert out.correct
+
+    def test_single_process_society(self):
+        out = run_worker_labeling(stripe_image(4, 4), seed=1)
+        assert out.trace.counters.processes_created == 1
+
+    def test_all_pixels_labeled(self):
+        image = stripe_image(5, 3)
+        out = run_worker_labeling(image, seed=1)
+        assert len(out.labels) == 15
+
+    def test_images_consumed(self):
+        from repro.core.patterns import ANY, P
+        from repro.programs.labeling import IMAGE
+
+        out = run_worker_labeling(stripe_image(4, 4), seed=1)
+        assert out.engine.dataspace.count_matching(P[IMAGE, ANY, ANY]) == 0
+
+    def test_uniform_image_single_region(self):
+        image = stripe_image(4, 4, stripe=4)  # one stripe = whole image
+        out = run_worker_labeling(image, seed=1)
+        assert out.correct
+        assert out.region_count() == 1
+        assert set(out.labels.values()) == {(3, 3)}
+
+
+class TestCommunityModel:
+    @pytest.mark.parametrize(
+        "image",
+        [
+            stripe_image(4, 4, stripe=2),
+            checkerboard_image(4, 4, square=2),
+            random_blob_image(5, 5, blobs=2, seed=3),
+        ],
+        ids=["stripes", "checkerboard", "blobs"],
+    )
+    def test_labels_match_ground_truth(self, image):
+        out = run_community_labeling(image, seed=2)
+        assert out.correct
+
+    def test_one_label_process_per_pixel(self):
+        image = stripe_image(4, 3)
+        out = run_community_labeling(image, seed=1)
+        # 1 Threshold + 12 Label processes
+        assert out.trace.counters.processes_created == 13
+
+    def test_one_consensus_per_region(self):
+        image = stripe_image(4, 4, stripe=2)  # 2 regions
+        out = run_community_labeling(image, seed=1)
+        assert out.result.consensus_rounds == out.region_count() == 2
+
+    def test_completions_reported_per_region(self):
+        image = stripe_image(6, 6, stripe=2)  # 3 regions
+        out = run_community_labeling(image, seed=1)
+        assert len(out.completions) == 3
+        reported = {label for label, __ in out.completions}
+        assert reported == set(out.expected.values())
+
+    def test_thresholds_discarded_after_completion(self):
+        from repro.core.patterns import ANY, P
+        from repro.programs.labeling import THRESHOLD
+
+        out = run_community_labeling(stripe_image(4, 4), seed=1)
+        # "when the labeling is complete ... the threshold values are discarded"
+        assert out.engine.dataspace.count_matching(P[THRESHOLD, ANY, ANY]) == 0
+
+    def test_checkerboard_many_singleton_communities(self):
+        image = checkerboard_image(4, 2, square=1)
+        out = run_community_labeling(image, seed=1)
+        assert out.correct
+        assert out.result.consensus_rounds == 8  # every pixel its own region
+
+
+class TestModelsAgree:
+    @pytest.mark.parametrize("seed", [1, 9])
+    def test_both_models_identical_labels(self, seed):
+        image = random_blob_image(5, 5, blobs=2, seed=seed)
+        worker = run_worker_labeling(image, seed=3)
+        community = run_community_labeling(image, seed=3)
+        assert worker.labels == community.labels == worker.expected

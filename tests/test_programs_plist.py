@@ -1,0 +1,103 @@
+"""Integration tests: the Section 3.2 property-list programs."""
+
+import pytest
+
+from repro.core.values import Atom
+from repro.programs import run_find, run_search, run_sort
+from repro.programs.plist import NOT_FOUND
+from repro.workloads import property_list_rows, random_property_list
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return random_property_list(12, seed=7)
+
+
+class TestSearch:
+    def test_finds_value(self, rows):
+        target = rows[8][1]
+        out = run_search(rows, target, seed=1)
+        assert out.answer == f"value-of-{target}"
+
+    def test_miss_reports_not_found(self, rows):
+        out = run_search(rows, Atom("missing_prop"), seed=1)
+        assert out.answer == NOT_FOUND
+
+    def test_spawns_one_process_per_visited_node(self, rows):
+        # property at chain position p -> p+1 processes (0..p)
+        target = rows[0][1]  # head of the chain
+        out = run_search(rows, target, seed=1)
+        assert out.trace.counters.processes_created == 1
+        last = rows[-1][1]
+        out2 = run_search(rows, last, seed=1)
+        assert out2.trace.counters.processes_created == len(rows)
+
+    def test_miss_walks_whole_chain(self, rows):
+        out = run_search(rows, Atom("missing_prop"), seed=1)
+        assert out.trace.counters.processes_created == len(rows)
+
+    def test_first_property_found_at_head(self):
+        rows = property_list_rows([("only", 99)])
+        out = run_search(rows, Atom("only"), seed=1)
+        assert out.answer == 99
+
+
+class TestFind:
+    def test_finds_value_in_one_process(self, rows):
+        target = rows[8][1]
+        out = run_find(rows, target, seed=1)
+        assert out.answer == f"value-of-{target}"
+        assert out.trace.counters.processes_created == 1
+
+    def test_transaction_count_constant(self, rows):
+        # content addressing: one committed transaction regardless of position
+        for idx in (0, 5, 11):
+            out = run_find(rows, rows[idx][1], seed=1)
+            assert out.result.commits == 1
+
+    def test_miss(self, rows):
+        out = run_find(rows, Atom("missing_prop"), seed=1)
+        assert out.answer == NOT_FOUND
+
+
+class TestSort:
+    @pytest.mark.parametrize("length", [1, 2, 3, 8, 16])
+    def test_sorts_by_name(self, length):
+        rows = random_property_list(length, seed=length)
+        out = run_sort(rows, seed=2)
+        assert out.answer == sorted(str(r[1]) for r in rows)
+
+    def test_chain_structure_preserved(self, rows):
+        out = run_sort(rows, seed=2)
+        final_rows = [i.values for i in out.engine.dataspace.instances()]
+        # same node ids, same next pointers
+        assert sorted(r[0] for r in final_rows) == sorted(r[0] for r in rows)
+        assert sorted(str(r[3]) for r in final_rows) == sorted(str(r[3]) for r in rows)
+
+    def test_values_travel_with_names(self, rows):
+        out = run_sort(rows, seed=2)
+        final_rows = [i.values for i in out.engine.dataspace.instances()]
+        pairs = {(str(r[1]), r[2]) for r in final_rows}
+        assert pairs == {(str(r[1]), r[2]) for r in rows}
+
+    def test_termination_via_single_consensus(self, rows):
+        out = run_sort(rows, seed=2)
+        assert out.result.consensus_rounds == 1
+
+    def test_already_sorted_list_needs_no_swaps(self):
+        rows = property_list_rows([("a", 1), ("b", 2), ("c", 3)])
+        out = run_sort(rows, seed=2, detail=True)
+        from repro.runtime.events import TxnCommitted
+
+        swaps = [e for e in out.trace.of_kind(TxnCommitted) if e.label == "swap"]
+        assert swaps == []
+
+    def test_reverse_sorted_list(self):
+        rows = property_list_rows([("d", 4), ("c", 3), ("b", 2), ("a", 1)])
+        out = run_sort(rows, seed=2)
+        assert out.answer == ["a", "b", "c", "d"]
+
+    def test_different_seeds_same_result(self, rows):
+        expected = sorted(str(r[1]) for r in rows)
+        for seed in range(4):
+            assert run_sort(rows, seed=seed).answer == expected

@@ -1,0 +1,69 @@
+"""Integration tests: streaming (airborne-scan) region labeling."""
+
+import pytest
+
+from repro.core.patterns import ANY, P
+from repro.programs import run_streaming_labeling
+from repro.programs.scanning import SCANLINE, SCAN_DONE, SCAN_NEXT
+from repro.workloads import random_blob_image, stripe_image
+
+
+@pytest.fixture(scope="module")
+def tall_run():
+    # 6 stripes arriving over 12 scan lines
+    return run_streaming_labeling(stripe_image(4, 12, stripe=2), seed=4)
+
+
+class TestCorrectness:
+    def test_labels_match_ground_truth(self, tall_run):
+        assert tall_run.correct
+
+    def test_blob_image(self):
+        out = run_streaming_labeling(random_blob_image(5, 5, blobs=2, seed=9), seed=2)
+        assert out.correct
+        assert out.result.completed
+
+    def test_staging_tuples_fully_consumed(self, tall_run):
+        ds = tall_run.engine.dataspace
+        assert ds.count_matching(P[SCANLINE, ANY, ANY, ANY]) == 0
+        assert ds.count_matching(P[SCAN_NEXT, ANY]) == 0
+        assert ds.count_matching(P[SCAN_DONE]) == 0
+
+    def test_one_consensus_per_region(self, tall_run):
+        assert tall_run.result.consensus_rounds == 6
+        assert len(tall_run.completions) == 6
+
+
+class TestIncrementality:
+    def test_regions_complete_during_scan(self, tall_run):
+        """The headline claim: regions announce completion while the
+        scanner is still delivering lines further down the image."""
+        assert tall_run.regions_done_before_scan_end() >= 3
+
+    def test_completions_follow_scan_order(self, tall_run):
+        """Stripes complete roughly top-to-bottom (they arrive that way)."""
+        rounds = [r for __, r in tall_run.completions]
+        assert rounds == sorted(rounds)
+        labels = [label for label, __ in tall_run.completions]
+        ys = [label[1] for label in labels]
+        assert ys == sorted(ys)
+
+    def test_no_premature_completion(self):
+        """A region may not announce completion before its last pixel has
+        been scanned: a single tall region can only complete after the
+        final line (the paper's incomplete-information hazard)."""
+        image = stripe_image(3, 6, stripe=6)  # ONE region spanning all lines
+        out = run_streaming_labeling(image, seed=1)
+        assert out.correct
+        assert len(out.completions) == 1
+        (__, completion_round), = out.completions
+        assert completion_round >= out.scan_done_round
+
+
+class TestDeterminism:
+    def test_same_seed_same_completions(self):
+        image = stripe_image(4, 8, stripe=2)
+        a = run_streaming_labeling(image, seed=7)
+        b = run_streaming_labeling(image, seed=7)
+        assert a.completions == b.completions
+        assert a.labels == b.labels

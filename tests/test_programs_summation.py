@@ -1,0 +1,97 @@
+"""Integration tests: the Section 3.1 summation programs."""
+
+import pytest
+
+from repro.programs import run_sum1, run_sum2, run_sum3
+from repro.workloads import random_array
+
+
+@pytest.mark.parametrize("n", [2, 4, 8, 32])
+@pytest.mark.parametrize("runner", [run_sum1, run_sum2, run_sum3])
+def test_all_codings_compute_the_sum(runner, n):
+    values = random_array(n, seed=n)
+    out = runner(values, seed=1)
+    assert out.total == sum(values)
+    assert out.result.completed
+
+
+class TestSum1Structure:
+    def test_consensus_once_per_phase(self):
+        out = run_sum1(random_array(32, seed=1), seed=2)
+        # 5 phases for N=32, one barrier each
+        assert out.result.consensus_rounds == 5
+
+    def test_merge_count_is_n_minus_1(self):
+        out = run_sum1(random_array(16, seed=1), seed=2, detail=True)
+        from repro.runtime.events import TxnCommitted
+
+        merges = [
+            e for e in out.trace.of_kind(TxnCommitted) if e.label == "merge"
+        ]
+        assert len(merges) == 15
+
+    def test_process_count_is_n_minus_1(self):
+        # N/2 initial + N/4 + ... + 1 spawned = N - 1 total
+        out = run_sum1(random_array(16, seed=1), seed=2)
+        assert out.trace.counters.processes_created == 15
+
+    def test_negative_values(self):
+        values = random_array(8, seed=3, low=-50, high=-1)
+        assert run_sum1(values, seed=1).total == sum(values)
+
+
+class TestSum2Structure:
+    def test_no_consensus_needed(self):
+        out = run_sum2(random_array(32, seed=1), seed=2)
+        assert out.result.consensus_rounds == 0
+
+    def test_one_process_per_merge(self):
+        out = run_sum2(random_array(32, seed=1), seed=2)
+        assert out.trace.counters.processes_created == 31
+        assert out.result.commits == 31
+
+    def test_rounds_logarithmic(self):
+        out = run_sum2(random_array(64, seed=1), seed=2)
+        assert out.result.rounds <= 16
+
+
+class TestSum3Structure:
+    def test_single_process(self):
+        out = run_sum3(random_array(32, seed=1), seed=2)
+        assert out.trace.counters.processes_created == 1
+        assert out.result.consensus_rounds == 0
+
+    def test_any_length_works(self):
+        # Sum3 does not require a power of two
+        for n in (3, 5, 7, 100):
+            values = random_array(n, seed=n)
+            assert run_sum3(values, seed=1).total == sum(values)
+
+    def test_single_value_is_fixpoint(self):
+        out = run_sum3([42], seed=1)
+        assert out.total == 42
+        assert out.result.commits == 0
+
+    def test_parallelism_grows_with_n(self):
+        small = run_sum3(random_array(16, seed=1), seed=2)
+        large = run_sum3(random_array(256, seed=1), seed=2)
+        assert large.result.parallelism > small.result.parallelism
+
+
+class TestValidation:
+    def test_power_of_two_required_for_sum1(self):
+        with pytest.raises(ValueError):
+            run_sum1([1, 2, 3], seed=1)
+
+    def test_power_of_two_required_for_sum2(self):
+        with pytest.raises(ValueError):
+            run_sum2([1, 2, 3], seed=1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            run_sum3([], seed=1)
+
+    def test_seeds_change_schedule_not_answer(self):
+        values = random_array(32, seed=5)
+        totals = {run_sum3(values, seed=s).total for s in range(5)}
+        assert totals == {sum(values)}

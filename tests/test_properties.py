@@ -1,0 +1,190 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dataspace import Dataspace
+from repro.core.expressions import Var, variables
+from repro.core.patterns import ANY, P
+from repro.core.query import exists, forall, no
+from repro.core.values import Atom, is_value
+from repro.core.views import FULL_VIEW, View, import_rule
+from repro.programs import run_sum3
+from repro.workloads import property_list_rows
+from repro.programs import run_sort
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+
+scalars = st.one_of(
+    st.integers(min_value=-1000, max_value=1000),
+    st.text(alphabet="abcxyz", min_size=1, max_size=4),
+    st.booleans(),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+)
+
+value_tuples = st.lists(scalars, min_size=1, max_size=4).map(tuple)
+
+
+class TestDataspaceProperties:
+    @given(st.lists(value_tuples, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_insert_then_full_retract_leaves_empty(self, rows):
+        ds = Dataspace()
+        instances = [ds.insert(row) for row in rows]
+        assert len(ds) == len(rows)
+        for inst in instances:
+            ds.retract(inst.tid)
+        assert len(ds) == 0
+        assert ds.snapshot() == []
+        # all indexes fully cleaned
+        assert not ds._by_arity and not ds._by_field
+
+    @given(st.lists(value_tuples, max_size=25), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_multiset_is_insertion_invariant(self, rows, data):
+        ds = Dataspace()
+        for row in rows:
+            ds.insert(row)
+        counts: dict = {}
+        for row in rows:
+            counts[row] = counts.get(row, 0) + 1
+        assert ds.multiset() == counts
+
+    @given(st.lists(value_tuples, min_size=1, max_size=25), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_candidates_superset_of_matches(self, rows, data):
+        ds = Dataspace()
+        for row in rows:
+            ds.insert(row)
+        probe = data.draw(st.sampled_from(rows))
+        pat = P[tuple(probe)] if len(probe) == 1 else P[probe]
+        matching = {i.tid for i in ds.find_matching(pat)}
+        candidates = {i.tid for i in ds.candidates(pat)}
+        assert matching <= candidates
+        assert len(matching) >= 1  # the probe itself matches
+
+    @given(st.lists(value_tuples, max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_version_strictly_monotone(self, rows):
+        ds = Dataspace()
+        seen = [ds.version]
+        for row in rows:
+            ds.insert(row)
+            seen.append(ds.version)
+        assert seen == sorted(set(seen))
+
+
+class TestPatternProperties:
+    @given(value_tuples)
+    @settings(max_examples=80, deadline=None)
+    def test_all_wildcards_match_anything(self, row):
+        pat = P[tuple(ANY for __ in row)]
+        assert pat.match(row, {}) == {}
+
+    @given(value_tuples)
+    @settings(max_examples=80, deadline=None)
+    def test_self_literal_pattern_matches_itself(self, row):
+        pat = P[row] if len(row) > 1 else P[row[0]]
+        assert pat.match(row, {}) == {}
+
+    @given(value_tuples)
+    @settings(max_examples=80, deadline=None)
+    def test_variable_pattern_binds_every_field(self, row):
+        vs = variables(" ".join(f"v{i}" for i in range(len(row))))
+        pat = P[vs if len(vs) > 1 else vs[0]]
+        got = pat.match(row, {})
+        assert got == {f"v{i}": row[i] for i in range(len(row))}
+
+    @given(value_tuples, value_tuples)
+    @settings(max_examples=80, deadline=None)
+    def test_arity_mismatch_never_matches(self, a, b):
+        if len(a) == len(b):
+            return
+        pat = P[tuple(ANY for __ in a)]
+        assert pat.match(b, {}) is None
+
+
+class TestQueryProperties:
+    @given(st.lists(st.integers(-50, 50), min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_forall_retract_partitions_dataspace(self, values):
+        """∀ with a filter retracts exactly the matching instances."""
+        ds = Dataspace()
+        for v in values:
+            ds.insert(("n", v))
+        a = Var("a")
+        q = forall(a).match(P["n", a].retract()).such_that(a > 0).build()
+        result = q.evaluate(FULL_VIEW.window(ds, {}))
+        assert result.success
+        positives = [v for v in values if v > 0]
+        assert len(result.all_retracted()) == len(positives)
+        for inst in result.all_retracted():
+            ds.retract(inst.tid)
+        assert sorted(i.values[1] for i in ds.instances()) == sorted(
+            v for v in values if v <= 0
+        )
+
+    @given(st.lists(st.integers(0, 20), max_size=15))
+    @settings(max_examples=50, deadline=None)
+    def test_no_is_complement_of_exists(self, values):
+        ds = Dataspace()
+        for v in values:
+            ds.insert(("n", v))
+        window = FULL_VIEW.window(ds, {})
+        present = exists().match(P["n", 7]).build().evaluate(window).success
+        absent = no(P["n", 7]).evaluate(window).success
+        assert present != absent
+        assert present == (7 in values)
+
+
+class TestViewProperties:
+    @given(st.lists(value_tuples, max_size=25), st.integers(0, 3))
+    @settings(max_examples=50, deadline=None)
+    def test_window_is_subset_of_dataspace(self, rows, arity_pick):
+        ds = Dataspace()
+        for row in rows:
+            ds.insert(row)
+        arity = arity_pick + 1
+        view = View(imports=[P[tuple(ANY for __ in range(arity))]])
+        window = view.window(ds)
+        footprint = window.footprint()
+        assert footprint <= ds.tids()
+        # footprint = exactly the instances of that arity
+        assert footprint == {i.tid for i in ds.instances() if i.arity == arity}
+
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_guarded_import_equals_filter(self, values):
+        ds = Dataspace()
+        for v in values:
+            ds.insert(("n", v))
+        a = Var("a")
+        view = View(imports=[import_rule("n", a, guard=(a >= 0))])
+        window = view.window(ds)
+        imported = sorted(i.values[1] for i in window.instances())
+        assert imported == sorted(v for v in values if v >= 0)
+
+
+class TestProgramProperties:
+    @given(st.lists(st.integers(-99, 99), min_size=1, max_size=24), st.integers(0, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_sum3_equals_python_sum(self, values, seed):
+        out = run_sum3(values, seed=seed)
+        assert out.total == sum(values)
+        assert out.result.commits == len(values) - 1
+
+    @given(
+        st.lists(
+            st.text(alphabet="abcdef", min_size=1, max_size=3),
+            min_size=1,
+            max_size=7,
+            unique=True,
+        ),
+        st.integers(0, 3),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_distributed_sort_equals_sorted(self, names, seed):
+        rows = property_list_rows([(n, f"v-{n}") for n in names])
+        out = run_sort(rows, seed=seed)
+        assert out.answer == sorted(names)

@@ -1,0 +1,193 @@
+"""Unit tests for the query language (repro.core.query)."""
+
+import pytest
+
+from repro.core.expressions import variables
+from repro.core.patterns import ANY, P
+from repro.core.query import (
+    Membership,
+    Query,
+    QueryAtom,
+    TRUE_QUERY,
+    exists,
+    forall,
+    no,
+)
+from repro.errors import QueryError
+
+
+class TestConstruction:
+    def test_builder_roundtrip(self, abc):
+        a, _, _ = abc
+        q = exists(a).match(P["year", a].retract()).such_that(a > 87).build()
+        assert q.quantifier == "exists"
+        assert q.variables == ("a",)
+        assert q.atoms[0].retract is True
+        assert q.test is not None
+
+    def test_such_that_conjoins(self, abc):
+        a, _, _ = abc
+        q = exists(a).match(P["x", a]).such_that(a > 0).such_that(a < 9).build()
+        # both conditions must apply
+        assert q.test is not None
+
+    def test_trivial_query(self):
+        assert TRUE_QUERY.is_trivial()
+        assert not exists().match(P["x"]).build().is_trivial()
+
+    def test_negated_retraction_rejected(self):
+        with pytest.raises(QueryError):
+            Query(negated=True, atoms=[QueryAtom(P["x"], retract=True)])
+
+    def test_negated_forall_rejected(self):
+        with pytest.raises(QueryError):
+            Query(quantifier="forall", negated=True)
+
+    def test_unknown_quantifier_rejected(self):
+        with pytest.raises(QueryError):
+            Query(quantifier="most")
+
+    def test_atom_requires_pattern(self):
+        with pytest.raises(QueryError):
+            QueryAtom("not a pattern")  # type: ignore[arg-type]
+
+    def test_retracts_helper(self, abc):
+        a, _, _ = abc
+        assert exists(a).match(P["x", a].retract()).build().retracts()
+        assert not exists(a).match(P["x", a]).build().retracts()
+
+
+class TestExistsEvaluation:
+    def test_success_binds_and_tags(self, year_space, abc):
+        a, _, _ = abc
+        q = exists(a).match(P["year", a].retract()).such_that(a > 87).build()
+        result = q.evaluate(year_space)
+        assert result.success
+        assert result.bindings["a"] in (88, 90)
+        assert len(result.matches[0].retracted) == 1
+
+    def test_failure_when_test_rejects_all(self, year_space, abc):
+        a, _, _ = abc
+        q = exists(a).match(P["year", a]).such_that(a > 99).build()
+        assert not q.evaluate(year_space).success
+
+    def test_membership_test_against_window(self, year_space, abc):
+        a, _, _ = abc
+        q = (
+            exists(a)
+            .match(P["year", a])
+            .such_that(Membership(P["year", 90]))
+            .build()
+        )
+        assert q.evaluate(year_space).success
+        q2 = exists().match(P["year", 85]).such_that(~Membership(P["year", 99])).build()
+        assert q2.evaluate(year_space).success
+
+    def test_membership_with_inner_test(self, year_space):
+        b = variables("b")[0]
+        q = exists().such_that(Membership(P["year", b], test=(b > 89))).build()
+        assert q.evaluate(year_space).success
+        q2 = exists().such_that(Membership(P["year", b], test=(b > 95))).build()
+        assert not q2.evaluate(year_space).success
+
+    def test_params_visible_to_query(self, year_space, abc):
+        a, _, _ = abc
+        limit = variables("limit")[0]
+        q = exists(a).match(P["year", a]).such_that(a > limit).build()
+        assert q.evaluate(year_space, {"limit": 89}).bindings["a"] == 90
+        assert not q.evaluate(year_space, {"limit": 95}).success
+
+    def test_trivial_query_succeeds_with_params(self, space):
+        result = TRUE_QUERY.evaluate(space, {"k": 5})
+        assert result.success
+        assert result.bindings == {"k": 5}
+
+    def test_propositional_membership(self, year_space):
+        assert exists().match(P["year", 87]).build().evaluate(year_space).success
+        assert not exists().match(P["year", 99]).build().evaluate(year_space).success
+
+
+class TestNegatedEvaluation:
+    def test_no_succeeds_when_absent(self, year_space):
+        assert no(P["day", ANY]).evaluate(year_space).success
+
+    def test_no_fails_when_present(self, year_space):
+        assert not no(P["year", ANY]).evaluate(year_space).success
+
+    def test_no_with_test(self, year_space, abc):
+        a, _, _ = abc
+        q = no(P["year", a], such_that=(a > 95))
+        assert q.evaluate(year_space).success
+        q2 = no(P["year", a], such_that=(a > 89))
+        assert not q2.evaluate(year_space).success
+
+    def test_negated_query_retracts_nothing(self, year_space):
+        result = no(P["day", ANY]).evaluate(year_space)
+        assert result.matches == []
+        assert result.all_retracted() == []
+
+
+class TestForallEvaluation:
+    def test_all_matches_found(self, year_space, abc):
+        a, _, _ = abc
+        q = forall(a).match(P["year", a].retract()).build()
+        result = q.evaluate(year_space)
+        assert result.success
+        assert len(result.matches) == 4
+        assert len(result.all_retracted()) == 4
+
+    def test_vacuous_forall_succeeds(self, space, abc):
+        a, _, _ = abc
+        q = forall(a).match(P["year", a]).build()
+        result = q.evaluate(space)
+        assert result.success
+        assert result.matches == []
+
+    def test_nonempty_flag_fails_vacuous(self, space, abc):
+        a, _, _ = abc
+        q = forall(a).match(P["year", a]).nonempty().build()
+        assert not q.evaluate(space).success
+
+    def test_forall_with_filter(self, year_space, abc):
+        a, _, _ = abc
+        q = forall(a).match(P["year", a].retract()).such_that(a > 86).build()
+        result = q.evaluate(year_space)
+        assert {m.bindings["a"] for m in result.matches} == {87, 88, 90}
+
+    def test_forall_reads_deduplicate_bindings(self, space, abc):
+        a, _, _ = abc
+        space.insert(("x", 1))
+        space.insert(("x", 1))  # same values, distinct instance
+        q = forall(a).match(P["x", a]).build()
+        result = q.evaluate(space)
+        # pure reads dedupe on variable values
+        assert len(result.matches) == 1
+
+    def test_forall_retraction_consumes_instances(self, space, abc):
+        a, _, _ = abc
+        space.insert(("x", 1))
+        space.insert(("x", 1))
+        q = forall(a).match(P["x", a].retract()).build()
+        result = q.evaluate(space)
+        # retractions are per-instance: both consumed
+        assert len(result.matches) == 2
+
+    def test_forall_excluded_instances(self, space, abc):
+        a, _, _ = abc
+        keep = space.insert(("x", 1))
+        skip = space.insert(("x", 2))
+        q = forall(a).match(P["x", a].retract()).build()
+        result = q.evaluate(space, excluded={skip.tid})
+        assert [m.bindings["a"] for m in result.matches] == [1]
+
+
+class TestRepr:
+    def test_repr_mentions_quantifier_and_atoms(self, abc):
+        a, _, _ = abc
+        q = exists(a).match(P["year", a].retract()).such_that(a > 87).build()
+        text = repr(q)
+        assert "∃" in text and "year" in text
+
+    def test_forall_repr(self, abc):
+        a, _, _ = abc
+        assert "∀" in repr(forall(a).match(P["x", a]).build())

@@ -1,0 +1,90 @@
+"""Scale tests — the paper's "many thousands of concurrent processes".
+
+These are correctness tests at large society sizes with wall-clock
+guardrails, not micro-benchmarks; they ensure the engine's data structures
+(wake filters, consensus memoisation, index-probed footprints) hold up.
+"""
+
+import time
+
+import pytest
+
+from repro.core.actions import assert_tuple
+from repro.core.expressions import Var
+from repro.core.patterns import ANY, P
+from repro.core.process import ProcessDefinition
+from repro.core.query import exists
+from repro.core.transactions import consensus, delayed, immediate
+from repro.programs import run_sum2, run_sum3
+from repro.runtime.engine import Engine
+from repro.workloads import random_array
+
+
+class TestThousandsOfProcesses:
+    def test_sum2_with_two_thousand_processes(self):
+        n = 2048
+        values = random_array(n, seed=5)
+        start = time.perf_counter()
+        out = run_sum2(values, seed=3)
+        elapsed = time.perf_counter() - start
+        assert out.total == sum(values)
+        assert out.trace.counters.processes_created == n - 1
+        assert out.result.rounds <= 16  # logarithmic makespan survives scale
+        assert elapsed < 30
+
+    def test_sum3_with_four_thousand_tuples(self):
+        n = 4096
+        values = random_array(n, seed=5)
+        out = run_sum3(values, seed=3)
+        assert out.total == sum(values)
+        assert out.result.parallelism > 50
+
+    def test_hundreds_of_consensus_communities(self):
+        g = Var("g")
+        member = ProcessDefinition(
+            "Member",
+            params=("g",),
+            imports=[P[g, ANY]],
+            exports=[P[g, ANY], P["done", ANY]],
+            body=[
+                immediate().then(assert_tuple(g, "arrived")),
+                consensus(exists().match(P[g, ANY])).then(assert_tuple("done", g)),
+            ],
+        )
+        processes, communities = 400, 40
+        engine = Engine(definitions=[member], seed=2)
+        for c in range(communities):
+            engine.assert_tuples([(f"g{c}", "token")])
+        for p in range(processes):
+            engine.start("Member", (f"g{p % communities}",))
+        start = time.perf_counter()
+        result = engine.run()
+        elapsed = time.perf_counter() - start
+        assert result.completed
+        assert result.consensus_rounds == communities
+        assert engine.dataspace.count_matching(P["done", ANY]) == processes
+        assert elapsed < 60
+
+    def test_thousand_delayed_waiters_all_served(self):
+        """Weak fairness at scale: 1000 waiters, 1000 items."""
+        a = Var("a")
+        waiter = ProcessDefinition(
+            "Waiter",
+            params=("w",),
+            body=[
+                delayed(exists(a).match(P["item", a].retract())).then(
+                    assert_tuple("served", Var("w"))
+                )
+            ],
+        )
+        n = 1000
+        engine = Engine(definitions=[waiter], seed=9)
+        engine.assert_tuples([("item", i) for i in range(n)])
+        for w in range(n):
+            engine.start("Waiter", (w,))
+        start = time.perf_counter()
+        result = engine.run()
+        elapsed = time.perf_counter() - start
+        assert result.completed
+        assert engine.dataspace.count_matching(P["served", ANY]) == n
+        assert elapsed < 30

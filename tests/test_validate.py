@@ -1,0 +1,207 @@
+"""Tests for the static program validator (repro.core.validate)."""
+
+import pytest
+
+from repro.core.actions import ABORT, EXIT, assert_tuple, let, spawn
+from repro.core.constructs import guarded, repeat, select
+from repro.core.expressions import Var, variables
+from repro.core.patterns import ANY, P
+from repro.core.process import ProcessDefinition
+from repro.core.query import Membership, exists
+from repro.core.transactions import delayed, immediate
+from repro.core.validate import Issue, validate_process, validate_program
+from repro.programs import (
+    find_definition,
+    search_definition,
+    sort_definition,
+    sum1_definition,
+    sum2_definition,
+    sum3_definition,
+)
+
+
+def codes(issues):
+    return sorted(issue.code for issue in issues)
+
+
+class TestCleanPrograms:
+    def test_paper_programs_are_clean(self):
+        defs = [
+            sum2_definition(),
+            sum3_definition(),
+            find_definition(),
+            search_definition(),
+            sort_definition(),
+        ]
+        for definition in defs:
+            assert validate_process(definition) == [], definition.name
+
+    def test_sum1_clean_in_program_context(self):
+        # Sum1 spawns itself: needs program-level resolution
+        assert validate_program([sum1_definition()]) == []
+
+
+class TestSpawnChecks:
+    def test_unknown_target(self):
+        bad = ProcessDefinition("P", body=[immediate().then(spawn("Ghost"))])
+        issues = validate_program([bad])
+        assert codes(issues) == ["SDL001"]
+        assert "Ghost" in issues[0].message
+
+    def test_arity_mismatch(self):
+        child = ProcessDefinition("Child", params=("a", "b"))
+        parent = ProcessDefinition("P", body=[immediate().then(spawn("Child", 1))])
+        issues = validate_program([parent, child])
+        assert codes(issues) == ["SDL002"]
+
+    def test_correct_spawn_ok(self):
+        child = ProcessDefinition("Child", params=("a",))
+        parent = ProcessDefinition("P", body=[immediate().then(spawn("Child", 1))])
+        assert validate_program([parent, child]) == []
+
+
+class TestVariableChecks:
+    def test_unbound_in_assertion(self):
+        ghost = Var("ghost")
+        bad = ProcessDefinition("P", body=[immediate().then(assert_tuple("x", ghost))])
+        assert codes(validate_process(bad)) == ["SDL003"]
+
+    def test_unbound_in_test(self):
+        a, ghost = variables("a ghost")
+        bad = ProcessDefinition(
+            "P",
+            body=[immediate(exists(a).match(P["x", a]).such_that(ghost > 1))],
+        )
+        assert codes(validate_process(bad)) == ["SDL003"]
+
+    def test_let_flows_forward(self):
+        good = ProcessDefinition(
+            "P",
+            body=[
+                immediate().then(let("N", 2)),
+                immediate().then(assert_tuple("x", Var("N"))),
+            ],
+        )
+        assert validate_process(good) == []
+
+    def test_query_variable_visible_to_actions(self):
+        a = Var("a")
+        good = ProcessDefinition(
+            "P",
+            body=[
+                immediate(exists(a).match(P["x", a].retract())).then(
+                    assert_tuple("y", a + 1)
+                )
+            ],
+        )
+        assert validate_process(good) == []
+
+    def test_membership_locals_not_flagged(self):
+        v = Var("v")
+        good = ProcessDefinition(
+            "P",
+            body=[immediate(exists().such_that(Membership(P["n", v], test=(v > 0))))],
+        )
+        assert validate_process(good) == []
+
+    def test_membership_outer_reference_checked(self):
+        v, outer = variables("v outer")
+        bad = ProcessDefinition(
+            "P",
+            body=[
+                immediate(
+                    exists().such_that(Membership(P["n", v], test=(v > outer)))
+                )
+            ],
+        )
+        assert codes(validate_process(bad)) == ["SDL003"]
+
+    def test_unused_quantified_variable(self):
+        a, b = variables("a b")
+        lazy = ProcessDefinition(
+            "P", body=[immediate(exists(a, b).match(P["x", a]))]
+        )
+        assert codes(validate_process(lazy)) == ["SDL006"]
+
+
+class TestExportChecks:
+    def test_impossible_export_flagged(self):
+        bad = ProcessDefinition(
+            "P",
+            exports=[P["allowed", ANY]],
+            body=[immediate().then(assert_tuple("forbidden", 1))],
+        )
+        assert codes(validate_process(bad)) == ["SDL004"]
+
+    def test_matching_export_ok(self):
+        good = ProcessDefinition(
+            "P",
+            exports=[P["allowed", ANY]],
+            body=[immediate().then(assert_tuple("allowed", 1))],
+        )
+        assert validate_process(good) == []
+
+    def test_unrestricted_export_never_flagged(self):
+        good = ProcessDefinition(
+            "P", body=[immediate().then(assert_tuple("anything", 1))]
+        )
+        assert validate_process(good) == []
+
+    def test_variable_first_field_assumed_coverable(self):
+        g = Var("g")
+        good = ProcessDefinition(
+            "P",
+            params=("g",),
+            exports=[P[g, ANY]],
+            body=[immediate().then(assert_tuple(g, 1))],
+        )
+        assert validate_process(good) == []
+
+
+class TestStyleChecks:
+    def test_never_blocking_delayed(self):
+        odd = ProcessDefinition("P", body=[delayed().then(assert_tuple("x", 1))])
+        assert codes(validate_process(odd)) == ["SDL005"]
+
+    def test_unreachable_after_exit(self):
+        dead = ProcessDefinition(
+            "P",
+            body=[
+                immediate().then(EXIT),
+                immediate().then(assert_tuple("never", 1)),
+            ],
+        )
+        assert codes(validate_process(dead)) == ["SDL007"]
+
+    def test_conditional_exit_not_flagged(self):
+        a = Var("a")
+        fine = ProcessDefinition(
+            "P",
+            body=[
+                immediate(exists(a).match(P["x", a])).then(EXIT),
+                immediate().then(assert_tuple("sometimes", 1)),
+            ],
+        )
+        assert validate_process(fine) == []
+
+    def test_branch_bodies_checked(self):
+        ghost = Var("ghost")
+        bad = ProcessDefinition(
+            "P",
+            body=[
+                select(
+                    guarded(
+                        immediate(),
+                        immediate().then(assert_tuple("x", ghost)),
+                    )
+                )
+            ],
+        )
+        assert codes(validate_process(bad)) == ["SDL003"]
+
+
+class TestIssueRendering:
+    def test_str_contains_everything(self):
+        issue = Issue("SDL001", "error", "Proc", "boom")
+        text = str(issue)
+        assert "SDL001" in text and "Proc" in text and "boom" in text

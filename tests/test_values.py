@@ -1,0 +1,68 @@
+"""Unit tests for the SDL value domain (repro.core.values)."""
+
+import pytest
+
+from repro.core.values import NIL, Atom, check_value, is_value, value_repr
+from repro.errors import ValueDomainError
+
+
+class TestAtom:
+    def test_atom_equals_plain_string(self):
+        assert Atom("year") == "year"
+
+    def test_atom_is_interned(self):
+        assert Atom("year") is Atom("year")
+
+    def test_atom_repr_has_no_quotes(self):
+        assert repr(Atom("not_found")) == "not_found"
+
+    def test_atom_usable_as_dict_key_with_string(self):
+        d = {Atom("k"): 1}
+        assert d["k"] == 1
+
+    def test_empty_atom_rejected(self):
+        with pytest.raises(ValueDomainError):
+            Atom("")
+
+    def test_non_string_atom_rejected(self):
+        with pytest.raises(ValueDomainError):
+            Atom(7)  # type: ignore[arg-type]
+
+    def test_nil_is_the_nil_atom(self):
+        assert NIL == "nil"
+        assert isinstance(NIL, Atom)
+
+
+class TestValueDomain:
+    @pytest.mark.parametrize(
+        "value",
+        ["x", Atom("x"), 0, -3, 2.5, True, False, (1, 2), ("a", (1, 2.0))],
+    )
+    def test_members(self, value):
+        assert is_value(value)
+        assert check_value(value) == value
+
+    @pytest.mark.parametrize("value", [None, [1], {"a": 1}, {1}, object(), (1, [2])])
+    def test_non_members(self, value):
+        assert not is_value(value)
+        with pytest.raises(ValueDomainError):
+            check_value(value)
+
+    def test_nested_tuple_validation_is_deep(self):
+        assert is_value((1, (2, (3, "x"))))
+        assert not is_value((1, (2, (3, None))))
+
+
+class TestValueRepr:
+    def test_atom_rendered_bare(self):
+        assert value_repr(Atom("year")) == "year"
+
+    def test_string_rendered_quoted(self):
+        assert value_repr("year") == "'year'"
+
+    def test_tuple_rendered_in_parens(self):
+        assert value_repr((1, 2)) == "(1,2)"
+
+    def test_numbers(self):
+        assert value_repr(87) == "87"
+        assert value_repr(2.5) == "2.5"

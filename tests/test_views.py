@@ -1,0 +1,164 @@
+"""Unit tests for views and windows (repro.core.views)."""
+
+import pytest
+
+from repro.core.dataspace import Dataspace
+from repro.core.expressions import Var, fn, variables
+from repro.core.patterns import ANY, P
+from repro.core.views import FULL_VIEW, View, ViewRule, import_rule
+from repro.errors import ViewError
+
+
+@pytest.fixture
+def mixed_space():
+    ds = Dataspace()
+    ds.insert_many([("year", y) for y in (85, 87, 88, 90)])
+    ds.insert_many([("day", d) for d in (1, 2)])
+    return ds
+
+
+class TestViewRule:
+    def test_paper_guarded_rule(self, mixed_space):
+        # IMPORT α : α <= 87 => <year, α>
+        a = Var("a")
+        rule = import_rule("year", a, guard=(a <= 87))
+        assert rule.covers(("year", 85), mixed_space, {})
+        assert rule.covers(("year", 87), mixed_space, {})
+        assert not rule.covers(("year", 88), mixed_space, {})
+        assert not rule.covers(("day", 1), mixed_space, {})
+
+    def test_rule_with_process_parameters(self, mixed_space):
+        node = Var("node")
+        rule = import_rule(node, ANY)
+        assert rule.covers(("year", 85), mixed_space, {"node": "year"})
+        assert not rule.covers(("year", 85), mixed_space, {"node": "day"})
+
+    def test_where_context_atoms(self, mixed_space):
+        # import <day, d> only while some <year, 90> exists in D
+        d = Var("d")
+        rule = import_rule("day", d, where=[P["year", 90]])
+        assert rule.covers(("day", 1), mixed_space, {})
+        # remove the context tuple -> rule no longer covers
+        tid = mixed_space.find_matching(P["year", 90])[0].tid
+        mixed_space.retract(tid)
+        assert not rule.covers(("day", 1), mixed_space, {})
+
+    def test_where_variables_join_with_pattern(self, mixed_space):
+        # cover <year, a> only if a matching <day, a> exists
+        a = Var("a")
+        rule = import_rule("year", a, where=[P["day", a]])
+        mixed_space.insert(("day", 87))
+        assert rule.covers(("year", 87), mixed_space, {})
+        assert not rule.covers(("year", 90), mixed_space, {})
+
+    def test_guard_with_host_predicate(self, mixed_space):
+        a = Var("a")
+        even = fn(lambda x: x % 2 == 0, "even")
+        rule = import_rule("year", a, guard=even(a))
+        assert rule.covers(("year", 88), mixed_space, {})
+        assert not rule.covers(("year", 87), mixed_space, {})
+
+    def test_rule_requires_pattern(self):
+        with pytest.raises(ViewError):
+            ViewRule("oops")  # type: ignore[arg-type]
+
+
+class TestView:
+    def test_full_view_unrestricted(self, mixed_space):
+        assert FULL_VIEW.unrestricted
+        assert FULL_VIEW.imports_value(("anything", 1, 2), mixed_space, {})
+        assert FULL_VIEW.exports_value(("anything",), mixed_space, {})
+
+    def test_import_restriction(self, mixed_space):
+        view = View(imports=[P["year", ANY]])
+        assert view.imports_value(("year", 85), mixed_space, {})
+        assert not view.imports_value(("day", 1), mixed_space, {})
+        # exports stay unrestricted when not given
+        assert view.exports_value(("day", 9), mixed_space, {})
+
+    def test_export_restriction(self, mixed_space):
+        view = View(exports=[P["found", ANY]])
+        assert view.exports_value(("found", 90), mixed_space, {})
+        assert not view.exports_value(("year", 90), mixed_space, {})
+
+    def test_multiple_rules_union(self, mixed_space):
+        view = View(imports=[P["year", ANY], P["day", ANY]])
+        assert view.imports_value(("year", 85), mixed_space, {})
+        assert view.imports_value(("day", 1), mixed_space, {})
+        assert not view.imports_value(("other",), mixed_space, {})
+
+    def test_patterns_promoted_to_rules(self):
+        view = View(imports=[P["x", ANY]])
+        assert isinstance(view.imports[0], ViewRule)
+
+
+class TestWindow:
+    def test_window_is_import_intersection(self, mixed_space):
+        # W = Import(p) ∩ D
+        window = View(imports=[P["year", ANY]]).window(mixed_space)
+        assert sorted(i.values for i in window.instances()) == [
+            ("year", 85), ("year", 87), ("year", 88), ("year", 90),
+        ]
+
+    def test_candidates_filtered(self, mixed_space, abc):
+        a, _, _ = abc
+        window = View(imports=[P["year", ANY]]).window(mixed_space)
+        assert window.candidates(P["day", a]) == []
+        assert len(window.candidates(P["year", a])) == 4
+
+    def test_window_with_guard(self, mixed_space, abc):
+        a, _, _ = abc
+        v = Var("v")
+        window = View(imports=[import_rule("year", v, guard=(v <= 87))]).window(mixed_space)
+        assert window.count_matching(P["year", a]) == 2
+
+    def test_contains_tid(self, mixed_space):
+        window = View(imports=[P["year", ANY]]).window(mixed_space)
+        year_tid = mixed_space.find_matching(P["year", 85])[0].tid
+        day_tid = mixed_space.find_matching(P["day", 1])[0].tid
+        assert year_tid in window
+        assert day_tid not in window
+
+    def test_memo_refreshes_on_change(self, mixed_space):
+        d = Var("d")
+        window = View(imports=[import_rule("day", d, where=[P["year", 90]])]).window(mixed_space)
+        day = mixed_space.find_matching(P["day", 1])[0]
+        assert window.imports_instance(day)
+        tid = mixed_space.find_matching(P["year", 90])[0].tid
+        mixed_space.retract(tid)
+        # configuration changed: the same instance is no longer imported
+        assert not window.imports_instance(day)
+
+    def test_footprint_and_overlap(self, mixed_space):
+        w_years = View(imports=[P["year", ANY]]).window(mixed_space)
+        w_days = View(imports=[P["day", ANY]]).window(mixed_space)
+        w_all = FULL_VIEW.window(mixed_space)
+        assert len(w_years.footprint()) == 4
+        assert not w_years.overlaps(w_days)
+        assert w_years.overlaps(w_all)
+        assert w_all.overlaps(w_days)
+
+    def test_overlap_requires_current_tuples(self):
+        # Import sets may intersect as families, but `needs` is about
+        # Import(p) ∩ Import(q) ∩ D — an EMPTY dataspace means no overlap.
+        ds = Dataspace()
+        w1 = View(imports=[P["x", ANY]]).window(ds)
+        w2 = View(imports=[P["x", ANY]]).window(ds)
+        assert not w1.overlaps(w2)
+        ds.insert(("x", 1))
+        assert w1.refresh().overlaps(w2.refresh())
+
+    def test_exports_value_via_window(self, mixed_space):
+        window = View(exports=[P["found", ANY]]).window(mixed_space)
+        assert window.exports_value(("found", 1))
+        assert not window.exports_value(("year", 1))
+
+    def test_full_view_footprint_is_everything(self, mixed_space):
+        window = FULL_VIEW.window(mixed_space)
+        assert window.footprint() == mixed_space.tids()
+
+    def test_params_reach_rules(self, mixed_space, abc):
+        a, _, _ = abc
+        tag = Var("tag")
+        window = View(imports=[P[tag, ANY]]).window(mixed_space, {"tag": "day"})
+        assert window.count_matching(P[ANY, a]) == 2

@@ -1,0 +1,82 @@
+"""Tests for trace/dataspace serialization (repro.viz.dump)."""
+
+import io
+import json
+
+import pytest
+
+from repro.core.dataspace import Dataspace
+from repro.core.values import Atom
+from repro.errors import SDLError
+from repro.programs import run_sum3
+from repro.viz.dump import (
+    decode_value,
+    dump_dataspace,
+    dump_trace_jsonl,
+    encode_value,
+    load_dataspace,
+    trace_records,
+)
+from repro.workloads import random_array
+
+
+class TestValueCodec:
+    @pytest.mark.parametrize(
+        "value",
+        [1, -3, 2.5, True, "text", Atom("year"), (1, 2), (Atom("a"), ("x", 3))],
+    )
+    def test_round_trip(self, value):
+        assert decode_value(json.loads(json.dumps(encode_value(value)))) == value
+
+    def test_atom_distinct_from_string(self):
+        atom = decode_value(encode_value(Atom("x")))
+        text = decode_value(encode_value("x"))
+        assert isinstance(atom, Atom)
+        assert not isinstance(text, Atom)
+
+    def test_unencodable_rejected(self):
+        with pytest.raises(SDLError):
+            encode_value([1, 2])
+
+    def test_undecodable_rejected(self):
+        with pytest.raises(SDLError):
+            decode_value({"mystery": 1})
+
+
+class TestDataspaceRoundTrip:
+    def test_snapshot_preserved(self):
+        ds = Dataspace()
+        ds.insert(("year", 87), owner=3)
+        ds.insert((Atom("pos"), (1, 2)), owner=5)
+        ds.insert(("year", 87), owner=3)  # duplicate instance
+        blob = json.loads(json.dumps(dump_dataspace(ds)))
+        clone = load_dataspace(blob)
+        assert clone.multiset() == ds.multiset()
+        owners = sorted(inst.owner for inst in clone.instances())
+        assert owners == [3, 3, 5]
+
+    def test_empty_dataspace(self):
+        blob = dump_dataspace(Dataspace())
+        assert load_dataspace(blob).snapshot() == []
+
+
+class TestTraceDump:
+    def test_jsonl_stream(self):
+        out = run_sum3(random_array(8, seed=1), seed=2, detail=True)
+        buffer = io.StringIO()
+        count = dump_trace_jsonl(out.trace, buffer)
+        lines = buffer.getvalue().splitlines()
+        assert count == len(lines) == len(out.trace.events)
+        kinds = {json.loads(line)["kind"] for line in lines}
+        assert "TxnCommitted" in kinds
+        assert "ProcessCreated" in kinds
+
+    def test_records_have_time_stamps(self):
+        out = run_sum3(random_array(4, seed=1), seed=2, detail=True)
+        for record in trace_records(out.trace):
+            assert "step" in record and "round" in record
+
+    def test_counters_only_trace_dumps_nothing(self):
+        out = run_sum3(random_array(4, seed=1), seed=2, detail=False)
+        buffer = io.StringIO()
+        assert dump_trace_jsonl(out.trace, buffer) == 0
