@@ -12,8 +12,6 @@ suite stays tractable; micro-ops use the default calibrated timing.
 
 from __future__ import annotations
 
-import pytest
-
 
 def once(benchmark, func, *args, **kwargs):
     """Run *func* exactly once under timing (no warmup, no repetition)."""

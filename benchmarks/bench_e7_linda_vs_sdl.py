@@ -16,12 +16,12 @@ SDL offers richer atomic transactions.  Two comparisons:
 import pytest
 
 from _helpers import attach, once
-from repro.core.actions import EXIT, assert_tuple
+from repro.core.actions import assert_tuple
 from repro.core.constructs import guarded, repeat
 from repro.core.expressions import Var
 from repro.core.patterns import ANY, P
 from repro.core.process import ProcessDefinition
-from repro.core.query import exists, no
+from repro.core.query import exists
 from repro.core.transactions import delayed, immediate
 from repro.linda import LindaKernel
 from repro.runtime.engine import Engine

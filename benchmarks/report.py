@@ -10,7 +10,6 @@ Usage:  python benchmarks/report.py
 
 from __future__ import annotations
 
-import math
 import time
 
 from repro.baselines import MessageSummer, SharedArraySummer
@@ -36,7 +35,6 @@ from repro.workloads import (
     random_blob_image,
     random_property_list,
     soup_rows,
-    stripe_image,
 )
 
 
@@ -313,6 +311,70 @@ def e10() -> None:
     )
 
 
+def e12() -> None:
+    from repro.core.actions import assert_tuple
+    from repro.core.constructs import guarded, repeat
+    from repro.core.expressions import Var
+    from repro.core.process import ProcessDefinition
+    from repro.core.transactions import delayed, immediate
+    from repro.runtime.engine import Engine
+
+    readers = 48
+    i, v, n = Var("i"), Var("v"), Var("n")
+    reader = ProcessDefinition(
+        "Reader",
+        params=("i",),
+        body=[
+            delayed(exists(v).match(P["cell", i, v].retract())).then(
+                assert_tuple("got", i, v)
+            )
+        ],
+    )
+    writer = ProcessDefinition(
+        "Writer",
+        body=[
+            repeat(
+                guarded(
+                    immediate(
+                        exists(n).match(P["tok", n].retract()).such_that(n < readers)
+                    ).then(assert_tuple("cell", n, n), assert_tuple("tok", n + 1))
+                )
+            )
+        ],
+    )
+    rows = []
+    for mode in ("keys", "arity", "all"):
+        def run():
+            engine = Engine(
+                definitions=[reader, writer], seed=5, policy="fifo", wake_filter=mode
+            )
+            engine.assert_tuples([("tok", 0)])
+            for k in range(readers):
+                engine.start("Reader", (k,))
+            engine.start("Writer")
+            result = engine.run()
+            return engine, result
+
+        (engine, result), seconds = timed(run)
+        rows.append(
+            [
+                mode,
+                engine.trace.counters.failures,
+                result.wakeups,
+                result.precise_wakeups,
+                result.spurious_wakeups,
+                f"{result.spurious_wake_rate:.2f}",
+                f"{seconds*1000:.0f}",
+            ]
+        )
+    table(
+        "E12 — wake filter precision (48 staggered readers)",
+        ["wake_filter", "guard re-evals", "wakeups", "precise", "spurious",
+         "spurious rate", "ms"],
+        rows,
+    )
+
+
 def main() -> None:
     print("# Experiment report (regenerated)")
     e1_e2()
@@ -324,6 +386,7 @@ def main() -> None:
     e8_inline()
     e9()
     e10()
+    e12()
 
 
 if __name__ == "__main__":

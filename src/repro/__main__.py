@@ -25,8 +25,7 @@ from typing import Any
 
 from repro.core.values import Atom
 from repro.errors import SDLError
-from repro.lang import compile_program, parse_program, pretty_process
-from repro.lang.lexer import tokenize
+from repro.lang import compile_program, pretty_process
 from repro.runtime.engine import Engine
 from repro.runtime.events import Trace
 from repro.viz import render_dataspace, render_profile, render_timeline

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Mapping
 
-from repro.core.expressions import Expr, Var, as_expr
+from repro.core.expressions import Var, as_expr
 from repro.core.patterns import Pattern, pattern as make_pattern
 from repro.errors import ActionError
 

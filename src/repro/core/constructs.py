@@ -21,7 +21,7 @@ The constructs here are pure data; the interpreter lives in
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence as Seq
+from typing import Iterable
 
 from repro.core.transactions import Transaction, TransactionBuilder
 from repro.errors import TransactionError

@@ -11,12 +11,17 @@ Pattern matching asks the dataspace for a *candidate set* via
 the constants currently determinable in the pattern.
 
 The dataspace also keeps a monotonically increasing **version** (bumped on
-every mutation) and supports change listeners; the runtime engine uses both
-to implement delayed-transaction wakeup and the trace journal.
+every change event) and supports change listeners; the runtime engine uses
+both to implement delayed-transaction wakeup and the trace journal.  Every
+change event is additionally recorded in a bounded **journal** so consumers
+holding a version watermark (notably :class:`~repro.core.views.Window`) can
+pull the *delta* since their last refresh instead of recomputing from
+scratch — the mechanical basis of the delta-driven reactivity pipeline.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Any, Callable, Iterable, Iterator, Mapping
 
 from repro.core.patterns import Pattern
@@ -26,22 +31,70 @@ from repro.errors import SDLError
 
 __all__ = ["Dataspace", "DataspaceChange"]
 
+#: How many change events the delta journal retains.  A consumer whose
+#: watermark has fallen further behind than this must do a full recompute
+#: (``changes_since`` returns ``None``), so the bound only trades memory
+#: for how *stale* a window may get before losing the incremental path.
+JOURNAL_DEPTH = 512
+
 
 class DataspaceChange:
-    """A single mutation of the dataspace, as reported to listeners."""
+    """One atomic change event: a batch of asserted/retracted instances.
 
-    __slots__ = ("kind", "instance", "version")
+    Single :meth:`Dataspace.insert` / :meth:`Dataspace.retract` calls emit a
+    change carrying exactly one instance; :meth:`Dataspace.insert_many`
+    batches an entire bulk load into a single event (kind ``batch``) so
+    listeners see O(1) notifications rather than O(n).
+    """
+
+    __slots__ = ("kind", "asserted", "retracted", "version")
 
     ASSERT = "assert"
     RETRACT = "retract"
+    BATCH = "batch"
 
-    def __init__(self, kind: str, instance: TupleInstance, version: int) -> None:
+    def __init__(
+        self,
+        kind: str,
+        asserted: tuple[TupleInstance, ...],
+        retracted: tuple[TupleInstance, ...],
+        version: int,
+    ) -> None:
         self.kind = kind
-        self.instance = instance
+        self.asserted = asserted
+        self.retracted = retracted
         self.version = version
 
+    @property
+    def instance(self) -> TupleInstance:
+        """The single instance of a non-batch change (first of a batch)."""
+        return (self.asserted + self.retracted)[0]
+
+    def instances(self) -> tuple[TupleInstance, ...]:
+        """All instances touched by this change, asserted then retracted."""
+        return self.asserted + self.retracted
+
+    def arities(self) -> set[int]:
+        """Tuple lengths touched by this change (wakeup-filter key space)."""
+        return {inst.arity for inst in self.asserted} | {
+            inst.arity for inst in self.retracted
+        }
+
+    def keys(self) -> set[tuple[int, int, Any]]:
+        """All ``(arity, position, value)`` index keys touched by the change."""
+        out: set[tuple[int, int, Any]] = set()
+        for inst in self.instances():
+            arity = inst.arity
+            for position, value in enumerate(inst.values):
+                out.add((arity, position, value))
+        return out
+
     def __repr__(self) -> str:
-        return f"{self.kind} {self.instance!r} @v{self.version}"
+        if len(self.asserted) + len(self.retracted) == 1:
+            return f"{self.kind} {self.instance!r} @v{self.version}"
+        return (
+            f"{self.kind} +{len(self.asserted)}/-{len(self.retracted)} @v{self.version}"
+        )
 
 
 class Dataspace:
@@ -62,6 +115,7 @@ class Dataspace:
         self._serial = 0
         self._version = 0
         self._listeners: list[Callable[[DataspaceChange], None]] = []
+        self._journal: deque[DataspaceChange] = deque(maxlen=JOURNAL_DEPTH)
         self.indexed = indexed
 
     # ------------------------------------------------------------------
@@ -104,20 +158,35 @@ class Dataspace:
     # ------------------------------------------------------------------
     def insert(self, values: Iterable[Any], owner: int = 0) -> TupleInstance:
         """Assert a tuple built from *values*, owned by process *owner*."""
+        instance = self._admit(tuple(values), owner)
+        self._bump(DataspaceChange.ASSERT, (instance,), ())
+        return instance
+
+    def insert_many(self, rows: Iterable[Iterable[Any]], owner: int = 0) -> list[TupleInstance]:
+        """Assert several tuples as **one** change event.
+
+        Each row still gets its own serial (instance identity is per-row),
+        but listeners receive a single batched :class:`DataspaceChange` and
+        the version is bumped once, so bulk-loading an initial dataspace
+        costs O(1) notifications instead of an O(n) listener storm.
+        """
+        instances = [self._admit(tuple(row), owner) for row in rows]
+        if instances:
+            kind = DataspaceChange.BATCH if len(instances) > 1 else DataspaceChange.ASSERT
+            self._bump(kind, tuple(instances), ())
+        return instances
+
+    def _admit(self, values: tuple, owner: int) -> TupleInstance:
+        """Index a new instance without emitting a change event."""
         self._serial += 1
-        instance = make_tuple(tuple(values), serial=self._serial, owner=owner)
+        instance = make_tuple(values, serial=self._serial, owner=owner)
         self._instances[instance.tid] = instance
         self._by_arity.setdefault(instance.arity, {})[instance.tid] = instance
         if self.indexed:
             for position, value in enumerate(instance.values):
                 key = (instance.arity, position, value)
                 self._by_field.setdefault(key, {})[instance.tid] = instance
-        self._bump(DataspaceChange.ASSERT, instance)
         return instance
-
-    def insert_many(self, rows: Iterable[Iterable[Any]], owner: int = 0) -> list[TupleInstance]:
-        """Assert several tuples; convenience for building initial dataspaces."""
-        return [self.insert(row, owner) for row in rows]
 
     def retract(self, tid: TupleId) -> TupleInstance:
         """Retract one instance; other instances with equal values survive."""
@@ -136,15 +205,37 @@ class Dataspace:
                 del field_bucket[tid]
                 if not field_bucket:
                     del self._by_field[key]
-        self._bump(DataspaceChange.RETRACT, instance)
+        self._bump(DataspaceChange.RETRACT, (), (instance,))
         return instance
 
-    def _bump(self, kind: str, instance: TupleInstance) -> None:
+    def _bump(
+        self,
+        kind: str,
+        asserted: tuple[TupleInstance, ...],
+        retracted: tuple[TupleInstance, ...],
+    ) -> None:
         self._version += 1
-        if self._listeners:
-            change = DataspaceChange(kind, instance, self._version)
-            for listener in self._listeners:
-                listener(change)
+        change = DataspaceChange(kind, asserted, retracted, self._version)
+        self._journal.append(change)
+        for listener in self._listeners:
+            listener(change)
+
+    def changes_since(self, version: int) -> list[DataspaceChange] | None:
+        """The change events after *version*, oldest first.
+
+        Returns ``None`` when the journal no longer reaches back to
+        *version* (the consumer fell more than :data:`JOURNAL_DEPTH` events
+        behind) — the caller must then recompute from scratch.
+        """
+        if version >= self._version:
+            return []
+        journal = self._journal
+        if not journal or journal[0].version > version + 1:
+            return None
+        # Versions advance by exactly 1 per journal entry, so the slice
+        # starts at a computable offset rather than a scan.
+        start = len(journal) - (self._version - version)
+        return [journal[i] for i in range(start, len(journal))]
 
     def subscribe(self, listener: Callable[[DataspaceChange], None]) -> Callable[[], None]:
         """Register a change listener; returns an unsubscribe callable."""

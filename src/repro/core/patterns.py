@@ -24,15 +24,8 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Iterator, Mapping
 
-from repro.core.expressions import (
-    Bindings,
-    Const,
-    EvalContext,
-    Expr,
-    Var,
-    as_expr,
-)
-from repro.core.values import is_value, value_repr
+from repro.core.expressions import Bindings, Const, EvalContext, Expr, Var
+from repro.core.values import is_value
 from repro.errors import ArityError, PatternError, UnboundVariableError
 
 __all__ = [

@@ -16,9 +16,9 @@ terminates when its last statement completes or when it executes ``abort``.
 from __future__ import annotations
 
 import enum
-from typing import Any, Callable, Iterable, Mapping, Sequence as Seq
+from typing import Any, Callable, Iterable, Sequence as Seq
 
-from repro.core.constructs import Sequence, Statement, as_statement
+from repro.core.constructs import Sequence, Statement
 from repro.core.patterns import Pattern
 from repro.core.views import View, ViewRule
 from repro.errors import ProcessError

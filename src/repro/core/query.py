@@ -29,7 +29,7 @@ from typing import Any, Iterable, Mapping, Sequence
 
 from repro.core.expressions import Bindings, EvalContext, Expr, Var
 from repro.core.matching import iter_joint_matches
-from repro.core.patterns import Pattern, pattern as make_pattern
+from repro.core.patterns import Pattern
 from repro.core.tuples import TupleId, TupleInstance
 from repro.errors import QueryError
 

@@ -36,18 +36,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
-from repro.core.actions import (
-    Abort,
-    Action,
-    AssertTuple,
-    CallPython,
-    Exit,
-    Let,
-    Skip,
-    Spawn,
-)
+from repro.core.actions import Abort, AssertTuple, CallPython, Exit, Let, Skip, Spawn
 from repro.core.constructs import (
-    GuardedSequence,
     Repetition,
     Replication,
     Selection,
@@ -56,9 +46,9 @@ from repro.core.constructs import (
     TransactionStatement,
 )
 from repro.core.expressions import BinOp, Call, Const, Expr, UnOp, Var
-from repro.core.patterns import LitElement, Pattern, VarElement, WildElement
+from repro.core.patterns import LitElement, Pattern, VarElement
 from repro.core.process import ProcessDefinition
-from repro.core.query import Membership, Query
+from repro.core.query import Membership
 from repro.core.transactions import Mode, Transaction
 
 __all__ = ["Issue", "validate_program", "validate_process"]

@@ -22,15 +22,27 @@ exactly the tuples of its own region's 4-connected neighbourhood.
 Windows are evaluated lazily: candidate enumeration rides the dataspace
 indexes and filters through the import rules, with memoisation per tuple
 instance.  Materialising the full import *footprint* (needed by the
-consensus engine's overlap test) is explicit and cached by dataspace
-version.
+consensus engine's overlap test) is explicit.
+
+Both the memo and the footprint are maintained **incrementally**: a window
+remembers the dataspace version it last saw and, on refresh, pulls the
+delta journal (:meth:`Dataspace.changes_since`) instead of discarding its
+state.  For ordinary rules (pattern + guard) an import decision depends
+only on the tuple's own values and the process parameters, so it stays
+valid across unrelated mutations; retracted instances are evicted and
+asserted instances are classified on arrival.  Rules carrying ``where``
+context atoms make coverage configuration-dependent, so any change falls
+back to a conservative full invalidation — exactly the seed behaviour.
+:class:`WindowStats` counts hits/misses/delta-vs-full refreshes so the
+incrementality win is observable from :class:`~repro.runtime.engine.RunResult`.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Iterable, Iterator, Mapping, Sequence
 
-from repro.core.dataspace import Dataspace
+from repro.core.dataspace import Dataspace, DataspaceChange
 from repro.core.expressions import Bindings, EvalContext, Expr
 from repro.core.patterns import Pattern, pattern as make_pattern
 from repro.core.tuples import TupleId, TupleInstance
@@ -40,6 +52,7 @@ __all__ = [
     "ViewRule",
     "View",
     "Window",
+    "WindowStats",
     "FULL_VIEW",
     "import_rule",
     "export_rule",
@@ -152,7 +165,7 @@ class View:
     whenever the view covers the entire dataspace".
     """
 
-    __slots__ = ("imports", "exports", "unrestricted")
+    __slots__ = ("imports", "exports", "unrestricted", "config_dependent")
 
     def __init__(
         self,
@@ -166,6 +179,11 @@ class View:
             None if exports is None else tuple(_as_rule(r) for r in exports)
         )
         self.unrestricted = self.imports is None and self.exports is None
+        #: Import coverage can change on *any* dataspace change (``where``
+        #: context atoms) — consumers must use conservative invalidation.
+        self.config_dependent = bool(self.imports) and any(
+            rule.where for rule in self.imports
+        )
 
     @classmethod
     def full(cls) -> "View":
@@ -200,33 +218,103 @@ class View:
 FULL_VIEW = View.full()
 
 
+@dataclass(slots=True)
+class WindowStats:
+    """Reactivity counters for one window (aggregated into ``RunResult``)."""
+
+    hits: int = 0
+    misses: int = 0
+    delta_refreshes: int = 0
+    full_invalidations: int = 0
+    footprint_recomputes: int = 0
+
+    def absorb(self, other: "WindowStats") -> None:
+        self.hits += other.hits
+        self.misses += other.misses
+        self.delta_refreshes += other.delta_refreshes
+        self.full_invalidations += other.full_invalidations
+        self.footprint_recomputes += other.footprint_recomputes
+
+
 class Window:
     """``W = Import(p) ∩ D`` for one process, evaluated lazily.
 
     The window exposes the same content-addressing surface as the dataspace
     (:meth:`candidates`, :meth:`find_matching`, :meth:`count_matching`) but
     filters instances through the view's import rules, memoising per-instance
-    decisions.  The memo is only valid for the dataspace version at which it
-    was taken; :meth:`refresh` drops stale state.
+    decisions.  :meth:`refresh` reconciles the memo and footprint with the
+    dataspace by consuming the delta journal; only a configuration-dependent
+    view (``where`` atoms) or a journal gap forces a full invalidation.
     """
 
-    __slots__ = ("dataspace", "view", "params", "_memo", "_memo_version", "_footprint")
+    __slots__ = (
+        "dataspace", "view", "params", "stats",
+        "_memo", "_memo_version", "_footprint", "_footprint_frozen",
+    )
 
     def __init__(self, dataspace: Dataspace, view: View, params: dict[str, Any]) -> None:
         self.dataspace = dataspace
         self.view = view
         self.params = params
+        self.stats = WindowStats()
         self._memo: dict[TupleId, bool] = {}
         self._memo_version = dataspace.version
-        self._footprint: frozenset[TupleId] | None = None
+        #: Delta-maintained footprint set (restricted views only); ``None``
+        #: when not yet materialised.
+        self._footprint: set[TupleId] | None = None
+        self._footprint_frozen: frozenset[TupleId] | None = None
 
     def refresh(self) -> "Window":
-        """Invalidate memoised import decisions after dataspace changes."""
-        if self._memo_version != self.dataspace.version:
+        """Reconcile memoised import decisions with the dataspace."""
+        version = self.dataspace.version
+        if self._memo_version == version:
+            return self
+        if self.view.imports is None:
+            # Unrestricted import: no memo to maintain, footprint is D.
+            self._footprint_frozen = None
+            self._memo_version = version
+            return self
+        changes = (
+            None
+            if self.view.config_dependent
+            else self.dataspace.changes_since(self._memo_version)
+        )
+        if changes is None:
             self._memo.clear()
             self._footprint = None
-            self._memo_version = self.dataspace.version
+            self._footprint_frozen = None
+            self.stats.full_invalidations += 1
+        else:
+            self._apply_deltas(changes)
+            self.stats.delta_refreshes += 1
+        self._memo_version = version
         return self
+
+    def _apply_deltas(self, changes: Sequence[DataspaceChange]) -> None:
+        """Fold journal deltas into the memo and (if materialised) footprint.
+
+        Sound because, absent ``where`` atoms, a rule's coverage of a tuple
+        depends only on the tuple's values and the (fixed) process params —
+        decisions for surviving instances cannot be perturbed by other
+        instances coming or going.
+        """
+        memo = self._memo
+        footprint = self._footprint
+        for change in changes:
+            for inst in change.retracted:
+                memo.pop(inst.tid, None)
+                if footprint is not None and inst.tid in footprint:
+                    footprint.discard(inst.tid)
+                    self._footprint_frozen = None
+            if footprint is not None:
+                for inst in change.asserted:
+                    covered = self.view.imports_value(
+                        inst.values, self.dataspace, self.params
+                    )
+                    memo[inst.tid] = covered
+                    if covered:
+                        footprint.add(inst.tid)
+                        self._footprint_frozen = None
 
     def imports_instance(self, inst: TupleInstance) -> bool:
         if self.view.imports is None:
@@ -234,8 +322,11 @@ class Window:
         self.refresh()
         cached = self._memo.get(inst.tid)
         if cached is None:
+            self.stats.misses += 1
             cached = self.view.imports_value(inst.values, self.dataspace, self.params)
             self._memo[inst.tid] = cached
+        else:
+            self.stats.hits += 1
         return cached
 
     def __contains__(self, tid: TupleId) -> bool:
@@ -274,26 +365,33 @@ class Window:
     def footprint(self) -> frozenset[TupleId]:
         """The set of dataspace instances this window imports.
 
-        Used by the consensus engine's ``needs`` overlap test; cached until
-        the dataspace version changes.  Computed rule-by-rule through the
-        dataspace's content-addressing indexes, so a narrowly-scoped view
-        pays O(|window|), not O(|D|) — this is what keeps consensus
-        detection tractable for societies of thousands of processes.
+        Used by the consensus engine's ``needs`` overlap test.  Computed
+        rule-by-rule through the dataspace's content-addressing indexes, so
+        a narrowly-scoped view pays O(|window|), not O(|D|), and thereafter
+        maintained **incrementally** from the delta journal: an unrelated
+        mutation costs O(delta), not a recompute — this is what keeps
+        consensus detection tractable for societies of thousands of
+        processes.
         """
         self.refresh()
+        if self.view.imports is None:
+            if self._footprint_frozen is None:
+                self._footprint_frozen = self.dataspace.tids()
+            return self._footprint_frozen
         if self._footprint is None:
-            if self.view.imports is None:
-                self._footprint = self.dataspace.tids()
-            else:
-                out: set[TupleId] = set()
-                for rule in self.view.imports:
-                    for inst in self.dataspace.candidates(rule.pattern, self.params):
-                        if inst.tid not in out and rule.covers(
-                            inst.values, self.dataspace, self.params
-                        ):
-                            out.add(inst.tid)
-                self._footprint = frozenset(out)
-        return self._footprint
+            self.stats.footprint_recomputes += 1
+            out: set[TupleId] = set()
+            for rule in self.view.imports:
+                for inst in self.dataspace.candidates(rule.pattern, self.params):
+                    if inst.tid not in out and rule.covers(
+                        inst.values, self.dataspace, self.params
+                    ):
+                        out.add(inst.tid)
+            self._footprint = out
+            self._footprint_frozen = None
+        if self._footprint_frozen is None:
+            self._footprint_frozen = frozenset(self._footprint)
+        return self._footprint_frozen
 
     def overlaps(self, other: "Window") -> bool:
         """The paper's ``p needs q``: ``Import(p) ∩ Import(q) ∩ D ≠ ∅``."""

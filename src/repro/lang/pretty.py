@@ -20,7 +20,6 @@ from typing import Any
 
 from repro.core import actions as core_actions
 from repro.core.constructs import (
-    GuardedSequence,
     Repetition,
     Replication,
     Selection,
@@ -31,7 +30,7 @@ from repro.core.constructs import (
 from repro.core.expressions import BinOp, Call, Const, Expr, UnOp, Var
 from repro.core.patterns import LitElement, Pattern, VarElement, WildElement
 from repro.core.process import ProcessDefinition
-from repro.core.query import Membership, Query, QueryAtom
+from repro.core.query import Membership, Query
 from repro.core.transactions import Mode, Transaction
 from repro.core.values import Atom
 from repro.core.views import View, ViewRule

@@ -20,7 +20,7 @@ neighbourhood's *staging* tuples too and waits until none remain.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.core.actions import EXIT, CallPython, assert_tuple, let, spawn

@@ -1,151 +1,44 @@
-"""The SDL virtual-time execution engine.
+"""The SDL virtual-time execution engine (public facade).
 
-The engine interleaves *tasks* — one main task per process, plus anonymous
-replica tasks created by replication constructs — on a single thread, in
-**rounds**: a round ends when every task that was ready at its start has
-been stepped once (one transaction attempt each).  Round counts therefore
-approximate the parallel makespan of the computation while step counts give
-total work; the ratio is the available parallelism the paper's Section 3.1
-argues SDL programs should maximise.
+The engine wires together the three runtime components and owns the
+program-visible objects:
 
-Responsibilities:
+* :class:`~repro.runtime.scheduler.Scheduler` — rounds, ready queues, task
+  records, and the seeded arbitration that makes every run exactly
+  reproducible for a given ``(program, dataspace, seed)``;
+* :class:`~repro.runtime.wakeup.WakeupIndex` — the content-addressed
+  subscription index deciding which parked item a dataspace change
+  reawakens (``wake_filter``: precise ``"keys"``, the seed's coarse
+  ``"arity"``, or the ``"all"`` ablation);
+* :class:`~repro.runtime.executor.Executor` — transaction attempts per
+  mode, selection arbitration, replication pumps, and consensus detection.
 
-* transaction execution per mode — immediate (attempt once), delayed (park
-  and retry on relevant dataspace change; FIFO wake order gives the paper's
-  weak fairness), consensus (park until the consensus engine fires);
-* selection arbitration — "an arbitrary one (but only one)" of the
-  successful guards commits, chosen by seeded RNG;
-* replication driving — a *pump* fires guard copies and tracks live
-  replicas until the construct terminates;
-* consensus detection — waiter partitioning plus closure checks against
-  running processes (see :mod:`repro.core.consensus`), fired eagerly when a
-  new waiter parks or a relevant change occurs, with memoised negative
-  results so detection cost stays bounded;
-* deadlock detection and step/round limits.
-
-Determinism: all scheduling choices flow from one seeded
-:class:`random.Random`, so a run is exactly reproducible given
-``(program, initial dataspace, seed)``.
+:meth:`Engine.run` drives rounds until completion, deadlock, or a limit; a
+round ends when every item ready at its start has been stepped once, so
+round counts approximate the parallel makespan while step counts give total
+work.  :class:`RunResult` summarises a run, including the reactivity
+counters (precise/spurious wakeups, window cache hits, delta vs full
+refreshes) that make the incremental pipeline observable.
 """
 
 from __future__ import annotations
 
-import enum
 import random
-from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence as Seq
 
-from repro.core.consensus import (
-    ConsensusParticipant,
-    evaluate_composite,
-    partition,
-)
-from repro.core.constructs import GuardedSequence, Replication
 from repro.core.dataspace import Dataspace
-from repro.core.expressions import BinOp, Call, Const, Expr, UnOp, Var
-from repro.core.process import ProcessDefinition, ProcessInstance, ProcessStatus
-from repro.core.query import Membership, Query
+from repro.core.process import ProcessDefinition, ProcessInstance
 from repro.core.society import ProcessSociety
-from repro.core.transactions import (
-    Control,
-    Mode,
-    Transaction,
-    TransactionOutcome,
-    execute,
-)
-from repro.core.views import View, Window
+from repro.core.views import Window, WindowStats
 from repro.errors import DeadlockError, EngineError, StepLimitExceeded
-from repro.runtime.events import (
-    ConsensusFired,
-    ProcessCreated,
-    ProcessFinished,
-    ReplicaSpawned,
-    TaskBlocked,
-    TaskWoken,
-    Trace,
-    TxnCommitted,
-    TxnFailed,
-)
-from repro.runtime.interpreter import (
-    ReplicationRequest,
-    SelectRequest,
-    TxnRequest,
-    interpret,
-    interpret_body,
-)
+from repro.runtime.events import ProcessCreated, Trace
+from repro.runtime.executor import Executor
+from repro.runtime.interpreter import interpret
+from repro.runtime.scheduler import Scheduler, Task, TaskKind, TaskState
+from repro.runtime.wakeup import WakeupIndex
 
 __all__ = ["Engine", "RunResult"]
-
-
-class _TaskKind(enum.Enum):
-    MAIN = "main"
-    REPLICA = "replica"
-
-
-class _State(enum.Enum):
-    READY = "ready"
-    BLOCKED = "blocked"
-    CONSENSUS = "consensus"
-    WAITING = "waiting"  # main task parked on a replication pump
-    DONE = "done"
-
-
-@dataclass(slots=True)
-class _ParkedTxn:
-    transaction: Transaction
-
-
-@dataclass(slots=True)
-class _ParkedSelection:
-    branches: tuple[GuardedSequence, ...]
-    consensus_guards: tuple[tuple[int, Transaction], ...]
-
-
-class _Task:
-    __slots__ = (
-        "tid", "process", "gen", "kind", "state", "send_value",
-        "park", "pump", "awaiting", "wake_arities", "queued",
-    )
-
-    def __init__(self, tid: int, process: ProcessInstance, gen, kind: _TaskKind) -> None:
-        self.tid = tid
-        self.process = process
-        self.gen = gen
-        self.kind = kind
-        self.state = _State.READY
-        self.send_value: Any = None
-        self.park: _ParkedTxn | _ParkedSelection | None = None
-        self.pump: "_Pump | None" = None       # pump this REPLICA belongs to
-        self.awaiting: "_Pump | None" = None   # pump this task is waiting on
-        self.wake_arities: frozenset[int] | None = frozenset()
-        self.queued = False
-
-    def __repr__(self) -> str:
-        return f"task#{self.tid}({self.process.name}#{self.process.pid},{self.kind.value},{self.state.value})"
-
-
-class _Pump:
-    """Driver for one replication construct."""
-
-    __slots__ = (
-        "tid", "process", "parent", "replication", "active",
-        "exit_requested", "state", "wake_arities", "queued",
-    )
-
-    def __init__(self, tid: int, process: ProcessInstance, parent: _Task, replication: Replication) -> None:
-        self.tid = tid
-        self.process = process
-        self.parent = parent
-        self.replication = replication
-        self.active = 0
-        self.exit_requested = False
-        self.state = _State.READY
-        self.wake_arities: frozenset[int] | None = frozenset()
-        self.queued = False
-
-    def __repr__(self) -> str:
-        return f"pump#{self.tid}({self.process.name}#{self.process.pid},active={self.active})"
 
 
 @dataclass(slots=True)
@@ -160,6 +53,16 @@ class RunResult:
     live_processes: int
     dataspace_size: int
     deadlocked: list[str] = field(default_factory=list)
+    # Reactivity counters (defaults keep hand-built RunResults valid).
+    wakeups: int = 0
+    precise_wakeups: int = 0
+    spurious_wakeups: int = 0
+    wake_checks: int = 0
+    window_hits: int = 0
+    window_misses: int = 0
+    window_delta_refreshes: int = 0
+    window_full_invalidations: int = 0
+    footprint_recomputes: int = 0
 
     @property
     def completed(self) -> bool:
@@ -169,6 +72,18 @@ class RunResult:
     def parallelism(self) -> float:
         """Average available parallelism: committed work per virtual round."""
         return self.commits / self.rounds if self.rounds else 0.0
+
+    @property
+    def spurious_wake_rate(self) -> float:
+        """Fraction of resolved wakes that re-parked without progress."""
+        resolved = self.precise_wakeups + self.spurious_wakeups
+        return self.spurious_wakeups / resolved if resolved else 0.0
+
+    @property
+    def window_hit_rate(self) -> float:
+        """Fraction of import decisions served from window memos."""
+        probes = self.window_hits + self.window_misses
+        return self.window_hits / probes if probes else 0.0
 
 
 class Engine:
@@ -184,18 +99,17 @@ class Engine:
         export_policy: str = "error",
         consensus_check: str = "eager",
         on_deadlock: str = "raise",
-        wake_filter: str = "arity",
+        wake_filter: str = "keys",
     ) -> None:
         if policy not in ("random", "fifo"):
             raise EngineError(f"unknown scheduling policy {policy!r}")
         if consensus_check not in ("eager", "idle"):
             raise EngineError(f"unknown consensus_check {consensus_check!r}")
-        if wake_filter not in ("arity", "all"):
+        if wake_filter not in ("keys", "arity", "all"):
             raise EngineError(f"unknown wake_filter {wake_filter!r}")
         self.dataspace = dataspace if dataspace is not None else Dataspace()
         self.society = ProcessSociety(definitions)
         self.rng = random.Random(seed)
-        self.policy = policy
         self.trace = trace if trace is not None else Trace()
         self.export_policy = export_policy
         self.consensus_check = consensus_check
@@ -203,20 +117,20 @@ class Engine:
         self.wake_filter = wake_filter
 
         self.step_count = 0
-        self.round_count = 0
-
-        self._tasks: dict[int, _Task] = {}
-        self._next_tid = 1
-        self._ready: deque[Any] = deque()  # _Task | _Pump, next round
-        self._round_queue: deque[Any] = deque()  # current round
-        self._blocked: dict[int, Any] = {}  # tid -> _Task | _Pump
-        self._consensus_waiters: dict[int, _Task] = {}  # pid -> main task
+        self.scheduler = Scheduler(self.rng, policy)
+        self.wakeups = WakeupIndex()
+        self.executor = Executor(self)
+        self.tasks: dict[int, Task] = {}
         self._windows: dict[int, Window] = {}
-        self._consensus_dirty = False
-        # Memo of the last failed consensus check.  The key must cover
-        # everything readiness depends on: the dataspace version, who is
-        # waiting, and who is live (a terminating process can unblock a set).
-        self._consensus_memo: tuple[int, frozenset[int], frozenset[int]] | None = None
+        self._window_stats = WindowStats()  # absorbed from dropped windows
+
+    @property
+    def policy(self) -> str:
+        return self.scheduler.policy
+
+    @property
+    def round_count(self) -> int:
+        return self.scheduler.round_count
 
     # ------------------------------------------------------------------
     # program setup
@@ -231,7 +145,7 @@ class Engine:
 
     def start(self, name: str, args: Seq[Any] = ()) -> ProcessInstance:
         """Create an initial process instance."""
-        return self._spawn(name, tuple(args), spawner=None)
+        return self.spawn(name, tuple(args), spawner=None)
 
     def start_many(self, launches: Iterable[tuple[str, Seq[Any]]]) -> None:
         for name, args in launches:
@@ -242,47 +156,34 @@ class Engine:
     # ------------------------------------------------------------------
     def run(self, max_steps: int = 1_000_000, max_rounds: int | None = None) -> RunResult:
         """Drive the program until completion, deadlock, or a limit."""
+        scheduler = self.scheduler
+        executor = self.executor
         while True:
-            if self._consensus_dirty and self.consensus_check == "eager":
-                self._try_consensus()
-            if not self._round_queue:
-                if not self._start_round():
+            if executor.consensus_dirty and self.consensus_check == "eager":
+                executor.try_consensus()
+            if not scheduler.round_active:
+                if not scheduler.start_round():
                     # global idle: last-chance consensus, then termination
-                    if self._try_consensus():
+                    if executor.try_consensus():
                         continue
                     return self._finish()
-                if max_rounds is not None and self.round_count > max_rounds:
+                if max_rounds is not None and scheduler.round_count > max_rounds:
                     return self._summary("round-limit")
-            item = self._round_queue.popleft()
-            item.queued = False
-            if item.state is not _State.READY:
+            item = scheduler.pop()
+            if item.state is not TaskState.READY:
                 continue  # lazily discarded (aborted process, stale entry)
             if self.step_count >= max_steps:
                 if self.on_deadlock == "raise":
                     raise StepLimitExceeded(max_steps)
                 return self._summary("step-limit")
             self.step_count += 1
-            if isinstance(item, _Pump):
-                self._step_pump(item)
-            else:
-                self._step_task(item)
-
-    def _start_round(self) -> bool:
-        if not self._ready:
-            return False
-        self.round_count += 1
-        items = list(self._ready)
-        self._ready.clear()
-        if self.policy == "random":
-            self.rng.shuffle(items)
-        self._round_queue.extend(items)
-        return True
+            executor.step(item)
 
     def _finish(self) -> RunResult:
-        if self._blocked or self._consensus_waiters:
+        if len(self.wakeups) or self.executor.consensus_waiters:
             blocked_desc = sorted(
-                {repr(item.process) for item in self._blocked.values()}
-                | {repr(t.process) for t in self._consensus_waiters.values()}
+                {repr(item.process) for item in self.wakeups.items()}
+                | {repr(t.process) for t in self.executor.consensus_waiters.values()}
             )
             if self.on_deadlock == "raise":
                 raise DeadlockError(blocked_desc)
@@ -290,654 +191,64 @@ class Engine:
         return self._summary("completed")
 
     def _summary(self, reason: str, deadlocked: list[str] | None = None) -> RunResult:
+        counters = self.trace.counters
+        windows = self.window_stats()
         return RunResult(
             reason=reason,
             steps=self.step_count,
-            rounds=self.round_count,
-            commits=self.trace.counters.commits,
-            consensus_rounds=self.trace.counters.consensus_rounds,
+            rounds=self.scheduler.round_count,
+            commits=counters.commits,
+            consensus_rounds=counters.consensus_rounds,
             live_processes=len(self.society),
             dataspace_size=len(self.dataspace),
             deadlocked=deadlocked or [],
+            wakeups=counters.wakeups,
+            precise_wakeups=counters.precise_wakeups,
+            spurious_wakeups=counters.spurious_wakeups,
+            wake_checks=self.wakeups.stats.wake_checks,
+            window_hits=windows.hits,
+            window_misses=windows.misses,
+            window_delta_refreshes=windows.delta_refreshes,
+            window_full_invalidations=windows.full_invalidations,
+            footprint_recomputes=windows.footprint_recomputes,
         )
 
     # ------------------------------------------------------------------
-    # task stepping
+    # process/task plumbing (used by the executor)
     # ------------------------------------------------------------------
-    def _step_task(self, task: _Task) -> None:
-        if task.park is not None:
-            self._retry_park(task)
-            return
-        self._resume(task, task.send_value)
-
-    def _resume(self, task: _Task, value: Any) -> None:
-        task.send_value = None
-        try:
-            request = task.gen.send(value)
-        except StopIteration as stop:
-            control = stop.value if isinstance(stop.value, Control) else Control.NONE
-            self._task_finished(task, control)
-            return
-        self._handle_request(task, request)
-
-    def _handle_request(self, task: _Task, request: Any) -> None:
-        if isinstance(request, TxnRequest):
-            self._handle_txn(task, request.transaction)
-        elif isinstance(request, SelectRequest):
-            self._handle_select(task, request.branches, first_attempt=True)
-        elif isinstance(request, ReplicationRequest):
-            self._handle_replication(task, request.replication)
-        else:  # pragma: no cover - interpreter yields only the above
-            raise EngineError(f"unknown request {request!r}")
-
-    def _handle_txn(self, task: _Task, txn: Transaction) -> None:
-        if txn.mode is Mode.IMMEDIATE:
-            outcome = self._attempt(task, txn)
-            task.send_value = outcome
-            self._make_ready(task)
-            return
-        if txn.mode is Mode.DELAYED:
-            outcome = self._attempt(task, txn)
-            if outcome.success:
-                task.send_value = outcome
-                self._make_ready(task)
-            else:
-                task.park = _ParkedTxn(txn)
-                self._block(task, self._wake_filter_for([txn], task.process.view), "delayed")
-            return
-        # consensus
-        if task.kind is not _TaskKind.MAIN:
-            raise EngineError(
-                f"consensus transaction issued from a replica of {task.process!r}; "
-                "consensus readiness is defined per process"
-            )
-        task.park = _ParkedTxn(txn)
-        task.state = _State.CONSENSUS
-        task.process.status = ProcessStatus.CONSENSUS_WAIT
-        task.wake_arities = self._wake_filter_for([txn], task.process.view)
-        self._consensus_waiters[task.process.pid] = task
-        self._consensus_dirty = True
-        self.trace.emit(TaskBlocked(self.step_count, self.round_count, task.process.pid, "consensus"))
-
-    def _handle_select(self, task: _Task, branches: tuple[GuardedSequence, ...], first_attempt: bool) -> None:
-        order = list(range(len(branches)))
-        if self.policy == "random":
-            self.rng.shuffle(order)
-        for index in order:
-            guard = branches[index].guard
-            if guard.mode is Mode.CONSENSUS:
-                continue  # resolved only by the consensus engine
-            outcome = self._attempt(task, guard)
-            if outcome.success:
-                self._unpark(task)
-                task.send_value = (index, outcome)
-                self._make_ready(task)
-                return
-        consensus_guards = tuple(
-            (i, b.guard) for i, b in enumerate(branches) if b.guard.mode is Mode.CONSENSUS
-        )
-        blocking = consensus_guards or any(
-            b.guard.mode is Mode.DELAYED for b in branches
-        )
-        if not blocking:
-            self._unpark(task)
-            task.send_value = None  # the selection fails (skip)
-            self._make_ready(task)
-            return
-        # Park: retry delayed/immediate guards on wake; consensus guards via
-        # the consensus engine.
-        task.park = _ParkedSelection(branches, consensus_guards)
-        all_txns = [b.guard for b in branches]
-        wake = self._wake_filter_for(all_txns, task.process.view)
-        if consensus_guards:
-            if task.kind is not _TaskKind.MAIN:
-                raise EngineError(
-                    f"consensus guard in a replica of {task.process!r}"
-                )
-            task.state = _State.CONSENSUS
-            task.process.status = ProcessStatus.CONSENSUS_WAIT
-            task.wake_arities = wake
-            self._consensus_waiters[task.process.pid] = task
-            self._blocked[task.tid] = task
-            self._consensus_dirty = True
-            self.trace.emit(TaskBlocked(self.step_count, self.round_count, task.process.pid, "selection+consensus"))
-        else:
-            self._block(task, wake, "selection")
-
-    def _retry_park(self, task: _Task) -> None:
-        park = task.park
-        if isinstance(park, _ParkedTxn):
-            if park.transaction.mode is Mode.CONSENSUS:
-                # Consensus waiters are never stepped; arriving here means a
-                # stale queue entry.
-                return
-            outcome = self._attempt(task, park.transaction)
-            if outcome.success:
-                self._unpark(task)
-                task.send_value = outcome
-                self._make_ready(task)
-            else:
-                self._block(task, task.wake_arities, "delayed", requeue=True)
-        elif isinstance(park, _ParkedSelection):
-            self._handle_select(task, park.branches, first_attempt=False)
-        else:  # pragma: no cover
-            raise EngineError(f"cannot retry park {park!r}")
-
-    def _handle_replication(self, task: _Task, replication: Replication) -> None:
-        pump = _Pump(self._issue_tid(), task.process, task, replication)
-        task.awaiting = pump
-        task.state = _State.WAITING
-        self._enqueue(pump)
-
-    def _step_pump(self, pump: _Pump) -> None:
-        if pump.state is not _State.READY:
-            return
-        fired_any = False
-        if not pump.exit_requested:
-            fired_any = self._pump_fire_batch(pump)
-            if pump.process.status is ProcessStatus.ABORTED:
-                return
-        if fired_any:
-            self._enqueue(pump)
-            return
-        # no guard fired (or draining after exit)
-        if pump.active == 0:
-            all_immediate = all(
-                b.guard.mode is Mode.IMMEDIATE for b in pump.replication.branches
-            )
-            if pump.exit_requested or all_immediate:
-                self._complete_pump(pump, Control.NONE)
-                return
-        # wait for a dataspace change or for replicas to finish
-        pump.state = _State.BLOCKED
-        pump.wake_arities = self._wake_filter_for(
-            [b.guard for b in pump.replication.branches], pump.process.view
-        )
-        self._blocked[pump.tid] = pump
-        self.trace.emit(TaskBlocked(self.step_count, self.round_count, pump.process.pid, "replication"))
-
-    def _pump_fire_batch(self, pump: _Pump) -> bool:
-        """Fire a maximal parallel batch of replica transactions.
-
-        Replication provides "unbounded concurrent execution": within one
-        virtual round, every guard instance that can commit using tuples
-        that existed *before* the round does so (a snapshot lens hides
-        tuples asserted during the batch).  This models a synchronous
-        parallel step — commits in the same batch are pairwise
-        conflict-free because retracted instances leave the dataspace as
-        the batch proceeds.  A guard firing that retracts nothing fires at
-        most once per round (otherwise a pure producer would spin forever
-        inside a single round).
-        """
-        window = self._window(pump.process)
-        frozen = _SnapshotLens(window, self.dataspace.serial)
-        scope = pump.process.scope()
-        branches = pump.replication.branches
-        live = [i for i in range(len(branches)) if branches[i].guard.mode is not Mode.CONSENSUS]
-        fired_any = False
-        progress = True
-        while progress and not pump.exit_requested and live:
-            progress = False
-            order = list(live)
-            if self.policy == "random":
-                self.rng.shuffle(order)
-            for index in order:
-                if pump.exit_requested:
-                    break
-                branch = branches[index]
-                guard = branch.guard
-                result = guard.query.evaluate(frozen.refresh(), scope, self.rng)
-                if not result.success:
-                    continue
-                outcome = execute(
-                    guard,
-                    window,
-                    scope,
-                    owner=pump.process.pid,
-                    rng=self.rng,
-                    result=result,
-                    export_policy=self.export_policy,
-                )
-                self.step_count += 1
-                self._after_commit(pump.process, guard, outcome)
-                self.trace.emit(
-                    ReplicaSpawned(self.step_count, self.round_count, pump.process.pid, index)
-                )
-                fired_any = True
-                progress = True
-                if outcome.control is Control.ABORT:
-                    self._abort_process(pump.process)
-                    return True
-                if outcome.control is Control.EXIT:
-                    pump.exit_requested = True
-                elif branch.body:
-                    replica = self._make_task(
-                        pump.process, interpret_body(branch), _TaskKind.REPLICA
-                    )
-                    pump.active += 1
-                    replica.pump = pump
-                if not outcome.retracted:
-                    live.remove(index)
-                break  # restart the pass with fresh arbitration order
-        return fired_any
-
-    def _complete_pump(self, pump: _Pump, control: Control) -> None:
-        pump.state = _State.DONE
-        self._blocked.pop(pump.tid, None)
-        parent = pump.parent
-        parent.awaiting = None
-        parent.send_value = control
-        if parent.state is _State.WAITING:
-            self._make_ready(parent)
-
-    def _replica_finished(self, task: _Task) -> None:
-        pump = task.pump
-        if pump is None or pump.state is _State.DONE:
-            return
-        pump.active -= 1
-        if pump.state is _State.BLOCKED and pump.active == 0:
-            self._blocked.pop(pump.tid, None)
-            pump.state = _State.READY
-            self._enqueue(pump)
-
-    def _task_finished(self, task: _Task, control: Control) -> None:
-        task.state = _State.DONE
-        if task.kind is _TaskKind.REPLICA:
-            if control is Control.ABORT:
-                self._abort_process(task.process)
-            elif control is Control.EXIT and task.pump is not None:
-                task.pump.exit_requested = True
-                self._replica_finished(task)
-            else:
-                self._replica_finished(task)
-            return
-        aborted = control is Control.ABORT
-        self._process_finished(task.process, aborted)
-
-    def _process_finished(self, process: ProcessInstance, aborted: bool) -> None:
-        self.society.mark_terminated(process.pid, aborted)
-        self._windows.pop(process.pid, None)
-        self._consensus_waiters.pop(process.pid, None)
-        self._consensus_dirty = True  # a terminated process may unblock a set
-        self.trace.emit(
-            ProcessFinished(self.step_count, self.round_count, process.pid, process.name, aborted)
-        )
-
-    def _abort_process(self, process: ProcessInstance) -> None:
-        for task in self._tasks.values():
-            if task.process.pid == process.pid and task.state is not _State.DONE:
-                task.state = _State.DONE
-                self._blocked.pop(task.tid, None)
-        self._consensus_waiters.pop(process.pid, None)
-        self._process_finished(process, aborted=True)
-
-    # ------------------------------------------------------------------
-    # transaction attempts and commits
-    # ------------------------------------------------------------------
-    def _attempt(self, task: _Task, txn: Transaction) -> TransactionOutcome:
-        window = self._window(task.process)
-        outcome = execute(
-            txn,
-            window,
-            task.process.scope(),
-            owner=task.process.pid,
-            rng=self.rng,
-            export_policy=self.export_policy,
-        )
-        if outcome.success:
-            self._after_commit(task.process, txn, outcome)
-        else:
-            self.trace.emit(
-                TxnFailed(self.step_count, self.round_count, task.process.pid, txn.mode.name, txn.label)
-            )
-        return outcome
-
-    def _after_commit(
-        self, process: ProcessInstance, txn: Transaction, outcome: TransactionOutcome
-    ) -> None:
-        if outcome.lets:
-            process.env.update(outcome.lets)
-        for name, args in outcome.spawned:
-            self._spawn(name, args, spawner=process.pid)
-        self.trace.emit(
-            TxnCommitted(
-                self.step_count,
-                self.round_count,
-                process.pid,
-                txn.mode.name,
-                txn.label,
-                len(outcome.retracted),
-                len(outcome.asserted),
-                outcome.match_count,
-                outcome.reads,
-            )
-        )
-        if outcome.asserted or outcome.retracted:
-            changed = {inst.arity for inst in outcome.asserted}
-            changed.update(inst.arity for inst in outcome.retracted)
-            self._wake_on_change(changed)
-
-    # ------------------------------------------------------------------
-    # blocking and wakeups
-    # ------------------------------------------------------------------
-    def _block(self, task: _Task, wake: frozenset[int] | None, kind: str, requeue: bool = False) -> None:
-        task.state = _State.BLOCKED
-        task.process.status = ProcessStatus.BLOCKED
-        task.wake_arities = wake
-        self._blocked[task.tid] = task
-        if not requeue:
-            self.trace.emit(TaskBlocked(self.step_count, self.round_count, task.process.pid, kind))
-
-    def _unpark(self, task: _Task) -> None:
-        task.park = None
-        self._blocked.pop(task.tid, None)
-        self._consensus_waiters.pop(task.process.pid, None)
-        if task.process.status in (ProcessStatus.BLOCKED, ProcessStatus.CONSENSUS_WAIT):
-            task.process.status = ProcessStatus.RUNNING
-
-    def _enqueue(self, item: Any) -> None:
-        if not item.queued:
-            item.queued = True
-            self._ready.append(item)
-
-    def _make_ready(self, item: Any) -> None:
-        item.state = _State.READY
-        if isinstance(item, _Task):
-            if item.process.status in (ProcessStatus.BLOCKED, ProcessStatus.CONSENSUS_WAIT):
-                item.process.status = ProcessStatus.RUNNING
-        self._enqueue(item)
-
-    def _wake_on_change(self, changed_arities: set[int]) -> None:
-        if self._consensus_waiters:
-            self._consensus_dirty = True
-        if not self._blocked:
-            return
-        woken: list[Any] = []
-        for item in self._blocked.values():
-            wake = item.wake_arities
-            if wake is None or wake & changed_arities:
-                woken.append(item)
-        for item in woken:
-            if isinstance(item, _Task) and item.state is _State.CONSENSUS:
-                if isinstance(item.park, _ParkedSelection):
-                    # Retry the selection's non-consensus guards; the task
-                    # stays registered as a consensus waiter meanwhile.
-                    item.state = _State.READY
-                    self._enqueue(item)
-                    self.trace.emit(TaskWoken(self.step_count, self.round_count, item.process.pid))
-                # Pure consensus transactions are re-examined by the
-                # consensus engine, not rescheduled.
-                continue
-            del self._blocked[item.tid]
-            item.state = _State.READY
-            self._enqueue(item)
-            self.trace.emit(TaskWoken(self.step_count, self.round_count, item.process.pid))
-
-    def _wake_filter_for(self, txns: Seq[Transaction], view: View) -> frozenset[int] | None:
-        """Arity wake filter; ``None`` means wake on any change."""
-        if self.wake_filter == "all":
-            return None  # A3 ablation: every change wakes every blocked task
-        if _view_is_config_dependent(view):
-            return None
-        arities: set[int] = set()
-        for txn in txns:
-            got = _txn_arities(txn.query)
-            if got is None:
-                return None
-            arities |= got
-        return frozenset(arities)
-
-    # ------------------------------------------------------------------
-    # consensus
-    # ------------------------------------------------------------------
-    def _try_consensus(self) -> bool:
-        self._consensus_dirty = False
-        if not self._consensus_waiters:
-            return False
-        key = (
-            self.dataspace.version,
-            frozenset(self._consensus_waiters),
-            self.society.live_pids(),
-        )
-        if self._consensus_memo == key:
-            return False
-
-        waiter_windows = {
-            pid: self._window(task.process)
-            for pid, task in self._consensus_waiters.items()
-        }
-        components = partition(waiter_windows)
-        live_others = [
-            proc for proc in self.society.live()
-            if proc.pid not in self._consensus_waiters
-        ]
-        for component in components:
-            footprint: set = set()
-            for pid in component:
-                footprint.update(waiter_windows[pid].footprint())
-            if self._component_blocked_by_runner(footprint, live_others):
-                continue
-            participants = self._gather_participants(component)
-            if participants is None:
-                continue
-            effect = evaluate_composite(participants, self.rng)
-            if effect is None:
-                continue
-            self._fire_consensus(participants, effect)
-            return True
-        self._consensus_memo = key
-        return False
-
-    def _component_blocked_by_runner(self, footprint: set, live_others: list[ProcessInstance]) -> bool:
-        """Is some live, non-waiting process part of this consensus set?
-
-        Uses the runners' (version-cached, index-probed) footprints so the
-        test is an O(min(|window|, |component|)) set intersection per
-        runner rather than a per-tuple import-rule evaluation.
-        """
-        if not footprint:
-            return False
-        for proc in live_others:
-            other = self._window(proc).footprint()
-            small, large = (other, footprint) if len(other) < len(footprint) else (footprint, other)
-            if any(tid in large for tid in small):
-                return True
-        return False
-
-    def _gather_participants(self, component: frozenset[int]) -> list[ConsensusParticipant] | None:
-        participants: list[ConsensusParticipant] = []
-        for pid in sorted(component):
-            task = self._consensus_waiters[pid]
-            txn = self._choose_consensus_txn(task)
-            if txn is None:
-                return None
-            participants.append(
-                ConsensusParticipant(
-                    pid=pid,
-                    transaction=txn,
-                    window=self._window(task.process),
-                    scope=task.process.scope(),
-                )
-            )
-        return participants
-
-    def _choose_consensus_txn(self, task: _Task) -> Transaction | None:
-        """Pick the consensus transaction this waiter is individually ready on."""
-        window = self._window(task.process)
-        scope = task.process.scope()
-        park = task.park
-        if isinstance(park, _ParkedTxn):
-            candidates = [park.transaction]
-        elif isinstance(park, _ParkedSelection):
-            candidates = [txn for __, txn in park.consensus_guards]
-        else:  # pragma: no cover - waiters are always parked
-            return None
-        for txn in candidates:
-            if txn.query.evaluate(window.refresh(), scope, self.rng).success:
-                return txn
-        return None
-
-    def _fire_consensus(self, participants: list[ConsensusParticipant], effect) -> None:
-        sink: list[tuple[tuple, int]] = []
-        outcomes: dict[int, TransactionOutcome] = {}
-        for participant in sorted(participants, key=lambda p: p.pid):
-            task = self._consensus_waiters[participant.pid]
-            outcome = execute(
-                participant.transaction,
-                participant.window,
-                participant.scope,
-                owner=participant.pid,
-                rng=self.rng,
-                result=effect.results[participant.pid],
-                assert_sink=sink,
-                export_policy=self.export_policy,
-            )
-            outcomes[participant.pid] = outcome
-        asserted = [self.dataspace.insert(values, owner) for values, owner in sink]
-        self.trace.emit(
-            ConsensusFired(
-                self.step_count,
-                self.round_count,
-                tuple(sorted(p.pid for p in participants)),
-                sum(len(o.retracted) for o in outcomes.values()),
-                len(asserted),
-            )
-        )
-        changed = {inst.arity for inst in asserted}
-        for outcome in outcomes.values():
-            changed.update(inst.arity for inst in outcome.retracted)
-        # resume every participant
-        for participant in participants:
-            pid = participant.pid
-            task = self._consensus_waiters.pop(pid)
-            self._blocked.pop(task.tid, None)
-            outcome = outcomes[pid]
-            self._after_commit(task.process, participant.transaction, outcome)
-            park = task.park
-            task.park = None
-            if isinstance(park, _ParkedSelection):
-                index = next(
-                    i for i, txn in park.consensus_guards if txn is participant.transaction
-                )
-                task.send_value = (index, outcome)
-            else:
-                task.send_value = outcome
-            self._make_ready(task)
-        if changed:
-            self._wake_on_change(changed)
-        self._consensus_memo = None
-
-    # ------------------------------------------------------------------
-    # process/task plumbing
-    # ------------------------------------------------------------------
-    def _spawn(self, name: str, args: Seq[Any], spawner: int | None) -> ProcessInstance:
+    def spawn(self, name: str, args: Seq[Any], spawner: int | None) -> ProcessInstance:
         instance = self.society.spawn(name, args, spawner, created_at=self.step_count)
         self.trace.emit(
             ProcessCreated(
                 self.step_count, self.round_count, instance.pid, name, tuple(args), spawner
             )
         )
-        self._make_task(instance, interpret(instance.definition.body.body), _TaskKind.MAIN)
+        self.make_task(instance, interpret(instance.definition.body.body), TaskKind.MAIN)
         return instance
 
-    def _make_task(self, process: ProcessInstance, gen, kind: _TaskKind) -> _Task:
-        task = _Task(self._issue_tid(), process, gen, kind)
-        self._tasks[task.tid] = task
-        self._enqueue(task)
+    def make_task(self, process: ProcessInstance, gen, kind: TaskKind) -> Task:
+        task = Task(self.scheduler.issue_tid(), process, gen, kind)
+        self.tasks[task.tid] = task
+        self.scheduler.enqueue(task)
         return task
 
-    def _issue_tid(self) -> int:
-        tid = self._next_tid
-        self._next_tid += 1
-        return tid
-
-    def _window(self, process: ProcessInstance) -> Window:
+    def window(self, process: ProcessInstance) -> Window:
         window = self._windows.get(process.pid)
         if window is None:
             window = process.view.window(self.dataspace, process.params)
             self._windows[process.pid] = window
         return window
 
+    def drop_window(self, pid: int) -> None:
+        """Forget a finished process's window, keeping its counters."""
+        window = self._windows.pop(pid, None)
+        if window is not None:
+            self._window_stats.absorb(window.stats)
 
-class _SnapshotLens:
-    """A window lens hiding tuples asserted after a serial watermark.
-
-    Used by the replication pump to give every firing in one batch a view
-    of the dataspace *as of the start of the round*, which is what a
-    synchronous parallel step of unboundedly many replicas would see.
-    """
-
-    __slots__ = ("window", "max_serial")
-
-    def __init__(self, window: Window, max_serial: int) -> None:
-        self.window = window
-        self.max_serial = max_serial
-
-    def refresh(self) -> "_SnapshotLens":
-        self.window.refresh()
-        return self
-
-    def candidates(self, pat, bound=None) -> list:
-        return [
-            inst
-            for inst in self.window.candidates(pat, bound)
-            if inst.tid.serial <= self.max_serial
-        ]
-
-    def find_matching(self, pat, bound=None) -> list:
-        bound = dict(bound or {})
-        return [
-            inst
-            for inst in self.candidates(pat, bound)
-            if pat.match(inst.values, bound) is not None
-        ]
-
-    def count_matching(self, pat, bound=None) -> int:
-        return len(self.find_matching(pat, bound))
-
-
-# ----------------------------------------------------------------------
-# wake-filter helpers
-# ----------------------------------------------------------------------
-
-def _view_is_config_dependent(view: View) -> bool:
-    """Views with ``where`` context atoms can change coverage on any change."""
-    if view.imports is None:
-        return False
-    return any(rule.where for rule in view.imports)
-
-
-def _txn_arities(query: Query) -> set[int] | None:
-    """Arities a change must touch to possibly affect *query*; None = any."""
-    arities = {atom.pattern.arity for atom in query.atoms}
-    if query.test is not None:
-        found = _expr_arities(query.test)
-        if found is None:
-            return None
-        arities |= found
-    return arities
-
-
-def _expr_arities(expr: Expr) -> set[int] | None:
-    if isinstance(expr, Membership):
-        return {pat.arity for pat in expr.patterns}
-    if isinstance(expr, BinOp):
-        left = _expr_arities(expr.left)
-        right = _expr_arities(expr.right)
-        if left is None or right is None:
-            return None
-        return left | right
-    if isinstance(expr, UnOp):
-        return _expr_arities(expr.operand)
-    if isinstance(expr, Call):
-        out: set[int] = set()
-        for arg in expr.args:
-            got = _expr_arities(arg)
-            if got is None:
-                return None
-            out |= got
-        return out
-    if isinstance(expr, (Var, Const)):
-        return set()
-    # Unknown expression node: be conservative.
-    return None
+    def window_stats(self) -> WindowStats:
+        """Aggregate window counters: dropped windows plus live ones."""
+        total = WindowStats()
+        total.absorb(self._window_stats)
+        for window in self._windows.values():
+            total.absorb(window.stats)
+        return total

@@ -14,8 +14,8 @@ list only when ``detail=True``, so benchmarks can run with counters alone.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator
+from dataclasses import dataclass
+from typing import Callable, Iterator
 
 __all__ = [
     "Event",
@@ -25,6 +25,7 @@ __all__ = [
     "TxnFailed",
     "TaskBlocked",
     "TaskWoken",
+    "WakeResolved",
     "ConsensusFired",
     "ReplicaSpawned",
     "Trace",
@@ -84,6 +85,15 @@ class TaskWoken(Event):
 
 
 @dataclass(frozen=True, slots=True)
+class WakeResolved(Event):
+    """A delivered wake was acted on: productive (a retry committed or a
+    pump fired) or *spurious* (the woken item immediately re-parked)."""
+
+    pid: int
+    spurious: bool
+
+
+@dataclass(frozen=True, slots=True)
 class ConsensusFired(Event):
     pids: tuple[int, ...]
     retracted: int
@@ -107,6 +117,8 @@ class TraceCounters:
     reads: int = 0
     blocks: int = 0
     wakeups: int = 0
+    precise_wakeups: int = 0
+    spurious_wakeups: int = 0
     consensus_rounds: int = 0
     consensus_participants: int = 0
     processes_created: int = 0
@@ -145,6 +157,11 @@ class Trace:
             counters.blocks += 1
         elif isinstance(event, TaskWoken):
             counters.wakeups += 1
+        elif isinstance(event, WakeResolved):
+            if event.spurious:
+                counters.spurious_wakeups += 1
+            else:
+                counters.precise_wakeups += 1
         elif isinstance(event, ConsensusFired):
             counters.consensus_rounds += 1
             counters.consensus_participants += len(event.pids)

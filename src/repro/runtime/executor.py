@@ -1,0 +1,666 @@
+"""Transaction, replication, and consensus execution for the SDL engine.
+
+The :class:`Executor` performs one *step* of a task or pump: it attempts
+transactions against the issuing process's window, arbitrates selections,
+drives replication pumps, detects and fires consensus sets, and parks and
+reawakens blocked items through the delta-driven
+:class:`~repro.runtime.wakeup.WakeupIndex`.
+
+It deliberately holds no queues and no public API of its own: scheduling
+state lives in :mod:`repro.runtime.scheduler`, and the
+:class:`~repro.runtime.engine.Engine` facade wires the pieces together and
+owns the program-visible objects (dataspace, society, trace, windows).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.core.consensus import (
+    ConsensusParticipant,
+    evaluate_composite,
+    partition,
+)
+from repro.core.constructs import GuardedSequence, Replication
+from repro.core.process import ProcessInstance, ProcessStatus
+from repro.core.transactions import (
+    Control,
+    Mode,
+    Transaction,
+    TransactionOutcome,
+    execute,
+)
+from repro.core.tuples import TupleInstance
+from repro.errors import EngineError
+from repro.runtime.events import (
+    ConsensusFired,
+    ProcessFinished,
+    ReplicaSpawned,
+    TaskBlocked,
+    TaskWoken,
+    TxnCommitted,
+    TxnFailed,
+    WakeResolved,
+)
+from repro.runtime.interpreter import (
+    ReplicationRequest,
+    SelectRequest,
+    TxnRequest,
+    interpret_body,
+)
+from repro.runtime.scheduler import (
+    ParkedSelection,
+    ParkedTxn,
+    Pump,
+    Task,
+    TaskKind,
+    TaskState,
+)
+from repro.runtime.wakeup import Subscription, derive_subscription
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.engine import Engine
+
+__all__ = ["Executor"]
+
+
+class Executor:
+    """Steps tasks and pumps on behalf of one :class:`Engine`."""
+
+    __slots__ = ("engine", "consensus_waiters", "consensus_dirty", "_consensus_memo")
+
+    def __init__(self, engine: "Engine") -> None:
+        self.engine = engine
+        self.consensus_waiters: dict[int, Task] = {}  # pid -> main task
+        self.consensus_dirty = False
+        # Memo of the last failed consensus check.  The key must cover
+        # everything readiness depends on: the dataspace version, who is
+        # waiting, and who is live (a terminating process can unblock a set).
+        self._consensus_memo: tuple[int, frozenset[int], frozenset[int]] | None = None
+
+    # ------------------------------------------------------------------
+    # task stepping
+    # ------------------------------------------------------------------
+    def step(self, item: Any) -> None:
+        if isinstance(item, Pump):
+            self._step_pump(item)
+        else:
+            self._step_task(item)
+
+    def _step_task(self, task: Task) -> None:
+        if task.park is not None:
+            self._retry_park(task)
+            return
+        self._resume(task, task.send_value)
+
+    def _resume(self, task: Task, value: Any) -> None:
+        task.send_value = None
+        try:
+            request = task.gen.send(value)
+        except StopIteration as stop:
+            control = stop.value if isinstance(stop.value, Control) else Control.NONE
+            self._task_finished(task, control)
+            return
+        self._handle_request(task, request)
+
+    def _handle_request(self, task: Task, request: Any) -> None:
+        if isinstance(request, TxnRequest):
+            self._handle_txn(task, request.transaction)
+        elif isinstance(request, SelectRequest):
+            self._handle_select(task, request.branches)
+        elif isinstance(request, ReplicationRequest):
+            self._handle_replication(task, request.replication)
+        else:  # pragma: no cover - interpreter yields only the above
+            raise EngineError(f"unknown request {request!r}")
+
+    def _handle_txn(self, task: Task, txn: Transaction) -> None:
+        engine = self.engine
+        if txn.mode is Mode.IMMEDIATE:
+            task.send_value = self._attempt(task, txn)
+            engine.scheduler.make_ready(task)
+            return
+        if txn.mode is Mode.DELAYED:
+            outcome = self._attempt(task, txn)
+            if outcome.success:
+                task.send_value = outcome
+                engine.scheduler.make_ready(task)
+            else:
+                task.park = ParkedTxn(txn)
+                self._block(task, self._subscription_for([txn], task), "delayed")
+            return
+        # consensus
+        if task.kind is not TaskKind.MAIN:
+            raise EngineError(
+                f"consensus transaction issued from a replica of {task.process!r}; "
+                "consensus readiness is defined per process"
+            )
+        task.park = ParkedTxn(txn)
+        task.state = TaskState.CONSENSUS
+        task.process.status = ProcessStatus.CONSENSUS_WAIT
+        self.consensus_waiters[task.process.pid] = task
+        self.consensus_dirty = True
+        engine.trace.emit(
+            TaskBlocked(engine.step_count, engine.round_count, task.process.pid, "consensus")
+        )
+
+    def _handle_select(self, task: Task, branches: tuple[GuardedSequence, ...]) -> None:
+        engine = self.engine
+        for index in engine.scheduler.arbitrate(range(len(branches))):
+            guard = branches[index].guard
+            if guard.mode is Mode.CONSENSUS:
+                continue  # resolved only by the consensus engine
+            outcome = self._attempt(task, guard)
+            if outcome.success:
+                self._unpark(task)
+                self._classify_wake(task, spurious=False)
+                task.send_value = (index, outcome)
+                engine.scheduler.make_ready(task)
+                return
+        consensus_guards = tuple(
+            (i, b.guard) for i, b in enumerate(branches) if b.guard.mode is Mode.CONSENSUS
+        )
+        blocking = consensus_guards or any(
+            b.guard.mode is Mode.DELAYED for b in branches
+        )
+        if not blocking:
+            self._unpark(task)
+            task.send_value = None  # the selection fails (skip)
+            engine.scheduler.make_ready(task)
+            return
+        # Park: retry delayed/immediate guards on wake; consensus guards via
+        # the consensus engine.
+        self._classify_wake(task, spurious=True)
+        task.park = ParkedSelection(branches, consensus_guards)
+        sub = self._subscription_for([b.guard for b in branches], task)
+        if consensus_guards:
+            if task.kind is not TaskKind.MAIN:
+                raise EngineError(f"consensus guard in a replica of {task.process!r}")
+            task.state = TaskState.CONSENSUS
+            task.process.status = ProcessStatus.CONSENSUS_WAIT
+            self.consensus_waiters[task.process.pid] = task
+            engine.wakeups.add(task, sub)
+            self.consensus_dirty = True
+            engine.trace.emit(
+                TaskBlocked(
+                    engine.step_count, engine.round_count, task.process.pid,
+                    "selection+consensus",
+                )
+            )
+        else:
+            self._block(task, sub, "selection")
+
+    def _retry_park(self, task: Task) -> None:
+        park = task.park
+        if isinstance(park, ParkedTxn):
+            if park.transaction.mode is Mode.CONSENSUS:
+                # Consensus waiters are never stepped; arriving here means a
+                # stale queue entry.
+                return
+            outcome = self._attempt(task, park.transaction)
+            if outcome.success:
+                self._unpark(task)
+                self._classify_wake(task, spurious=False)
+                task.send_value = outcome
+                self.engine.scheduler.make_ready(task)
+            else:
+                self._classify_wake(task, spurious=True)
+                self._block(
+                    task,
+                    self._subscription_for([park.transaction], task),
+                    "delayed",
+                    requeue=True,
+                )
+        elif isinstance(park, ParkedSelection):
+            self._handle_select(task, park.branches)
+        else:  # pragma: no cover
+            raise EngineError(f"cannot retry park {park!r}")
+
+    def _classify_wake(self, item: Any, spurious: bool) -> None:
+        """Resolve a delivered wake as productive or spurious (observability)."""
+        if item.woken:
+            item.woken = False
+            engine = self.engine
+            engine.trace.emit(
+                WakeResolved(engine.step_count, engine.round_count, item.process.pid, spurious)
+            )
+
+    # ------------------------------------------------------------------
+    # replication
+    # ------------------------------------------------------------------
+    def _handle_replication(self, task: Task, replication: Replication) -> None:
+        engine = self.engine
+        pump = Pump(engine.scheduler.issue_tid(), task.process, task, replication)
+        task.awaiting = pump
+        task.state = TaskState.WAITING
+        engine.scheduler.enqueue(pump)
+
+    def _step_pump(self, pump: Pump) -> None:
+        engine = self.engine
+        if pump.state is not TaskState.READY:
+            return
+        fired_any = False
+        if not pump.exit_requested:
+            fired_any = self._pump_fire_batch(pump)
+            if pump.process.status is ProcessStatus.ABORTED:
+                return
+        self._classify_wake(pump, spurious=not fired_any)
+        if fired_any:
+            engine.scheduler.enqueue(pump)
+            return
+        # no guard fired (or draining after exit)
+        if pump.active == 0:
+            all_immediate = all(
+                b.guard.mode is Mode.IMMEDIATE for b in pump.replication.branches
+            )
+            if pump.exit_requested or all_immediate:
+                self._complete_pump(pump, Control.NONE)
+                return
+        # wait for a dataspace change or for replicas to finish
+        pump.state = TaskState.BLOCKED
+        engine.wakeups.add(
+            pump,
+            self._subscription_for([b.guard for b in pump.replication.branches], pump),
+        )
+        engine.trace.emit(
+            TaskBlocked(engine.step_count, engine.round_count, pump.process.pid, "replication")
+        )
+
+    def _pump_fire_batch(self, pump: Pump) -> bool:
+        """Fire a maximal parallel batch of replica transactions.
+
+        Replication provides "unbounded concurrent execution": within one
+        virtual round, every guard instance that can commit using tuples
+        that existed *before* the round does so (a snapshot lens hides
+        tuples asserted during the batch).  This models a synchronous
+        parallel step — commits in the same batch are pairwise
+        conflict-free because retracted instances leave the dataspace as
+        the batch proceeds.  A guard firing that retracts nothing fires at
+        most once per round (otherwise a pure producer would spin forever
+        inside a single round).
+        """
+        engine = self.engine
+        window = engine.window(pump.process)
+        frozen = _SnapshotLens(window, engine.dataspace.serial)
+        scope = pump.process.scope()
+        branches = pump.replication.branches
+        live = [i for i in range(len(branches)) if branches[i].guard.mode is not Mode.CONSENSUS]
+        fired_any = False
+        progress = True
+        while progress and not pump.exit_requested and live:
+            progress = False
+            for index in engine.scheduler.arbitrate(live):
+                if pump.exit_requested:
+                    break
+                branch = branches[index]
+                guard = branch.guard
+                result = guard.query.evaluate(frozen.refresh(), scope, engine.rng)
+                if not result.success:
+                    continue
+                outcome = execute(
+                    guard,
+                    window,
+                    scope,
+                    owner=pump.process.pid,
+                    rng=engine.rng,
+                    result=result,
+                    export_policy=engine.export_policy,
+                )
+                engine.step_count += 1
+                self._after_commit(pump.process, guard, outcome)
+                engine.trace.emit(
+                    ReplicaSpawned(engine.step_count, engine.round_count, pump.process.pid, index)
+                )
+                fired_any = True
+                progress = True
+                if outcome.control is Control.ABORT:
+                    self._abort_process(pump.process)
+                    return True
+                if outcome.control is Control.EXIT:
+                    pump.exit_requested = True
+                elif branch.body:
+                    replica = engine.make_task(
+                        pump.process, interpret_body(branch), TaskKind.REPLICA
+                    )
+                    pump.active += 1
+                    replica.pump = pump
+                if not outcome.retracted:
+                    live.remove(index)
+                break  # restart the pass with fresh arbitration order
+        return fired_any
+
+    def _complete_pump(self, pump: Pump, control: Control) -> None:
+        pump.state = TaskState.DONE
+        self.engine.wakeups.discard(pump.tid)
+        parent = pump.parent
+        parent.awaiting = None
+        parent.send_value = control
+        if parent.state is TaskState.WAITING:
+            self.engine.scheduler.make_ready(parent)
+
+    def _replica_finished(self, task: Task) -> None:
+        pump = task.pump
+        if pump is None or pump.state is TaskState.DONE:
+            return
+        pump.active -= 1
+        if pump.state is TaskState.BLOCKED and pump.active == 0:
+            self.engine.wakeups.discard(pump.tid)
+            pump.state = TaskState.READY
+            self.engine.scheduler.enqueue(pump)
+
+    # ------------------------------------------------------------------
+    # task/process termination
+    # ------------------------------------------------------------------
+    def _task_finished(self, task: Task, control: Control) -> None:
+        task.state = TaskState.DONE
+        if task.kind is TaskKind.REPLICA:
+            if control is Control.ABORT:
+                self._abort_process(task.process)
+            elif control is Control.EXIT and task.pump is not None:
+                task.pump.exit_requested = True
+                self._replica_finished(task)
+            else:
+                self._replica_finished(task)
+            return
+        aborted = control is Control.ABORT
+        self._process_finished(task.process, aborted)
+
+    def _process_finished(self, process: ProcessInstance, aborted: bool) -> None:
+        engine = self.engine
+        engine.society.mark_terminated(process.pid, aborted)
+        engine.drop_window(process.pid)
+        self.consensus_waiters.pop(process.pid, None)
+        self.consensus_dirty = True  # a terminated process may unblock a set
+        engine.trace.emit(
+            ProcessFinished(
+                engine.step_count, engine.round_count, process.pid, process.name, aborted
+            )
+        )
+
+    def _abort_process(self, process: ProcessInstance) -> None:
+        for task in self.engine.tasks.values():
+            if task.process.pid == process.pid and task.state is not TaskState.DONE:
+                task.state = TaskState.DONE
+                self.engine.wakeups.discard(task.tid)
+        self.consensus_waiters.pop(process.pid, None)
+        self._process_finished(process, aborted=True)
+
+    # ------------------------------------------------------------------
+    # transaction attempts and commits
+    # ------------------------------------------------------------------
+    def _attempt(self, task: Task, txn: Transaction) -> TransactionOutcome:
+        engine = self.engine
+        window = engine.window(task.process)
+        outcome = execute(
+            txn,
+            window,
+            task.process.scope(),
+            owner=task.process.pid,
+            rng=engine.rng,
+            export_policy=engine.export_policy,
+        )
+        if outcome.success:
+            self._after_commit(task.process, txn, outcome)
+        else:
+            engine.trace.emit(
+                TxnFailed(
+                    engine.step_count, engine.round_count, task.process.pid,
+                    txn.mode.name, txn.label,
+                )
+            )
+        return outcome
+
+    def _after_commit(
+        self, process: ProcessInstance, txn: Transaction, outcome: TransactionOutcome
+    ) -> None:
+        engine = self.engine
+        if outcome.lets:
+            process.env.update(outcome.lets)
+        for name, args in outcome.spawned:
+            engine.spawn(name, args, spawner=process.pid)
+        engine.trace.emit(
+            TxnCommitted(
+                engine.step_count,
+                engine.round_count,
+                process.pid,
+                txn.mode.name,
+                txn.label,
+                len(outcome.retracted),
+                len(outcome.asserted),
+                outcome.match_count,
+                outcome.reads,
+            )
+        )
+        if outcome.asserted or outcome.retracted:
+            self._wake_on_change(outcome.asserted + outcome.retracted)
+
+    # ------------------------------------------------------------------
+    # blocking and wakeups
+    # ------------------------------------------------------------------
+    def _subscription_for(self, txns: list[Transaction], item: Any) -> Subscription:
+        return derive_subscription(
+            txns, item.process.view, item.process.scope(), self.engine.wake_filter
+        )
+
+    def _block(self, task: Task, sub: Subscription, kind: str, requeue: bool = False) -> None:
+        engine = self.engine
+        task.state = TaskState.BLOCKED
+        task.process.status = ProcessStatus.BLOCKED
+        engine.wakeups.add(task, sub)
+        if not requeue:
+            engine.trace.emit(
+                TaskBlocked(engine.step_count, engine.round_count, task.process.pid, kind)
+            )
+
+    def _unpark(self, task: Task) -> None:
+        task.park = None
+        self.engine.wakeups.discard(task.tid)
+        self.consensus_waiters.pop(task.process.pid, None)
+        if task.process.status in (ProcessStatus.BLOCKED, ProcessStatus.CONSENSUS_WAIT):
+            task.process.status = ProcessStatus.RUNNING
+
+    def _wake_on_change(self, instances: list[TupleInstance]) -> None:
+        engine = self.engine
+        if self.consensus_waiters:
+            self.consensus_dirty = True
+        for item in engine.wakeups.affected(instances):
+            if isinstance(item, Task) and item.state is TaskState.CONSENSUS:
+                if isinstance(item.park, ParkedSelection):
+                    # Retry the selection's non-consensus guards; the task
+                    # stays registered as a consensus waiter meanwhile.
+                    item.state = TaskState.READY
+                    item.woken = True
+                    engine.scheduler.enqueue(item)
+                    engine.trace.emit(
+                        TaskWoken(engine.step_count, engine.round_count, item.process.pid)
+                    )
+                # Pure consensus transactions are re-examined by the
+                # consensus engine, not rescheduled.
+                continue
+            engine.wakeups.discard(item.tid)
+            item.state = TaskState.READY
+            item.woken = True
+            engine.scheduler.enqueue(item)
+            engine.trace.emit(
+                TaskWoken(engine.step_count, engine.round_count, item.process.pid)
+            )
+
+    # ------------------------------------------------------------------
+    # consensus
+    # ------------------------------------------------------------------
+    def try_consensus(self) -> bool:
+        engine = self.engine
+        self.consensus_dirty = False
+        if not self.consensus_waiters:
+            return False
+        key = (
+            engine.dataspace.version,
+            frozenset(self.consensus_waiters),
+            engine.society.live_pids(),
+        )
+        if self._consensus_memo == key:
+            return False
+
+        waiter_windows = {
+            pid: engine.window(task.process)
+            for pid, task in self.consensus_waiters.items()
+        }
+        components = partition(waiter_windows)
+        live_others = [
+            proc for proc in engine.society.live()
+            if proc.pid not in self.consensus_waiters
+        ]
+        for component in components:
+            footprint: set = set()
+            for pid in component:
+                footprint.update(waiter_windows[pid].footprint())
+            if self._component_blocked_by_runner(footprint, live_others):
+                continue
+            participants = self._gather_participants(component)
+            if participants is None:
+                continue
+            effect = evaluate_composite(participants, engine.rng)
+            if effect is None:
+                continue
+            self._fire_consensus(participants, effect)
+            return True
+        self._consensus_memo = key
+        return False
+
+    def _component_blocked_by_runner(
+        self, footprint: set, live_others: list[ProcessInstance]
+    ) -> bool:
+        """Is some live, non-waiting process part of this consensus set?
+
+        Uses the runners' (delta-maintained, index-probed) footprints so the
+        test is an O(min(|window|, |component|)) set intersection per
+        runner rather than a per-tuple import-rule evaluation.
+        """
+        if not footprint:
+            return False
+        for proc in live_others:
+            other = self.engine.window(proc).footprint()
+            small, large = (other, footprint) if len(other) < len(footprint) else (footprint, other)
+            if any(tid in large for tid in small):
+                return True
+        return False
+
+    def _gather_participants(self, component: frozenset[int]) -> list[ConsensusParticipant] | None:
+        participants: list[ConsensusParticipant] = []
+        for pid in sorted(component):
+            task = self.consensus_waiters[pid]
+            txn = self._choose_consensus_txn(task)
+            if txn is None:
+                return None
+            participants.append(
+                ConsensusParticipant(
+                    pid=pid,
+                    transaction=txn,
+                    window=self.engine.window(task.process),
+                    scope=task.process.scope(),
+                )
+            )
+        return participants
+
+    def _choose_consensus_txn(self, task: Task) -> Transaction | None:
+        """Pick the consensus transaction this waiter is individually ready on."""
+        engine = self.engine
+        window = engine.window(task.process)
+        scope = task.process.scope()
+        park = task.park
+        if isinstance(park, ParkedTxn):
+            candidates = [park.transaction]
+        elif isinstance(park, ParkedSelection):
+            candidates = [txn for __, txn in park.consensus_guards]
+        else:  # pragma: no cover - waiters are always parked
+            return None
+        for txn in candidates:
+            if txn.query.evaluate(window.refresh(), scope, engine.rng).success:
+                return txn
+        return None
+
+    def _fire_consensus(self, participants: list[ConsensusParticipant], effect) -> None:
+        engine = self.engine
+        sink: list[tuple[tuple, int]] = []
+        outcomes: dict[int, TransactionOutcome] = {}
+        for participant in sorted(participants, key=lambda p: p.pid):
+            outcome = execute(
+                participant.transaction,
+                participant.window,
+                participant.scope,
+                owner=participant.pid,
+                rng=engine.rng,
+                result=effect.results[participant.pid],
+                assert_sink=sink,
+                export_policy=engine.export_policy,
+            )
+            outcomes[participant.pid] = outcome
+        asserted = [engine.dataspace.insert(values, owner) for values, owner in sink]
+        engine.trace.emit(
+            ConsensusFired(
+                engine.step_count,
+                engine.round_count,
+                tuple(sorted(p.pid for p in participants)),
+                sum(len(o.retracted) for o in outcomes.values()),
+                len(asserted),
+            )
+        )
+        changed: list[TupleInstance] = list(asserted)
+        for outcome in outcomes.values():
+            changed.extend(outcome.retracted)
+        # resume every participant
+        for participant in participants:
+            pid = participant.pid
+            task = self.consensus_waiters.pop(pid)
+            engine.wakeups.discard(task.tid)
+            outcome = outcomes[pid]
+            self._after_commit(task.process, participant.transaction, outcome)
+            park = task.park
+            task.park = None
+            if isinstance(park, ParkedSelection):
+                index = next(
+                    i for i, txn in park.consensus_guards if txn is participant.transaction
+                )
+                task.send_value = (index, outcome)
+            else:
+                task.send_value = outcome
+            engine.scheduler.make_ready(task)
+        if changed:
+            self._wake_on_change(changed)
+        self._consensus_memo = None
+
+
+class _SnapshotLens:
+    """A window lens hiding tuples asserted after a serial watermark.
+
+    Used by the replication pump to give every firing in one batch a view
+    of the dataspace *as of the start of the round*, which is what a
+    synchronous parallel step of unboundedly many replicas would see.
+    """
+
+    __slots__ = ("window", "max_serial")
+
+    def __init__(self, window, max_serial: int) -> None:
+        self.window = window
+        self.max_serial = max_serial
+
+    def refresh(self) -> "_SnapshotLens":
+        self.window.refresh()
+        return self
+
+    def candidates(self, pat, bound=None) -> list:
+        return [
+            inst
+            for inst in self.window.candidates(pat, bound)
+            if inst.tid.serial <= self.max_serial
+        ]
+
+    def find_matching(self, pat, bound=None) -> list:
+        bound = dict(bound or {})
+        return [
+            inst
+            for inst in self.candidates(pat, bound)
+            if pat.match(inst.values, bound) is not None
+        ]
+
+    def count_matching(self, pat, bound=None) -> int:
+        return len(self.find_matching(pat, bound))

@@ -1,0 +1,330 @@
+"""Content-addressed wakeup: which parked item does a change reawaken?
+
+When a delayed transaction (or a blocked selection / replication pump)
+parks, the engine derives a :class:`Subscription` from the transaction's
+query patterns: one :class:`AtomWatcher` per query atom (and per
+:class:`~repro.core.query.Membership` pattern inside the test expression),
+carrying the atom's arity plus every ``(position, value)`` constant
+determinable from the process scope via
+:meth:`~repro.core.patterns.Pattern.index_constants`.
+
+The :class:`WakeupIndex` registers each watcher under a single
+discriminating ``(arity, position, value)`` key — or under its arity alone
+when no constant is determinable — so a dataspace change probes O(keys of
+the changed tuples) buckets instead of scanning every blocked task.  A
+candidate found through any bucket is then verified against the *full*
+conjunction of its watcher's probes, so delivered wakes are exactly the
+changes that touch a tuple the query could newly (mis)match.
+
+Soundness (at-least-once wake): a parked query's satisfiability can only
+change when the dataspace gains or loses a tuple matching one of its atoms
+under the constants known at park time; fewer known constants only widen a
+watcher, so unevaluable fields degrade precision, never soundness.  Three
+conservative fallbacks remain wake-on-any-change: configuration-dependent
+views (``where`` context atoms), test expressions with unanalysable nodes,
+and the explicit ``wake_filter="all"`` ablation.  ``wake_filter="arity"``
+reproduces the seed's coarse per-arity filter (watchers without probes) for
+A/B measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from repro.core.expressions import BinOp, Call, Const, Expr, UnOp, Var
+from repro.core.query import Membership, Query
+from repro.core.transactions import Transaction
+from repro.core.tuples import TupleInstance
+from repro.core.views import View
+
+__all__ = [
+    "AtomWatcher",
+    "Subscription",
+    "WAKE_ANY",
+    "WakeupStats",
+    "WakeupIndex",
+    "derive_subscription",
+    "view_is_config_dependent",
+    "txn_arities",
+]
+
+
+@dataclass(slots=True)
+class WakeupStats:
+    """Aggregate counters over one engine run (exposed via ``RunResult``)."""
+
+    key_watchers: int = 0     # watchers registered under a field key
+    arity_watchers: int = 0   # watchers registered under an arity bucket
+    any_subscriptions: int = 0  # parked items on the wake-on-any fallback
+    wake_checks: int = 0      # candidate verifications performed
+
+
+class AtomWatcher:
+    """One query atom's wake condition: arity plus known field constants."""
+
+    __slots__ = ("arity", "probes")
+
+    def __init__(self, arity: int, probes: tuple[tuple[int, Any], ...] = ()) -> None:
+        self.arity = arity
+        self.probes = probes
+
+    def matches(self, inst: TupleInstance) -> bool:
+        if inst.arity != self.arity:
+            return False
+        values = inst.values
+        return all(values[position] == value for position, value in self.probes)
+
+    def __repr__(self) -> str:
+        body = ",".join(f"{p}={v!r}" for p, v in self.probes)
+        return f"watch(arity={self.arity}{',' + body if body else ''})"
+
+
+class Subscription:
+    """The wake condition of one parked item: any-change, or a watcher set."""
+
+    __slots__ = ("wake_any", "watchers")
+
+    def __init__(self, watchers: Sequence[AtomWatcher] = (), wake_any: bool = False) -> None:
+        self.wake_any = wake_any
+        self.watchers = tuple(watchers)
+
+    def matches(self, instances: Iterable[TupleInstance]) -> bool:
+        if self.wake_any:
+            return True
+        return any(w.matches(inst) for inst in instances for w in self.watchers)
+
+    def __repr__(self) -> str:
+        return "sub(ANY)" if self.wake_any else f"sub({list(self.watchers)!r})"
+
+
+#: Shared wake-on-every-change subscription (conservative fallback).
+WAKE_ANY = Subscription(wake_any=True)
+
+
+# ----------------------------------------------------------------------
+# subscription derivation
+# ----------------------------------------------------------------------
+
+def view_is_config_dependent(view: View) -> bool:
+    """Views with ``where`` context atoms can change coverage on any change."""
+    return view.config_dependent
+
+
+def derive_subscription(
+    txns: Sequence[Transaction],
+    view: View,
+    scope: dict[str, Any],
+    mode: str = "keys",
+) -> Subscription:
+    """Build the wake condition for an item parking on *txns*.
+
+    *mode*: ``"keys"`` (field-constant precision, the default),
+    ``"arity"`` (the seed's per-arity filter), ``"all"`` (ablation: wake on
+    every change).
+    """
+    if mode == "all" or view.config_dependent:
+        return WAKE_ANY
+    with_keys = mode == "keys"
+    watchers: list[AtomWatcher] = []
+    for txn in txns:
+        got = _query_watchers(txn.query, scope, with_keys)
+        if got is None:
+            return WAKE_ANY
+        watchers.extend(got)
+    return Subscription(watchers)
+
+
+def _query_watchers(
+    query: Query, scope: dict[str, Any], with_keys: bool
+) -> list[AtomWatcher] | None:
+    watchers = [
+        AtomWatcher(
+            atom.pattern.arity,
+            tuple(atom.pattern.index_constants(scope)) if with_keys else (),
+        )
+        for atom in query.atoms
+    ]
+    if query.test is not None:
+        got = _expr_watchers(query.test, scope, with_keys)
+        if got is None:
+            return None
+        watchers.extend(got)
+    return watchers
+
+
+def _expr_watchers(
+    expr: Expr, scope: dict[str, Any], with_keys: bool
+) -> list[AtomWatcher] | None:
+    if isinstance(expr, Membership):
+        watchers = [
+            AtomWatcher(
+                pat.arity,
+                tuple(pat.index_constants(scope)) if with_keys else (),
+            )
+            for pat in expr.patterns
+        ]
+        if expr.test is not None:
+            inner = _expr_watchers(expr.test, scope, with_keys)
+            if inner is None:
+                return None
+            watchers.extend(inner)
+        return watchers
+    if isinstance(expr, BinOp):
+        left = _expr_watchers(expr.left, scope, with_keys)
+        right = _expr_watchers(expr.right, scope, with_keys)
+        if left is None or right is None:
+            return None
+        return left + right
+    if isinstance(expr, UnOp):
+        return _expr_watchers(expr.operand, scope, with_keys)
+    if isinstance(expr, Call):
+        out: list[AtomWatcher] = []
+        for arg in expr.args:
+            got = _expr_watchers(arg, scope, with_keys)
+            if got is None:
+                return None
+            out.extend(got)
+        return out
+    if isinstance(expr, (Var, Const)):
+        return []
+    # Unknown expression node: be conservative.
+    return None
+
+
+def txn_arities(query: Query) -> set[int] | None:
+    """Arities a change must touch to possibly affect *query*; None = any.
+
+    The seed's coarse oracle, retained for the A3 ablation and as the
+    refinement baseline of the wakeup-soundness property tests.
+    """
+    watchers = _query_watchers(query, {}, with_keys=False)
+    if watchers is None:
+        return None
+    return {w.arity for w in watchers}
+
+
+# ----------------------------------------------------------------------
+# the index
+# ----------------------------------------------------------------------
+
+class WakeupIndex:
+    """Registry of parked items keyed by the index keys they watch.
+
+    Items are any objects with a ``tid``; registration order is preserved
+    (re-registering a parked item under a new subscription keeps its slot)
+    so wake delivery stays FIFO — the weak-fairness order of the seed.
+    """
+
+    __slots__ = ("stats", "_items", "_subs", "_any", "_by_arity", "_by_key", "_order", "_seq")
+
+    def __init__(self, stats: WakeupStats | None = None) -> None:
+        self.stats = stats if stats is not None else WakeupStats()
+        self._items: dict[int, Any] = {}
+        self._subs: dict[int, Subscription] = {}
+        self._any: set[int] = set()
+        self._by_arity: dict[int, set[int]] = {}
+        self._by_key: dict[tuple[int, int, Any], set[int]] = {}
+        self._order: dict[int, int] = {}  # tid -> registration sequence
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, tid: int) -> bool:
+        return tid in self._items
+
+    def items(self) -> list[Any]:
+        """Registered items in FIFO registration order (deadlock reports)."""
+        return [self._items[tid] for tid in sorted(self._items, key=self._order.__getitem__)]
+
+    def get(self, tid: int) -> Any | None:
+        return self._items.get(tid)
+
+    # ------------------------------------------------------------------
+    def add(self, item: Any, sub: Subscription) -> None:
+        """Register (or re-register) *item* under *sub*."""
+        tid = item.tid
+        if tid in self._items:
+            original = self._order[tid]
+            self._unlink(tid)
+            self._order[tid] = original  # keep the FIFO slot on re-park
+        else:
+            self._seq += 1
+            self._order[tid] = self._seq
+        self._items[tid] = item
+        self._subs[tid] = sub
+        if sub.wake_any:
+            self._any.add(tid)
+            self.stats.any_subscriptions += 1
+            return
+        for watcher in sub.watchers:
+            if watcher.probes:
+                # One discriminating key suffices: a change can only wake
+                # this watcher if *all* probes match, so in particular the
+                # registered one does.  The last probe is heuristically the
+                # most selective (patterns lead with broad type-tag atoms).
+                position, value = watcher.probes[-1]
+                self._by_key.setdefault((watcher.arity, position, value), set()).add(tid)
+                self.stats.key_watchers += 1
+            else:
+                self._by_arity.setdefault(watcher.arity, set()).add(tid)
+                self.stats.arity_watchers += 1
+
+    def discard(self, tid: int) -> None:
+        """Remove *tid* from the index (no-op when absent)."""
+        if tid not in self._items:
+            return
+        self._unlink(tid)
+        self._order.pop(tid, None)
+
+    def _unlink(self, tid: int) -> None:
+        del self._items[tid]
+        sub = self._subs.pop(tid)
+        self._any.discard(tid)
+        if sub.wake_any:
+            return
+        for watcher in sub.watchers:
+            if watcher.probes:
+                position, value = watcher.probes[-1]
+                key = (watcher.arity, position, value)
+                bucket = self._by_key.get(key)
+            else:
+                key = watcher.arity
+                bucket = self._by_arity.get(key)
+            if bucket is not None:
+                bucket.discard(tid)
+                if not bucket:
+                    if watcher.probes:
+                        del self._by_key[key]
+                    else:
+                        del self._by_arity[key]
+
+    # ------------------------------------------------------------------
+    def affected(self, instances: Sequence[TupleInstance]) -> list[Any]:
+        """Items whose subscription matches the changed *instances*.
+
+        Returned in FIFO registration order; items are *not* removed (the
+        engine decides — consensus-tagged selections stay registered).
+        """
+        if not self._items:
+            return []
+        woken: set[int] = set(self._any)
+        if self._by_arity or self._by_key:
+            candidates: set[int] = set()
+            for inst in instances:
+                bucket = self._by_arity.get(inst.arity)
+                if bucket:
+                    candidates |= bucket
+                arity = inst.arity
+                for position, value in enumerate(inst.values):
+                    bucket = self._by_key.get((arity, position, value))
+                    if bucket:
+                        candidates |= bucket
+            candidates -= woken
+            for tid in candidates:
+                self.stats.wake_checks += 1
+                if self._subs[tid].matches(instances):
+                    woken.add(tid)
+        return [self._items[tid] for tid in sorted(woken, key=self._order.__getitem__)]

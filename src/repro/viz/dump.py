@@ -18,7 +18,7 @@ from typing import Any, IO, Iterable
 from repro.core.dataspace import Dataspace
 from repro.core.values import Atom
 from repro.errors import SDLError
-from repro.runtime.events import Event, Trace
+from repro.runtime.events import Trace
 
 __all__ = [
     "encode_value",

@@ -13,7 +13,6 @@ pattern.  It never issues transactions, so it cannot perturb the program.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
 
 from repro.core.dataspace import Dataspace, DataspaceChange
 from repro.core.patterns import Pattern

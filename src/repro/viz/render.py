@@ -7,7 +7,7 @@ in for the visualization environment the paper's companion work proposes.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Mapping, Sequence
+from typing import Any, Callable, Mapping
 
 from repro.core.dataspace import Dataspace
 from repro.core.values import value_repr

@@ -48,6 +48,11 @@ class RunMetrics:
     processes_created: int
     parallelism: float
     peak_concurrency: int
+    # reactivity counters (delta-driven wakeups and windows)
+    wakeups: int
+    spurious_wake_rate: float
+    window_hit_rate: float
+    window_full_invalidations: int
 
     def as_row(self) -> dict[str, Any]:
         """Flat dict, handy for printing benchmark tables."""
@@ -63,6 +68,10 @@ class RunMetrics:
             "procs": self.processes_created,
             "parallelism": round(self.parallelism, 2),
             "peak": self.peak_concurrency,
+            "wakeups": self.wakeups,
+            "spurious_rate": round(self.spurious_wake_rate, 3),
+            "window_hit_rate": round(self.window_hit_rate, 3),
+            "full_invalidations": self.window_full_invalidations,
         }
 
 
@@ -84,6 +93,10 @@ def run_metrics(result: RunResult, trace: Trace) -> RunMetrics:
         processes_created=counters.processes_created,
         parallelism=result.parallelism,
         peak_concurrency=max(profile.values(), default=0),
+        wakeups=result.wakeups,
+        spurious_wake_rate=result.spurious_wake_rate,
+        window_hit_rate=result.window_hit_rate,
+        window_full_invalidations=result.window_full_invalidations,
     )
 
 

@@ -6,7 +6,6 @@ import pytest
 
 from repro.core.dataspace import Dataspace
 from repro.core.expressions import variables
-from repro.core.patterns import ANY, P
 
 
 @pytest.fixture

@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.core.dataspace import Dataspace, DataspaceChange
-from repro.core.expressions import variables
+from repro.core.dataspace import DataspaceChange
 from repro.core.patterns import ANY, P
 from repro.errors import SDLError
 

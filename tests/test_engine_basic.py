@@ -4,14 +4,14 @@ import pytest
 
 from repro.core.actions import ABORT, EXIT, assert_tuple, let, spawn
 from repro.core.constructs import guarded, repeat, select, seq
-from repro.core.expressions import Var, variables
+from repro.core.expressions import Var
 from repro.core.patterns import ANY, P
 from repro.core.process import ProcessDefinition
 from repro.core.query import exists, no
 from repro.core.transactions import immediate
 from repro.errors import EngineError, StepLimitExceeded, UnknownProcessError
 from repro.runtime.engine import Engine
-from repro.runtime.events import ProcessFinished, Trace
+from repro.runtime.events import Trace
 
 
 def single(body, rows=(), seed=0, defs=(), detail=False, **engine_kw):

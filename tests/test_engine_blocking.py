@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro.core.actions import EXIT, assert_tuple
+from repro.core.actions import assert_tuple
 from repro.core.constructs import guarded, repeat, select
-from repro.core.expressions import Var, variables
+from repro.core.expressions import Var
 from repro.core.patterns import ANY, P
 from repro.core.process import ProcessDefinition
 from repro.core.query import exists, no

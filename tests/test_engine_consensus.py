@@ -2,12 +2,12 @@
 
 import pytest
 
-from repro.core.actions import EXIT, CallPython, assert_tuple
-from repro.core.constructs import guarded, repeat, select
+from repro.core.actions import EXIT, assert_tuple
+from repro.core.constructs import guarded, repeat
 from repro.core.expressions import Var, variables
 from repro.core.patterns import ANY, P
 from repro.core.process import ProcessDefinition
-from repro.core.query import Membership, exists, no
+from repro.core.query import exists, no
 from repro.core.transactions import consensus, delayed, immediate
 from repro.errors import DeadlockError, EngineError
 from repro.runtime.engine import Engine

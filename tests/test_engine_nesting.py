@@ -1,13 +1,12 @@
 """Engine tests: nested and combined flow-of-control constructs."""
 
-import pytest
 
 from repro.core.actions import EXIT, ABORT, assert_tuple, let
 from repro.core.constructs import guarded, repeat, replicate, select, seq
 from repro.core.expressions import Var, variables
 from repro.core.patterns import ANY, P
 from repro.core.process import ProcessDefinition
-from repro.core.query import exists, no
+from repro.core.query import exists
 from repro.core.transactions import delayed, immediate
 from repro.runtime.engine import Engine
 

@@ -9,7 +9,6 @@ from repro.core.patterns import ANY, P
 from repro.core.process import ProcessDefinition
 from repro.core.query import exists
 from repro.core.transactions import consensus, delayed, immediate
-from repro.core.views import View
 from repro.errors import EngineError, ExportViolation
 from repro.runtime.engine import Engine
 from repro.runtime.events import Trace

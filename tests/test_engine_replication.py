@@ -1,6 +1,5 @@
 """Engine tests: the replication construct (unbounded concurrency)."""
 
-import pytest
 
 from repro.core.actions import EXIT, ABORT, assert_tuple
 from repro.core.constructs import guarded, replicate

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.expressions import (
     Bindings,
-    Call,
     Const,
     EvalContext,
     Expr,

@@ -1,15 +1,13 @@
 """Cross-cutting integration tests: whole-system scenarios."""
 
-import pytest
 
-from repro.core.actions import EXIT, assert_tuple, let, spawn
-from repro.core.constructs import guarded, repeat, replicate, select
-from repro.core.expressions import Var, fn, variables
+from repro.core.actions import EXIT, assert_tuple, spawn
+from repro.core.constructs import guarded, repeat, replicate
+from repro.core.expressions import Var, variables
 from repro.core.patterns import ANY, P
 from repro.core.process import ProcessDefinition
-from repro.core.query import Membership, exists, forall, no
+from repro.core.query import Membership, exists, no
 from repro.core.transactions import consensus, delayed, immediate
-from repro.core.values import Atom
 from repro.runtime.engine import Engine
 from repro.runtime.events import Trace
 

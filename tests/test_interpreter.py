@@ -5,15 +5,12 @@ dataspace — pinning the interpreter's control-flow contract: what it
 yields, what it expects back, and how exit/abort propagate.
 """
 
-import pytest
 
-from repro.core.actions import EXIT, ABORT
 from repro.core.constructs import (
     guarded,
     repeat,
     replicate,
     select,
-    seq,
 )
 from repro.core.transactions import Control, TransactionOutcome, immediate
 from repro.runtime.interpreter import (

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.expressions import Const, Var
 from repro.core.patterns import WildElement
 from repro.core.transactions import Mode
 from repro.core.values import Atom
@@ -16,7 +15,7 @@ class TestNameResolution:
         d = compile_process("process P(k) behavior -> (echo, k) end")
         pattern = d.body.body[0].transaction.actions[0].pattern
         # field 1 must be Var("k"), not Atom("k")
-        from repro.core.patterns import LitElement, VarElement
+        from repro.core.patterns import VarElement
 
         assert isinstance(pattern.elements[1], VarElement)
 

@@ -2,13 +2,13 @@
 
 import pytest
 
-from repro.core.actions import EXIT, assert_tuple, let, spawn
-from repro.core.constructs import guarded, repeat, replicate, select
-from repro.core.expressions import Var, fn, variables
+from repro.core.actions import assert_tuple, let
+from repro.core.constructs import guarded, repeat
+from repro.core.expressions import Var, variables
 from repro.core.patterns import ANY, P
 from repro.core.process import ProcessDefinition
-from repro.core.query import Membership, exists, forall, no
-from repro.core.transactions import consensus, delayed, immediate
+from repro.core.query import Membership, exists, no
+from repro.core.transactions import delayed, immediate
 from repro.core.values import Atom
 from repro.core.views import import_rule
 from repro.lang import compile_process

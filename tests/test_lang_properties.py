@@ -3,7 +3,7 @@
 from hypothesis import given, settings, strategies as st
 
 from repro.lang import compile_process, pretty_process
-from repro.lang.lexer import tokenize
+from repro.lang.lexer import KEYWORDS, tokenize
 
 # ----------------------------------------------------------------------
 # lexer properties
@@ -52,7 +52,10 @@ class TestLexerProperties:
 # pretty/compile round-trip properties on generated programs
 # ----------------------------------------------------------------------
 
-atom_strategy = st.from_regex(r"[a-z][a-z]{1,4}", fullmatch=True)
+# keywords (``all``, ``no``, ``and``, ...) are not legal atom names
+atom_strategy = st.from_regex(r"[a-z][a-z]{1,4}", fullmatch=True).filter(
+    lambda s: s not in KEYWORDS
+)
 
 
 @st.composite

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.patterns import ANY, P
+from repro.core.patterns import ANY
 from repro.errors import DeadlockError, LindaError, StepLimitExceeded
 from repro.linda import LindaKernel
 

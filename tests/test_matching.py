@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.core.expressions import variables
 from repro.core.matching import first_joint_match, iter_joint_matches

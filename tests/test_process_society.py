@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.expressions import variables
 from repro.core.patterns import ANY, P
 from repro.core.process import (
     ProcessDefinition,

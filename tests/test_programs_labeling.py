@@ -11,12 +11,7 @@ from repro.programs import (
     run_community_labeling,
     run_worker_labeling,
 )
-from repro.workloads import (
-    checkerboard_image,
-    connected_regions,
-    random_blob_image,
-    stripe_image,
-)
+from repro.workloads import checkerboard_image, random_blob_image, stripe_image
 
 
 class TestGroundTruth:

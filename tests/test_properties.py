@@ -6,7 +6,6 @@ from repro.core.dataspace import Dataspace
 from repro.core.expressions import Var, variables
 from repro.core.patterns import ANY, P
 from repro.core.query import exists, forall, no
-from repro.core.values import Atom, is_value
 from repro.core.views import FULL_VIEW, View, import_rule
 from repro.programs import run_sum3
 from repro.workloads import property_list_rows

@@ -1,12 +1,10 @@
 """Runtime odds and ends: trace observers, engine conveniences, run results."""
 
-import pytest
 
 from repro.core.actions import assert_tuple
 from repro.core.expressions import Var
 from repro.core.patterns import ANY, P
 from repro.core.process import ProcessDefinition
-from repro.core.query import exists
 from repro.core.transactions import immediate
 from repro.runtime.engine import Engine, RunResult
 from repro.runtime.events import (

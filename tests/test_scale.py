@@ -7,7 +7,6 @@ guardrails, not micro-benchmarks; they ensure the engine's data structures
 
 import time
 
-import pytest
 
 from repro.core.actions import assert_tuple
 from repro.core.expressions import Var

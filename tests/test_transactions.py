@@ -6,11 +6,10 @@ from repro.core.actions import ABORT, EXIT, CallPython, assert_tuple, let, spawn
 from repro.core.dataspace import Dataspace
 from repro.core.expressions import Var, variables
 from repro.core.patterns import ANY, P
-from repro.core.query import exists, forall, no
+from repro.core.query import exists, forall
 from repro.core.transactions import (
     Control,
     Mode,
-    Transaction,
     check_ready,
     consensus,
     delayed,

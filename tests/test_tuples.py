@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.tuples import TupleId, TupleInstance, make_tuple
+from repro.core.tuples import TupleId, make_tuple
 from repro.errors import ArityError, ValueDomainError
 
 

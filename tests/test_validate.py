@@ -1,9 +1,8 @@
 """Tests for the static program validator (repro.core.validate)."""
 
-import pytest
 
-from repro.core.actions import ABORT, EXIT, assert_tuple, let, spawn
-from repro.core.constructs import guarded, repeat, select
+from repro.core.actions import EXIT, assert_tuple, let, spawn
+from repro.core.constructs import guarded, select
 from repro.core.expressions import Var, variables
 from repro.core.patterns import ANY, P
 from repro.core.process import ProcessDefinition

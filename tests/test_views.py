@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.dataspace import Dataspace
-from repro.core.expressions import Var, fn, variables
+from repro.core.expressions import Var, fn
 from repro.core.patterns import ANY, P
 from repro.core.views import FULL_VIEW, View, ViewRule, import_rule
 from repro.errors import ViewError

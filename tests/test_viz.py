@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.patterns import ANY, P
 from repro.programs import run_sum1, run_sum3
-from repro.runtime.events import Trace, TxnCommitted
 from repro.viz import (
     DataspaceObserver,
     concurrency_profile,
