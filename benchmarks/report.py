@@ -375,6 +375,81 @@ def e12() -> None:
     )
 
 
+def e13() -> None:
+    from repro.core.actions import assert_tuple
+    from repro.core.expressions import Var
+    from repro.core.process import ProcessDefinition
+    from repro.core.transactions import delayed
+    from repro.runtime.engine import Engine
+
+    a = Var("a")
+    workers, depth = 32, 3
+    worker = ProcessDefinition(
+        "W",
+        params=("k",),
+        body=[
+            delayed(exists(a).match(P[Var("k"), a].retract())).then(
+                assert_tuple("done", Var("k"), a)
+            )
+            for __ in range(depth)
+        ],
+    )
+    taker = ProcessDefinition(
+        "T",
+        body=[
+            delayed(exists(a).match(P["tok", a].retract())).then(
+                assert_tuple("tok", a + 1)
+            )
+        ],
+    )
+    rows = []
+    for label, commit in (
+        ("disjoint/serial", "serial"),
+        ("disjoint/group", "group"),
+        ("disjoint/live", "live"),
+        ("contended/serial", "serial"),
+        ("contended/group", "group"),
+        ("contended/live", "live"),
+    ):
+        def run():
+            validate = "serial" if commit == "group" else None
+            if label.startswith("disjoint"):
+                engine = Engine(definitions=[worker], seed=7, commit=commit, validate=validate)
+                engine.assert_tuples([(k, d) for k in range(workers) for d in range(depth)])
+                for k in range(workers):
+                    engine.start("W", (k,))
+            else:
+                engine = Engine(definitions=[taker], seed=7, commit=commit, validate=validate)
+                engine.assert_tuples([("tok", 0)])
+                for __ in range(12):
+                    engine.start("T")
+            result = engine.run()
+            assert result.completed
+            return result
+
+        result, seconds = timed(run)
+        rows.append(
+            [
+                label,
+                result.rounds,
+                result.commits,
+                result.max_batch or "-",
+                f"{result.avg_batch:.2f}" if result.group_rounds else "-",
+                result.conflicts if result.group_rounds else "-",
+                f"{result.conflict_rate:.2f}" if result.group_rounds else "-",
+                f"{seconds*1000:.0f}",
+            ]
+        )
+    table(
+        "E13 — group commit: rounds vs the serial reference "
+        "(32 disjoint workers × depth 3; 12 contended takers; "
+        "group runs validated by serial replay)",
+        ["workload/commit", "rounds", "commits", "max batch", "avg batch",
+         "conflicts", "conflict rate", "ms"],
+        rows,
+    )
+
+
 def main() -> None:
     print("# Experiment report (regenerated)")
     e1_e2()
@@ -387,6 +462,7 @@ def main() -> None:
     e9()
     e10()
     e12()
+    e13()
 
 
 if __name__ == "__main__":

@@ -49,11 +49,17 @@ class _UnionFind:
         self.parent: dict[Any, Any] = {}
 
     def find(self, key: Any) -> Any:
-        parent = self.parent.setdefault(key, key)
-        if parent != key:
-            parent = self.find(parent)
-            self.parent[key] = parent
-        return parent
+        # Iterative with full path compression: a `needs`-chain of N
+        # processes produces parent chains of depth O(N), and the obvious
+        # recursive formulation hits Python's recursion limit near a
+        # thousand pids.
+        parent = self.parent
+        root = parent.setdefault(key, key)
+        while parent[root] != root:
+            root = parent[root]
+        while parent[key] != root:
+            parent[key], key = root, parent[key]
+        return root
 
     def union(self, a: Any, b: Any) -> None:
         ra, rb = self.find(a), self.find(b)

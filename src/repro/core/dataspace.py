@@ -114,7 +114,12 @@ class Dataspace:
         self._by_field: dict[tuple[int, int, Any], dict[TupleId, TupleInstance]] = {}
         self._serial = 0
         self._version = 0
-        self._listeners: list[Callable[[DataspaceChange], None]] = []
+        #: Listeners keyed by registration token: the same callable may be
+        #: subscribed several times, and each unsubscribe must detach its
+        #: own registration (``list.remove`` would detach the *first equal*
+        #: one, and cost O(n)).  Dicts preserve registration order.
+        self._listeners: dict[int, Callable[[DataspaceChange], None]] = {}
+        self._listener_token = 0
         self._journal: deque[DataspaceChange] = deque(maxlen=JOURNAL_DEPTH)
         self.indexed = indexed
 
@@ -137,7 +142,12 @@ class Dataspace:
 
     @property
     def serial(self) -> int:
-        """The next tuple serial to be issued (useful for tests)."""
+        """The most recently issued tuple serial (snapshot watermark).
+
+        Instances admitted later carry strictly greater serials, so
+        ``inst.tid.serial <= dataspace.serial`` captured now identifies
+        exactly the instances that existed at the capture point.
+        """
         return self._serial
 
     def get(self, tid: TupleId) -> TupleInstance:
@@ -217,7 +227,7 @@ class Dataspace:
         self._version += 1
         change = DataspaceChange(kind, asserted, retracted, self._version)
         self._journal.append(change)
-        for listener in self._listeners:
+        for listener in list(self._listeners.values()):
             listener(change)
 
     def changes_since(self, version: int) -> list[DataspaceChange] | None:
@@ -238,11 +248,18 @@ class Dataspace:
         return [journal[i] for i in range(start, len(journal))]
 
     def subscribe(self, listener: Callable[[DataspaceChange], None]) -> Callable[[], None]:
-        """Register a change listener; returns an unsubscribe callable."""
-        self._listeners.append(listener)
+        """Register a change listener; returns an unsubscribe callable.
+
+        Each registration is independent (subscribing the same callable
+        twice yields two registrations) and unsubscribe is idempotent: it
+        detaches exactly its own registration, in O(1).
+        """
+        self._listener_token += 1
+        token = self._listener_token
+        self._listeners[token] = listener
 
         def unsubscribe() -> None:
-            self._listeners.remove(listener)
+            self._listeners.pop(token, None)
 
         return unsubscribe
 

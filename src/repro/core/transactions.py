@@ -150,6 +150,7 @@ def execute(
     result: QueryResult | None = None,
     assert_sink: list[tuple[tuple, int]] | None = None,
     export_policy: str = "error",
+    suppress_callbacks: bool = False,
 ) -> TransactionOutcome:
     """Atomically apply *txn* for the process owning *window*.
 
@@ -164,6 +165,10 @@ def execute(
     ``(values, owner)`` pairs instead of being inserted — the consensus
     engine uses this to realise "retractions first, then the corresponding
     additions" across all participants.
+
+    *suppress_callbacks* skips ``CallPython`` actions: the serial-replay
+    validator re-executes committed transactions against a scratch
+    dataspace and must not fire user effects twice.
     """
     dataspace = window.dataspace
     if result is None:
@@ -201,6 +206,8 @@ def execute(
                 if result.matches
                 else [env_for_once]
             )
+            if suppress_callbacks and isinstance(action, CallPython):
+                continue
             for env in match_envs:
                 _apply_per_match(
                     action, env, window, dataspace, owner, rng, outcome,

@@ -23,6 +23,7 @@ refreshes) that make the incremental pipeline observable.
 
 from __future__ import annotations
 
+import os
 import random
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence as Seq
@@ -63,10 +64,26 @@ class RunResult:
     window_delta_refreshes: int = 0
     window_full_invalidations: int = 0
     footprint_recomputes: int = 0
+    # Group-commit counters (populated under ``commit="group"``).
+    group_rounds: int = 0
+    batch_commits: int = 0
+    conflicts: int = 0
+    max_batch: int = 0
 
     @property
     def completed(self) -> bool:
         return self.reason == "completed"
+
+    @property
+    def avg_batch(self) -> float:
+        """Average admitted batch size per group-commit round."""
+        return self.batch_commits / self.group_rounds if self.group_rounds else 0.0
+
+    @property
+    def conflict_rate(self) -> float:
+        """Fraction of evaluated candidates that lost their round."""
+        attempts = self.batch_commits + self.conflicts
+        return self.conflicts / attempts if attempts else 0.0
 
     @property
     def parallelism(self) -> float:
@@ -100,6 +117,8 @@ class Engine:
         consensus_check: str = "eager",
         on_deadlock: str = "raise",
         wake_filter: str = "keys",
+        commit: str | None = None,
+        validate: str | None = None,
     ) -> None:
         if policy not in ("random", "fifo"):
             raise EngineError(f"unknown scheduling policy {policy!r}")
@@ -107,6 +126,22 @@ class Engine:
             raise EngineError(f"unknown consensus_check {consensus_check!r}")
         if wake_filter not in ("keys", "arity", "all"):
             raise EngineError(f"unknown wake_filter {wake_filter!r}")
+        # Round commit discipline: "live" (the seed's semantics — each step
+        # sees mid-round mutations), "serial" (one item per round, the
+        # serial reference for rounds-as-makespan comparisons), or "group"
+        # (footprint-guarded batch commit, serial-equivalent to the seeded
+        # arbitration order).  ``validate="serial"`` re-runs every group
+        # round serially and asserts identical dataspace state.  The
+        # SDL_COMMIT / SDL_VALIDATE environment variables supply defaults
+        # so whole test suites can be swept across commit modes.
+        if commit is None:
+            commit = os.environ.get("SDL_COMMIT") or "live"
+        if validate is None:
+            validate = os.environ.get("SDL_VALIDATE") or None
+        if commit not in ("live", "serial", "group"):
+            raise EngineError(f"unknown commit mode {commit!r}")
+        if validate not in (None, "serial"):
+            raise EngineError(f"unknown validate mode {validate!r}")
         self.dataspace = dataspace if dataspace is not None else Dataspace()
         self.society = ProcessSociety(definitions)
         self.rng = random.Random(seed)
@@ -115,9 +150,13 @@ class Engine:
         self.consensus_check = consensus_check
         self.on_deadlock = on_deadlock
         self.wake_filter = wake_filter
+        self.commit = commit
+        self.validate = validate
 
         self.step_count = 0
         self.scheduler = Scheduler(self.rng, policy)
+        if commit == "serial":
+            self.scheduler.round_size = 1
         self.wakeups = WakeupIndex()
         self.executor = Executor(self)
         self.tasks: dict[int, Task] = {}
@@ -156,6 +195,8 @@ class Engine:
     # ------------------------------------------------------------------
     def run(self, max_steps: int = 1_000_000, max_rounds: int | None = None) -> RunResult:
         """Drive the program until completion, deadlock, or a limit."""
+        if self.commit == "group":
+            return self._run_group(max_steps, max_rounds)
         scheduler = self.scheduler
         executor = self.executor
         while True:
@@ -178,6 +219,35 @@ class Engine:
                 return self._summary("step-limit")
             self.step_count += 1
             executor.step(item)
+
+    def _run_group(self, max_steps: int, max_rounds: int | None) -> RunResult:
+        """Group-commit driver: whole rounds at a time, losers lead the next.
+
+        Deferred conflict losers live outside the scheduler queues (they
+        are neither blocked nor re-enqueued) and are prepended, in order,
+        to the next round's arbitration sequence — the first loser is then
+        unconditionally admitted, which is the weak-fairness argument of
+        `docs/SEMANTICS.md`.
+        """
+        scheduler = self.scheduler
+        executor = self.executor
+        deferred: list = []
+        while True:
+            if executor.consensus_dirty and self.consensus_check == "eager":
+                executor.try_consensus()
+            items = scheduler.take_round(prepend=deferred)
+            if items is None:
+                if executor.try_consensus():
+                    continue
+                return self._finish()
+            deferred = []
+            if max_rounds is not None and scheduler.round_count > max_rounds:
+                return self._summary("round-limit")
+            if self.step_count >= max_steps:
+                if self.on_deadlock == "raise":
+                    raise StepLimitExceeded(max_steps)
+                return self._summary("step-limit")
+            deferred = executor.run_group_round(items)
 
     def _finish(self) -> RunResult:
         if len(self.wakeups) or self.executor.consensus_waiters:
@@ -211,6 +281,10 @@ class Engine:
             window_delta_refreshes=windows.delta_refreshes,
             window_full_invalidations=windows.full_invalidations,
             footprint_recomputes=windows.footprint_recomputes,
+            group_rounds=counters.group_rounds,
+            batch_commits=counters.batch_commits,
+            conflicts=counters.conflicts,
+            max_batch=counters.max_batch,
         )
 
     # ------------------------------------------------------------------

@@ -28,6 +28,8 @@ __all__ = [
     "WakeResolved",
     "ConsensusFired",
     "ReplicaSpawned",
+    "RoundCommitted",
+    "ConflictDetected",
     "Trace",
 ]
 
@@ -106,6 +108,24 @@ class ReplicaSpawned(Event):
     branch: int
 
 
+@dataclass(frozen=True, slots=True)
+class RoundCommitted(Event):
+    """One group-commit round: how the candidate set was disposed of."""
+
+    candidates: int  # transactions evaluated against the round snapshot
+    admitted: int    # committed as one batch (serial-equivalent prefix)
+    conflicts: int   # losers re-queued to the head of the next round
+    tail: int        # items serialized after the batch (selections, pumps, ...)
+
+
+@dataclass(frozen=True, slots=True)
+class ConflictDetected(Event):
+    """A candidate lost its round to an earlier-admitted transaction."""
+
+    pid: int     # the re-queued loser
+    winner: int  # pid of the admitted transaction it collided with
+
+
 @dataclass(slots=True)
 class TraceCounters:
     """Aggregate counters kept for every run."""
@@ -124,6 +144,11 @@ class TraceCounters:
     processes_created: int = 0
     processes_finished: int = 0
     replicas: int = 0
+    # group-commit counters
+    group_rounds: int = 0
+    batch_commits: int = 0
+    conflicts: int = 0
+    max_batch: int = 0
 
 
 class Trace:
@@ -133,14 +158,22 @@ class Trace:
         self.detail = detail
         self.events: list[Event] = []
         self.counters = TraceCounters()
-        self._observers: list[Callable[[Event], None]] = []
+        self._observers: dict[int, Callable[[Event], None]] = {}
+        self._observer_token = 0
 
     def observe(self, callback: Callable[[Event], None]) -> Callable[[], None]:
-        """Attach a live observer (used by visualization processes)."""
-        self._observers.append(callback)
+        """Attach a live observer (used by visualization processes).
+
+        Registrations are token-keyed: attaching the same callable twice
+        yields two registrations, and each detach removes exactly its own
+        (idempotently).
+        """
+        self._observer_token += 1
+        token = self._observer_token
+        self._observers[token] = callback
 
         def detach() -> None:
-            self._observers.remove(callback)
+            self._observers.pop(token, None)
 
         return detach
 
@@ -171,9 +204,16 @@ class Trace:
             counters.processes_finished += 1
         elif isinstance(event, ReplicaSpawned):
             counters.replicas += 1
+        elif isinstance(event, RoundCommitted):
+            counters.group_rounds += 1
+            counters.batch_commits += event.admitted
+            if event.admitted > counters.max_batch:
+                counters.max_batch = event.admitted
+        elif isinstance(event, ConflictDetected):
+            counters.conflicts += 1
         if self.detail:
             self.events.append(event)
-        for observer in self._observers:
+        for observer in list(self._observers.values()):
             observer(event)
 
     # ------------------------------------------------------------------

@@ -32,10 +32,17 @@ from repro.core.transactions import (
 )
 from repro.core.tuples import TupleInstance
 from repro.errors import EngineError
+from repro.runtime.commit import (
+    first_conflict,
+    footprint_for,
+    validate_serial_equivalence,
+)
 from repro.runtime.events import (
+    ConflictDetected,
     ConsensusFired,
     ProcessFinished,
     ReplicaSpawned,
+    RoundCommitted,
     TaskBlocked,
     TaskWoken,
     TxnCommitted,
@@ -237,6 +244,15 @@ class Executor:
     def _step_pump(self, pump: Pump) -> None:
         engine = self.engine
         if pump.state is not TaskState.READY:
+            return
+        if pump.process.status is ProcessStatus.ABORTED:
+            # The process was aborted (e.g. by one of this pump's own
+            # replicas) while the pump was still queued; pumps are not in
+            # the task table, so _abort_process cannot mark them DONE.
+            # Without this guard a stale pump fires further guards on
+            # behalf of a dead process.
+            pump.state = TaskState.DONE
+            engine.wakeups.discard(pump.tid)
             return
         fired_any = False
         if not pump.exit_requested:
@@ -485,6 +501,192 @@ class Executor:
             )
 
     # ------------------------------------------------------------------
+    # group-commit rounds (engine option ``commit="group"``)
+    # ------------------------------------------------------------------
+    def run_group_round(self, items: list) -> list:
+        """Run one footprint-guarded group-commit round over *items*.
+
+        Phase A classifies every item: transactions surface as *candidates*
+        (in arbitration order — deferred losers lead, this round's shuffle
+        follows); selections, replication pumps, and other control flow go
+        to the *tail*.  Phase B evaluates every candidate against the
+        common round-start snapshot, records footprints, and admits the
+        largest prefix-compatible subsequence (`runtime/commit.py`); losers
+        are returned for the head of the next round.  Phase C applies the
+        admitted batch in order; the tail then steps against the live
+        post-batch state.  The round is serial-equivalent to:
+        admitted order, then tail order, with losers first next round.
+        """
+        engine = self.engine
+        candidates: list[tuple[Task, Transaction, str]] = []
+        tail: list[tuple] = []
+
+        # Phase A — classify, surfacing each task's next transaction.
+        for item in items:
+            if isinstance(item, Pump):
+                if item.state is TaskState.READY:
+                    engine.step_count += 1
+                    tail.append(("pump", item))
+                continue
+            task = item
+            if task.state is not TaskState.READY:
+                continue  # lazily discarded (aborted process, stale entry)
+            engine.step_count += 1
+            if task.pending is not None:
+                candidates.append((task, task.pending, "request"))
+                continue
+            if task.park is not None:
+                park = task.park
+                if isinstance(park, ParkedTxn):
+                    if park.transaction.mode is Mode.CONSENSUS:
+                        continue  # consensus engine owns it; stale entry
+                    candidates.append((task, park.transaction, "park"))
+                else:  # parked selection: live arbitration, tail
+                    tail.append(("task", task))
+                continue
+            value, task.send_value = task.send_value, None
+            try:
+                request = task.gen.send(value)
+            except StopIteration as stop:
+                control = stop.value if isinstance(stop.value, Control) else Control.NONE
+                self._task_finished(task, control)
+                continue
+            if (
+                isinstance(request, TxnRequest)
+                and request.transaction.mode is not Mode.CONSENSUS
+            ):
+                candidates.append((task, request.transaction, "request"))
+            else:
+                tail.append(("request", task, request))
+
+        # Phase B — evaluate against the round-start snapshot and admit.
+        watermark = engine.dataspace.serial
+        admitted: list[tuple[Task, Transaction, Any, str]] = []
+        admitted_fps: list = []
+        losers: list[Task] = []
+        conflict_count = 0
+        for task, txn, origin in candidates:
+            if task.state is not TaskState.READY:
+                continue  # its process died during classification
+            window = engine.window(task.process)
+            lens = _SnapshotLens(window, watermark)
+            scope = task.process.scope()
+            result = txn.query.evaluate(lens.refresh(), scope, engine.rng)
+            fp = footprint_for(
+                txn, result if result.success else None, task.process, scope
+            )
+            winner = first_conflict(admitted_fps, fp)
+            if winner is not None:
+                # Loser: both its success and its failure verdicts are
+                # unreliable after the winner's writes — re-queue, never
+                # abort or park.
+                conflict_count += 1
+                if origin == "request":
+                    task.pending = txn
+                task.queued = True  # deferred outside the scheduler queues
+                losers.append(task)
+                engine.trace.emit(
+                    ConflictDetected(
+                        engine.step_count, engine.round_count,
+                        task.process.pid, winner.pid,
+                    )
+                )
+                continue
+            if not result.success:
+                # Conflict-free failure is decided *now*, before the batch
+                # commits, so a parked task's subscription is registered in
+                # time to see the batch's own writes.
+                self._group_failure(task, txn, origin)
+                continue
+            admitted.append((task, txn, result, origin))
+            admitted_fps.append(fp)
+
+        validating = engine.validate == "serial" and admitted
+        if validating:
+            pre_rows = [
+                values
+                for values, count in engine.dataspace.multiset().items()
+                for __ in range(count)
+            ]
+
+        # Phase C — apply the admitted batch in arbitration order.
+        for task, txn, result, origin in admitted:
+            outcome = execute(
+                txn,
+                engine.window(task.process),
+                task.process.scope(),
+                owner=task.process.pid,
+                rng=engine.rng,
+                result=result,
+                export_policy=engine.export_policy,
+            )
+            self._deliver_commit(task, txn, outcome, origin)
+        engine.trace.emit(
+            RoundCommitted(
+                engine.step_count, engine.round_count,
+                len(candidates), len(admitted), conflict_count, len(tail),
+            )
+        )
+        if validating:
+            validate_serial_equivalence(
+                pre_rows,
+                [(task.process, txn, result) for task, txn, result, __ in admitted],
+                engine.dataspace.multiset(),
+                engine.round_count,
+                engine.export_policy,
+            )
+
+        # Phase D — the tail steps serially against the live batch state.
+        for entry in tail:
+            if entry[0] == "pump":
+                if entry[1].state is TaskState.READY:
+                    self._step_pump(entry[1])
+            elif entry[0] == "task":
+                if entry[1].state is TaskState.READY:
+                    self._step_task(entry[1])
+            else:
+                __, task, request = entry
+                if task.state is TaskState.READY:
+                    self._handle_request(task, request)
+        return losers
+
+    def _group_failure(self, task: Task, txn: Transaction, origin: str) -> None:
+        """Dispose of a conflict-free candidate whose snapshot query failed."""
+        engine = self.engine
+        engine.trace.emit(
+            TxnFailed(
+                engine.step_count, engine.round_count, task.process.pid,
+                txn.mode.name, txn.label,
+            )
+        )
+        task.pending = None
+        if txn.mode is Mode.IMMEDIATE:
+            task.send_value = TransactionOutcome.failure()
+            engine.scheduler.make_ready(task)
+            return
+        self._classify_wake(task, spurious=True)
+        if origin == "request":
+            task.park = ParkedTxn(txn)
+        self._block(
+            task,
+            self._subscription_for([txn], task),
+            "delayed",
+            requeue=(origin == "park"),
+        )
+
+    def _deliver_commit(
+        self, task: Task, txn: Transaction, outcome: TransactionOutcome, origin: str
+    ) -> None:
+        """Hand a batch-committed outcome back to its suspended task."""
+        self._after_commit(task.process, txn, outcome)
+        task.pending = None
+        if origin == "park":
+            self._unpark(task)
+        self._classify_wake(task, spurious=False)
+        task.send_value = outcome
+        self.engine.scheduler.make_ready(task)
+
+    # ------------------------------------------------------------------
     # consensus
     # ------------------------------------------------------------------
     def try_consensus(self) -> bool:
@@ -655,11 +857,17 @@ class _SnapshotLens:
         ]
 
     def find_matching(self, pat, bound=None) -> list:
+        # Each candidate matches against its own copy of the bindings
+        # (mirroring core/matching.py): the environment handed to one
+        # candidate's ``pat.match`` must never be visible to the next, so
+        # a partially-matching decoy cannot poison later candidates even
+        # for pattern implementations that treat the mapping as scratch
+        # space.
         bound = dict(bound or {})
         return [
             inst
             for inst in self.candidates(pat, bound)
-            if pat.match(inst.values, bound) is not None
+            if pat.match(inst.values, dict(bound)) is not None
         ]
 
     def count_matching(self, pat, bound=None) -> int:

@@ -65,7 +65,7 @@ class Task:
 
     __slots__ = (
         "tid", "process", "gen", "kind", "state", "send_value",
-        "park", "pump", "awaiting", "queued", "woken",
+        "park", "pump", "awaiting", "queued", "woken", "pending",
     )
 
     def __init__(self, tid: int, process: ProcessInstance, gen, kind: TaskKind) -> None:
@@ -80,6 +80,10 @@ class Task:
         self.awaiting: "Pump | None" = None   # pump this task is waiting on
         self.queued = False
         self.woken = False  # set by the wakeup index; cleared (and classified) on step
+        # Group-commit bookkeeping: a transaction surfaced from the
+        # generator but deferred by conflict admission — retried as a
+        # candidate next round without resuming the generator again.
+        self.pending: Transaction | None = None
 
     def __repr__(self) -> str:
         return f"task#{self.tid}({self.process.name}#{self.process.pid},{self.kind.value},{self.state.value})"
@@ -116,12 +120,18 @@ class Scheduler:
     pure function of the seed and the program.
     """
 
-    __slots__ = ("rng", "policy", "round_count", "_ready", "_round_queue", "_next_tid")
+    __slots__ = (
+        "rng", "policy", "round_count", "round_size",
+        "_ready", "_round_queue", "_next_tid",
+    )
 
     def __init__(self, rng: random.Random, policy: str) -> None:
         self.rng = rng
         self.policy = policy
         self.round_count = 0
+        # Cap on items promoted per round; ``1`` gives the strictly serial
+        # reference execution of ``commit="serial"`` (rounds ≈ steps).
+        self.round_size: int | None = None
         self._ready: deque[Any] = deque()        # Task | Pump, next round
         self._round_queue: deque[Any] = deque()  # current round
         self._next_tid = 1
@@ -157,8 +167,32 @@ class Scheduler:
         self._ready.clear()
         if self.policy == "random":
             self.rng.shuffle(items)
+        if self.round_size is not None and len(items) > self.round_size:
+            # Overflow stays ready (still flagged queued) for later rounds.
+            self._ready.extend(items[self.round_size:])
+            items = items[: self.round_size]
         self._round_queue.extend(items)
         return True
+
+    def take_round(self, prepend: Sequence[Any] = ()) -> list[Any] | None:
+        """Promote and *return* a whole round at once (group-commit mode).
+
+        Deferred conflict losers are passed via *prepend* and lead the
+        round unshuffled — the weak-fairness guarantee: the first loser is
+        first in the next arbitration order, hence unconditionally admitted.
+        Returns ``None`` when there is no work at all.
+        """
+        if not self._ready and not prepend:
+            return None
+        self.round_count += 1
+        items = list(self._ready)
+        self._ready.clear()
+        if self.policy == "random":
+            self.rng.shuffle(items)
+        out = list(prepend) + items
+        for item in out:
+            item.queued = False
+        return out
 
     def pop(self) -> Any | None:
         """The next item of the current round, or ``None`` if the round ended."""

@@ -53,6 +53,12 @@ class RunMetrics:
     spurious_wake_rate: float
     window_hit_rate: float
     window_full_invalidations: int
+    # group-commit counters (zero outside ``commit="group"`` runs)
+    group_rounds: int
+    avg_batch: float
+    max_batch: int
+    conflicts: int
+    conflict_rate: float
 
     def as_row(self) -> dict[str, Any]:
         """Flat dict, handy for printing benchmark tables."""
@@ -72,6 +78,11 @@ class RunMetrics:
             "spurious_rate": round(self.spurious_wake_rate, 3),
             "window_hit_rate": round(self.window_hit_rate, 3),
             "full_invalidations": self.window_full_invalidations,
+            "group_rounds": self.group_rounds,
+            "avg_batch": round(self.avg_batch, 2),
+            "max_batch": self.max_batch,
+            "conflicts": self.conflicts,
+            "conflict_rate": round(self.conflict_rate, 3),
         }
 
 
@@ -97,6 +108,11 @@ def run_metrics(result: RunResult, trace: Trace) -> RunMetrics:
         spurious_wake_rate=result.spurious_wake_rate,
         window_hit_rate=result.window_hit_rate,
         window_full_invalidations=result.window_full_invalidations,
+        group_rounds=result.group_rounds,
+        avg_batch=result.avg_batch,
+        max_batch=result.max_batch,
+        conflicts=result.conflicts,
+        conflict_rate=result.conflict_rate,
     )
 
 

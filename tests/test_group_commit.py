@@ -1,0 +1,301 @@
+"""Group-commit rounds: conflict admission, counters, fairness, validation."""
+
+import pytest
+
+from repro.core.actions import assert_tuple
+from repro.core.dataspace import Dataspace
+from repro.core.expressions import Var, variables
+from repro.core.patterns import ANY, P
+from repro.core.process import ProcessDefinition
+from repro.core.query import exists
+from repro.core.transactions import delayed, immediate
+from repro.errors import EngineError
+from repro.runtime.commit import (
+    Footprint,
+    WriteRecord,
+    conflicts,
+    first_conflict,
+    validate_serial_equivalence,
+)
+from repro.runtime.engine import Engine
+from repro.runtime.events import ConflictDetected, RoundCommitted, Trace
+from repro.runtime.wakeup import AtomWatcher
+
+
+# ---------------------------------------------------------------------------
+# the conflict relation (runtime/commit.py) in isolation
+# ---------------------------------------------------------------------------
+
+
+def fp(pid=1, reads_all=False, watchers=(), retracts=(), writes=()):
+    return Footprint(pid, reads_all, watchers, frozenset(retracts), writes)
+
+
+class TestWriteRecord:
+    def test_known_positions_discriminate(self):
+        write = WriteRecord(2, {0: "job", 1: 7})
+        assert write.touches(AtomWatcher(2, ((0, "job"),)))
+        assert not write.touches(AtomWatcher(2, ((0, "other"),)))
+        assert not write.touches(AtomWatcher(3, ((0, "job"),)))
+
+    def test_unknown_position_matches_anything(self):
+        write = WriteRecord(2, {0: "job"})  # position 1 unknown
+        assert write.touches(AtomWatcher(2, ((0, "job"), (1, 99))))
+
+    def test_probeless_watcher_is_arity_granular(self):
+        assert WriteRecord(3, {}).touches(AtomWatcher(3))
+        assert not WriteRecord(3, {}).touches(AtomWatcher(2))
+
+
+class TestConflictRelation:
+    def test_read_write_conflict(self):
+        earlier = fp(pid=1, writes=(WriteRecord(2, {0: "x"}),))
+        later = fp(pid=2, watchers=(AtomWatcher(2, ((0, "x"),)),))
+        assert conflicts(later, earlier)
+
+    def test_disjoint_keys_commute(self):
+        earlier = fp(pid=1, writes=(WriteRecord(2, {0: "x"}),))
+        later = fp(pid=2, watchers=(AtomWatcher(2, ((0, "y"),)),))
+        assert not conflicts(later, earlier)
+
+    def test_write_write_on_shared_tid(self):
+        tid = ("fake-tid",)
+        earlier = fp(pid=1, retracts=[tid])
+        later = fp(pid=2, retracts=[tid])
+        assert conflicts(later, earlier)
+
+    def test_assert_assert_is_not_a_conflict(self):
+        # Insertions into a multiset commute: two writers asserting under
+        # the same key must both be admitted (no read side, no shared tid).
+        earlier = fp(pid=1, writes=(WriteRecord(2, {0: "done"}),))
+        later = fp(pid=2, writes=(WriteRecord(2, {0: "done"}),))
+        assert not conflicts(later, earlier)
+
+    def test_reads_all_conflicts_with_any_write(self):
+        earlier = fp(pid=1, writes=(WriteRecord(5, {}),))
+        later = fp(pid=2, reads_all=True)
+        assert conflicts(later, earlier)
+        assert not conflicts(later, fp(pid=3))  # ... but not with a pure read
+
+    def test_first_conflict_reports_the_winner(self):
+        a = fp(pid=1, writes=(WriteRecord(2, {0: "x"}),))
+        b = fp(pid=2, writes=(WriteRecord(2, {0: "y"}),))
+        later = fp(pid=3, watchers=(AtomWatcher(2, ((0, "y"),)),))
+        assert first_conflict([a, b], later) is b
+        assert first_conflict([a], fp(pid=4)) is None
+
+
+# ---------------------------------------------------------------------------
+# engine behaviour under commit="group"
+# ---------------------------------------------------------------------------
+
+
+def make_disjoint_engine(n=8, **kwargs):
+    a = Var("a")
+    worker = ProcessDefinition(
+        "W",
+        params=("k",),
+        body=[
+            delayed(exists(a).match(P[Var("k"), a].retract())).then(
+                assert_tuple("done", Var("k"), a)
+            )
+        ],
+    )
+    engine = Engine(definitions=[worker], seed=1, **kwargs)
+    engine.assert_tuples([(k, k * 10) for k in range(n)])
+    for k in range(n):
+        engine.start("W", (k,))
+    return engine
+
+
+def make_contended_engine(workers=6, **kwargs):
+    a = Var("a")
+    worker = ProcessDefinition(
+        "W",
+        body=[
+            delayed(exists(a).match(P["tok", a].retract())).then(
+                assert_tuple("tok", a + 1)
+            )
+        ],
+    )
+    engine = Engine(definitions=[worker], seed=3, **kwargs)
+    engine.assert_tuples([("tok", 0)])
+    for _ in range(workers):
+        engine.start("W")
+    return engine
+
+
+class TestDisjointCommunities:
+    def test_whole_community_commits_in_one_batch(self):
+        engine = make_disjoint_engine(8, commit="group", validate="serial")
+        result = engine.run()
+        assert result.completed
+        assert result.max_batch == 8
+        assert result.conflicts == 0
+        multiset = engine.dataspace.multiset()
+        assert all(("done", k, k * 10) in multiset for k in range(8))
+
+    def test_group_needs_fewer_rounds_than_serial(self):
+        serial = make_disjoint_engine(8, commit="serial").run()
+        group = make_disjoint_engine(8, commit="group").run()
+        assert group.rounds * 2 <= serial.rounds
+        assert group.commits == serial.commits
+
+    def test_serial_mode_is_one_item_per_round(self):
+        result = make_disjoint_engine(4, commit="serial").run()
+        assert result.rounds == result.steps
+
+
+class TestContention:
+    def test_final_state_matches_live_execution(self):
+        group = make_contended_engine(6, commit="group", validate="serial")
+        live = make_contended_engine(6, commit="live")
+        assert group.run().completed and live.run().completed
+        assert group.dataspace.multiset() == live.dataspace.multiset()
+        assert group.dataspace.multiset() == {("tok", 6): 1}
+
+    def test_conflicts_are_detected_and_batches_collapse(self):
+        engine = make_contended_engine(6, commit="group")
+        result = engine.run()
+        assert result.conflicts > 0
+        assert result.max_batch == 1  # every round admits exactly one taker
+        assert 0.0 < result.conflict_rate < 1.0
+        assert 0.0 < result.avg_batch <= 1.0
+
+    def test_losers_are_requeued_not_aborted(self):
+        # Weak fairness: every one of the 6 contending workers eventually
+        # takes the token exactly once (no worker starves or aborts).
+        engine = make_contended_engine(6, commit="group", trace=Trace(detail=True))
+        engine.run()
+        by_pid = engine.trace.commits_by_pid()
+        worker_pids = [p.pid for p in engine.society.all_instances()]
+        assert all(by_pid.get(pid, 0) == 1 for pid in worker_pids)
+
+
+class TestGroupEvents:
+    def test_round_committed_and_conflict_events(self):
+        engine = make_contended_engine(3, commit="group", trace=Trace(detail=True))
+        engine.run()
+        rounds = list(engine.trace.of_kind(RoundCommitted))
+        assert rounds, "group rounds must emit RoundCommitted"
+        assert sum(r.admitted for r in rounds) == engine.trace.counters.commits
+        clashes = list(engine.trace.of_kind(ConflictDetected))
+        assert clashes
+        # every loser collided with a pid that actually committed
+        committed = set(engine.trace.commits_by_pid())
+        assert all(c.winner in committed for c in clashes)
+
+    def test_counters_flow_to_run_result(self):
+        engine = make_contended_engine(4, commit="group")
+        result = engine.run()
+        counters = engine.trace.counters
+        assert result.group_rounds == counters.group_rounds > 0
+        assert result.batch_commits == counters.batch_commits == result.commits
+        assert result.conflicts == counters.conflicts
+
+
+class TestValidateSerial:
+    def test_clean_batches_pass_validation(self):
+        engine = make_disjoint_engine(8, commit="group", validate="serial")
+        assert engine.run().completed  # no EngineError raised
+
+    def test_validator_rejects_a_non_serializable_batch(self):
+        # Hand the validator a "batch" in which both transactions claim the
+        # single <tok> instance — exactly what conflict admission prevents.
+        a = Var("a")
+        taker = ProcessDefinition(
+            "T",
+            body=[
+                delayed(exists(a).match(P["tok", a].retract())).then(
+                    assert_tuple("got", a)
+                )
+            ],
+        )
+        engine = Engine(definitions=[taker], commit="group")
+        engine.assert_tuples([("tok", 0)])
+        p1 = engine.start("T")
+        p2 = engine.start("T")
+        space = Dataspace()
+        space.insert_many([("tok", 0)])
+        txn = taker.body.body[0].transaction
+        window = p1.view.window(space, p1.params)
+        result = txn.query.evaluate(window.refresh(), p1.scope(), None)
+        pre_rows = [("tok", 0)]
+        # claim both committed against the same snapshot match
+        with pytest.raises(EngineError, match="serial equivalence"):
+            validate_serial_equivalence(
+                pre_rows,
+                [(p1, txn, result), (p2, txn, result)],
+                {("got", 0): 2},  # what a double-commit would produce
+                round_count=1,
+            )
+
+
+class TestEngineOptions:
+    def test_unknown_commit_mode_rejected(self):
+        with pytest.raises(EngineError, match="commit"):
+            Engine(commit="optimistic")
+
+    def test_unknown_validate_mode_rejected(self):
+        with pytest.raises(EngineError, match="validate"):
+            Engine(validate="always")
+
+    def test_env_var_defaults(self, monkeypatch):
+        monkeypatch.setenv("SDL_COMMIT", "group")
+        monkeypatch.setenv("SDL_VALIDATE", "serial")
+        engine = Engine()
+        assert engine.commit == "group"
+        assert engine.validate == "serial"
+        # explicit arguments beat the environment
+        assert Engine(commit="live").commit == "live"
+
+    def test_default_mode_is_live(self, monkeypatch):
+        monkeypatch.delenv("SDL_COMMIT", raising=False)
+        assert Engine().commit == "live"
+        assert Engine().validate is None
+
+
+class TestImmediateAndSelectionsUnderGroup:
+    def test_failed_immediate_still_skips(self):
+        a = Var("a")
+        proc = ProcessDefinition(
+            "P",
+            body=[
+                immediate(exists(a).match(P["missing", a].retract())).then(
+                    assert_tuple("found", a)
+                ),
+                immediate().then(assert_tuple("after",)),
+            ],
+        )
+        engine = Engine(definitions=[proc], commit="group", validate="serial")
+        engine.start("P")
+        assert engine.run().completed
+        multiset = engine.dataspace.multiset()
+        assert ("after",) in multiset
+        assert not any(v[0] == "found" for v in multiset)
+
+    def test_replication_interoperates_with_group_rounds(self):
+        a = Var("a")
+        from repro.core.constructs import guarded, replicate
+
+        proc = ProcessDefinition(
+            "P",
+            body=[
+                replicate(
+                    guarded(
+                        immediate(exists(a).match(P["in", a].retract())).then(
+                            assert_tuple("out", a)
+                        )
+                    )
+                )
+            ],
+        )
+        engine = Engine(definitions=[proc], commit="group", validate="serial")
+        engine.assert_tuples([("in", i) for i in range(10)])
+        engine.start("P")
+        assert engine.run().completed
+        assert engine.dataspace.count_matching(P["out", ANY]) == 10
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

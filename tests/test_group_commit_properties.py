@@ -1,0 +1,188 @@
+"""Hypothesis properties: group commit is serial-equivalent.
+
+Two oracles, matching the two halves of the claim:
+
+* **confluent programs** — disjoint-community workloads whose final
+  dataspace is independent of serialization order.  For these the whole
+  run is comparable: ``commit="group"`` must produce exactly the final
+  multiset of ``commit="serial"`` (and ``"live"``), for random programs
+  and seeds.
+* **contended programs** — order-*dependent* workloads, where different
+  serializations legitimately diverge.  Here the per-round serial-replay
+  validator (``validate="serial"``) is the oracle: every admitted batch is
+  re-run serially in arbitration order and must reproduce the batch state
+  bit-for-bit; any admission bug raises ``EngineError``.  Conserved
+  quantities (token count, total work) pin the end state.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.actions import assert_tuple
+from repro.core.expressions import Var
+from repro.core.patterns import P
+from repro.core.process import ProcessDefinition
+from repro.core.query import exists
+from repro.core.transactions import delayed
+from repro.runtime.engine import Engine
+
+
+# ---------------------------------------------------------------------------
+# program generators
+# ---------------------------------------------------------------------------
+
+a = Var("a")
+b = Var("b")
+
+
+def community_worker() -> ProcessDefinition:
+    """Retract one item from the worker's own community, record it."""
+    return ProcessDefinition(
+        "Worker",
+        params=("c",),
+        body=[
+            delayed(exists(a).match(P[Var("c"), a].retract())).then(
+                assert_tuple("done", Var("c"), a)
+            )
+        ],
+    )
+
+
+def pair_merger() -> ProcessDefinition:
+    """Merge two items of the worker's community into their sum."""
+    return ProcessDefinition(
+        "Merger",
+        params=("c",),
+        body=[
+            delayed(
+                exists(a, b).match(
+                    P[Var("c"), a].retract(), P[Var("c"), b].retract()
+                )
+            ).then(assert_tuple(Var("c"), a + b))
+        ],
+    )
+
+
+communities = st.integers(min_value=1, max_value=4)
+workers_per = st.integers(min_value=1, max_value=4)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def run_confluent(n_comm, n_work, seed, commit):
+    """Disjoint communities: n_work takers + enough items per community."""
+    engine = Engine(
+        definitions=[community_worker()],
+        seed=seed,
+        commit=commit,
+        validate="serial" if commit == "group" else None,
+    )
+    rows = [(f"c{c}", i) for c in range(n_comm) for i in range(n_work)]
+    engine.assert_tuples(rows)
+    for c in range(n_comm):
+        for __ in range(n_work):
+            engine.start("Worker", (f"c{c}",))
+    result = engine.run()
+    assert result.completed
+    return engine.dataspace.multiset(), result
+
+
+class TestConfluentEquivalence:
+    @settings(max_examples=30, deadline=None)
+    @given(n_comm=communities, n_work=workers_per, seed=seeds)
+    def test_group_equals_serial_on_disjoint_communities(self, n_comm, n_work, seed):
+        group_state, group_result = run_confluent(n_comm, n_work, seed, "group")
+        serial_state, __ = run_confluent(n_comm, n_work, seed, "serial")
+        assert group_state == serial_state
+        # workers *within* a community may contend for the same item, but
+        # confluence guarantees the outcome either way
+        assert group_result.max_batch >= 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(n_comm=communities, n_work=workers_per, seed=seeds)
+    def test_group_equals_live_on_disjoint_communities(self, n_comm, n_work, seed):
+        group_state, __ = run_confluent(n_comm, n_work, seed, "group")
+        live_state, __ = run_confluent(n_comm, n_work, seed, "live")
+        assert group_state == live_state
+
+    @settings(max_examples=15, deadline=None)
+    @given(n_comm=communities, seed=seeds)
+    def test_merger_trees_sum_identically(self, n_comm, seed):
+        # 4 items, 3 mergers per community: any merge order sums the items.
+        def run(commit):
+            engine = Engine(
+                definitions=[pair_merger()],
+                seed=seed,
+                commit=commit,
+                validate="serial" if commit == "group" else None,
+            )
+            engine.assert_tuples(
+                [(f"c{c}", i + 1) for c in range(n_comm) for i in range(4)]
+            )
+            for c in range(n_comm):
+                for __ in range(3):
+                    engine.start("Merger", (f"c{c}",))
+            assert engine.run().completed
+            return engine.dataspace.multiset()
+
+        assert run("group") == run("serial") == {
+            (f"c{c}", 10): 1 for c in range(n_comm)
+        }
+
+
+class TestContendedValidation:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        workers=st.integers(min_value=2, max_value=8),
+        tokens=st.integers(min_value=1, max_value=3),
+        seed=seeds,
+    )
+    def test_token_passing_survives_serial_validation(self, workers, tokens, seed):
+        # Heavily contended: `workers` takers over `tokens` shared counters.
+        # validate="serial" re-runs every admitted batch; a bad admission
+        # raises EngineError and fails the property.
+        taker = ProcessDefinition(
+            "Taker",
+            body=[
+                delayed(exists(a).match(P["tok", a].retract())).then(
+                    assert_tuple("tok", a + 1)
+                )
+            ],
+        )
+        engine = Engine(
+            definitions=[taker], seed=seed, commit="group", validate="serial"
+        )
+        engine.assert_tuples([("tok", 0)] * tokens)
+        for __ in range(workers):
+            engine.start("Taker")
+        result = engine.run()
+        assert result.completed
+        state = engine.dataspace.multiset()
+        # conservation: exactly `tokens` counters, increments sum to `workers`
+        assert sum(state.values()) == tokens
+        assert sum(value * count for (_, value), count in state.items()) == workers
+
+    @settings(max_examples=20, deadline=None)
+    @given(workers=st.integers(min_value=2, max_value=6), seed=seeds)
+    def test_mixed_read_write_contention_validates(self, workers, seed):
+        # Workers log the value they saw — order-dependent, so only the
+        # validator (not cross-mode equality) is the oracle here.
+        taker = ProcessDefinition(
+            "Taker",
+            params=("w",),
+            body=[
+                delayed(exists(a).match(P["tok", a].retract())).then(
+                    assert_tuple("tok", a + 1), assert_tuple("saw", Var("w"), a)
+                )
+            ],
+        )
+        engine = Engine(
+            definitions=[taker], seed=seed, commit="group", validate="serial"
+        )
+        engine.assert_tuples([("tok", 0)])
+        for w in range(workers):
+            engine.start("Taker", (w,))
+        assert engine.run().completed
+        state = engine.dataspace.multiset()
+        assert state[("tok", workers)] == 1
+        # each worker logged a distinct counter value
+        seen = sorted(row[2] for row, __ in state.items() if row[0] == "saw")
+        assert seen == list(range(workers))

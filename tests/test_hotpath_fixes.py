@@ -1,0 +1,209 @@
+"""Regression tests for the executor/dataspace hot-path correctness sweep.
+
+Each test here pins a bug that group commit (PR 2's tentpole) would have
+amplified: deep union-find recursion under large consensus partitions,
+listener bookkeeping that detached the wrong registration, binding leakage
+between match candidates in the snapshot lens, and a replication pump that
+kept firing for an aborted process.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.actions import ABORT, assert_tuple
+from repro.core.consensus import partition
+from repro.core.constructs import guarded, replicate
+from repro.core.dataspace import Dataspace
+from repro.core.expressions import Var
+from repro.core.patterns import ANY, P
+from repro.core.process import ProcessDefinition
+from repro.core.query import exists
+from repro.core.transactions import immediate
+from repro.runtime.engine import Engine
+from repro.runtime.events import Trace
+from repro.runtime.executor import _SnapshotLens
+
+
+# ---------------------------------------------------------------------------
+# consensus.partition / _UnionFind: deep chains must not blow the stack
+# ---------------------------------------------------------------------------
+
+
+class _StubWindow:
+    """Exposes only what ``partition`` consumes: an iterable footprint.
+
+    A tuple (rather than a set) keeps footprint iteration order under the
+    test's control, which is what lets us steer the union-find into its
+    worst-case parent chains.
+    """
+
+    __slots__ = ("_tids",)
+
+    def __init__(self, tids):
+        self._tids = tuple(tids)
+
+    def footprint(self):
+        return self._tids
+
+
+class TestPartitionScale:
+    def test_five_thousand_process_chain_partition(self):
+        # Adversarial insertion order: N seeder processes each owning one
+        # tuple, then probe processes whose ordered footprints repeatedly
+        # graft the current component root under a fresh seeder.  Unions
+        # only ever touch the top of the parent chain, so path compression
+        # never flattens it during construction; the final find() walks a
+        # chain ~N deep.  With the old recursive ``_UnionFind.find`` this
+        # construction raises RecursionError at ~1000 processes.
+        n = 2500  # 2n + 1 = 5001 processes, chain depth ~n
+        windows = {}
+        for i in range(1, n + 1):
+            windows[i] = _StubWindow([("t", i)])  # seeders
+        windows[0] = _StubWindow([("t", 0)])  # base of the chain
+        for i in range(1, n + 1):
+            windows[n + i] = _StubWindow([("t", i - 1), ("t", i)])  # probes
+        groups = partition(windows)
+        assert len(groups) == 1
+        assert len(groups[0]) == 2 * n + 1
+
+    def test_disjoint_communities_stay_disjoint_at_scale(self):
+        windows = {
+            pid: _StubWindow([("community", pid % 50)]) for pid in range(5000)
+        }
+        groups = partition(windows)
+        assert len(groups) == 50
+        assert all(len(g) == 100 for g in groups)
+
+
+# ---------------------------------------------------------------------------
+# Dataspace.subscribe: token-keyed registrations
+# ---------------------------------------------------------------------------
+
+
+class TestSubscribeTokens:
+    def test_double_subscribe_single_unsubscribe(self):
+        ds = Dataspace()
+        seen: list[int] = []
+
+        def listener(change):
+            seen.append(1)
+
+        first = ds.subscribe(listener)
+        ds.subscribe(listener)
+        first()  # must detach *its own* registration, leaving the second
+        ds.insert(("x",))
+        assert seen == [1]
+
+    def test_unsubscribe_is_idempotent(self):
+        # The pre-fix closure called ``list.remove``, so a double detach of
+        # one registration silently removed the *other* equal listener.
+        ds = Dataspace()
+        seen: list[int] = []
+
+        def listener(change):
+            seen.append(1)
+
+        first = ds.subscribe(listener)
+        ds.subscribe(listener)
+        first()
+        first()  # second call must be a no-op, not kill the survivor
+        ds.insert(("x",))
+        assert seen == [1]
+
+    def test_trace_observe_same_contract(self):
+        trace = Trace()
+        seen: list[int] = []
+
+        def observer(event):
+            seen.append(1)
+
+        detach = trace.observe(observer)
+        trace.observe(observer)
+        detach()
+        detach()
+        from repro.runtime.events import TaskWoken
+
+        trace.emit(TaskWoken(step=0, round=0, pid=1))
+        assert seen == [1]
+
+
+# ---------------------------------------------------------------------------
+# _SnapshotLens.find_matching: candidate isolation
+# ---------------------------------------------------------------------------
+
+
+class TestSnapshotLensIsolation:
+    def test_decoy_prefix_does_not_poison_later_candidates(self):
+        # A decoy tuple matches the pattern prefix then fails on the last
+        # element; the real tuple (inserted after the decoy, so visited
+        # later from the arity index) must still match with clean bindings.
+        ds = Dataspace()
+        ds.insert(("pair", "v1", "decoy"))
+        real = ds.insert(("pair", "v1", "key"))
+        window = ds  # Dataspace implements the window candidate protocol
+        lens = _SnapshotLens(window, ds.serial)
+        a = Var("a")
+        matched = lens.find_matching(P["pair", a, "key"])
+        assert [inst.tid for inst in matched] == [real.tid]
+
+    def test_caller_bound_dict_never_mutated(self):
+        ds = Dataspace()
+        ds.insert(("pair", "v1", "decoy"))
+        ds.insert(("pair", "v2", "key"))
+        lens = _SnapshotLens(ds, ds.serial)
+        a = Var("a")
+        bound = {"unrelated": 42}
+        lens.find_matching(P["pair", a, "key"], bound)
+        assert bound == {"unrelated": 42}
+
+
+# ---------------------------------------------------------------------------
+# replication pump: must stop once its process is aborted
+# ---------------------------------------------------------------------------
+
+
+class TestPumpAfterAbort:
+    def test_pump_stops_firing_after_replica_body_abort(self):
+        # A replica *body* (not a guard action) aborts the process while the
+        # pump is still queued.  Pumps live outside the engine task table,
+        # so the abort cannot mark them DONE; pre-fix, the orphaned pump
+        # kept firing guards for the dead process — here it would consume
+        # <job, 1> and assert <looted, 1> on behalf of an aborted process,
+        # then park forever and deadlock the run.
+        a = Var("a")
+        kill_branch = guarded(
+            immediate(exists().match(P["kill"].retract())),
+            immediate().then(ABORT),  # abort from the replica body
+        )
+        job_branch = guarded(
+            immediate(exists(a).match(P["job", a].retract())).then(
+                assert_tuple("looted", a)
+            )
+        )
+        main = ProcessDefinition("Main", body=[replicate(kill_branch, job_branch)])
+        feeder = ProcessDefinition(
+            "Feeder",
+            body=[
+                immediate().then(assert_tuple("tick", 1)),
+                immediate().then(assert_tuple("tick", 2)),
+                immediate().then(assert_tuple("job", 1)),  # after the abort
+            ],
+        )
+        engine = Engine(
+            definitions=[main, feeder],
+            policy="fifo",  # deterministic round order: replica aborts, then pump steps
+            on_deadlock="return",
+        )
+        engine.assert_tuples([("kill",)])
+        engine.start("Main")
+        engine.start("Feeder")
+        result = engine.run()
+        multiset = engine.dataspace.multiset()
+        assert ("job", 1) in multiset  # the dead process must not consume it
+        assert ("looted", 1) not in multiset
+        assert result.completed
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

@@ -68,6 +68,85 @@ class TestBatchedInsert:
         assert ds.changes_since(v) is None
 
 
+class TestChangesSinceBoundaries:
+    """`changes_since` offset arithmetic at the journal-depth boundary.
+
+    The slice start is computed from ``version`` deltas on the assumption
+    that the version advances exactly once per journal entry — these tests
+    pin that invariant against batched inserts and the exact overflow edge.
+    """
+
+    def test_insert_many_batch_is_one_journal_entry(self):
+        ds = Dataspace()
+        v = ds.version
+        batch = ds.insert_many([("x", i) for i in range(7)])
+        ds.insert(("y",))
+        changes = ds.changes_since(v)
+        assert [c.kind for c in changes] == [
+            DataspaceChange.BATCH,
+            DataspaceChange.ASSERT,
+        ]
+        assert changes[0].asserted == tuple(batch)
+        # version delta == journal entries, not rows
+        assert ds.version == v + 2
+
+    def test_exactly_journal_depth_behind_is_replayable(self):
+        ds = Dataspace()
+        ds.insert(("seed",))
+        v = ds.version
+        for i in range(JOURNAL_DEPTH):
+            ds.insert(("x", i))
+        changes = ds.changes_since(v)
+        assert changes is not None
+        assert len(changes) == JOURNAL_DEPTH
+        assert changes[0].version == v + 1
+        assert changes[-1].version == ds.version
+
+    def test_one_past_journal_depth_forces_rebuild(self):
+        ds = Dataspace()
+        ds.insert(("seed",))
+        v = ds.version
+        for i in range(JOURNAL_DEPTH + 1):
+            ds.insert(("x", i))
+        assert ds.changes_since(v) is None
+
+    def test_one_short_of_journal_depth_replays(self):
+        ds = Dataspace()
+        ds.insert(("seed",))
+        v = ds.version
+        for i in range(JOURNAL_DEPTH - 1):
+            ds.insert(("x", i))
+        changes = ds.changes_since(v)
+        assert len(changes) == JOURNAL_DEPTH - 1
+        assert [c.version for c in changes] == list(range(v + 1, ds.version + 1))
+
+    def test_mixed_batches_at_depth_boundary(self):
+        # Batches count as single entries, so JOURNAL_DEPTH batch events
+        # stay replayable no matter how many rows they carried.
+        ds = Dataspace()
+        v = ds.version
+        for i in range(JOURNAL_DEPTH):
+            ds.insert_many([("x", i, j) for j in range(3)])
+        changes = ds.changes_since(v)
+        assert changes is not None
+        assert len(changes) == JOURNAL_DEPTH
+        assert all(c.kind == DataspaceChange.BATCH for c in changes)
+
+    def test_none_fallback_triggers_full_window_rebuild(self):
+        ds = Dataspace()
+        view = View(imports=[import_rule("a", ANY)])
+        window = view.window(ds)
+        window.refresh()
+        ds.insert(("a", 0))
+        for i in range(JOURNAL_DEPTH + 5):
+            ds.insert(("b", i))
+        # The window fell past the journal horizon; refresh must still
+        # converge on the true contents via the full-rebuild path.
+        window.refresh()
+        assert window.count_matching(P["a", ANY]) == 1
+        assert window.count_matching(P["b", ANY]) == 0  # not imported
+
+
 class TestWindowIncrementality:
     def test_out_of_footprint_mutation_keeps_memo_and_footprint(self):
         ds = Dataspace()
