@@ -450,6 +450,107 @@ def e13() -> None:
     )
 
 
+def e14() -> None:
+    from repro.core.actions import assert_tuple
+    from repro.core.expressions import Var
+    from repro.core.process import ProcessDefinition
+    from repro.core.transactions import delayed
+    from repro.programs.labeling import default_threshold, worker_definition
+    from repro.runtime import RestartPolicy
+    from repro.runtime.engine import Engine
+    from repro.workloads import image_tuples
+
+    a = Var("a")
+    workers, depth = 24, 3
+    worker = ProcessDefinition(
+        "W",
+        params=("k",),
+        body=[
+            delayed(exists(a).match(P[Var("k"), a].retract())).then(
+                assert_tuple("done", Var("k"), a)
+            )
+            for __ in range(depth)
+        ],
+    )
+
+    def community(**kw):
+        engine = Engine(definitions=[worker], seed=7, on_deadlock="return", **kw)
+        engine.assert_tuples([(k, d) for k in range(workers) for d in range(depth)])
+        for k in range(workers):
+            engine.start("W", (k,))
+        return engine
+
+    rows = []
+    for label, kwargs in (
+        ("no injector", {}),
+        ("inert plan", {"faults": "pre-commit:crash:name=NoSuchProcess:at=1"}),
+        (
+            "3 crashes + restart",
+            {
+                "faults": "pre-commit:crash:name=W:at=1:max=3",
+                "supervision": RestartPolicy(policy="restart", max_restarts=4),
+            },
+        ),
+    ):
+        def run():
+            engine = community(**kwargs)
+            return engine.run()
+
+        result, seconds = timed(run)
+        rows.append(
+            [
+                label,
+                result.reason,
+                result.rounds,
+                result.commits,
+                result.crashes,
+                result.restarts,
+                result.recoveries,
+                f"{seconds*1000:.0f}",
+            ]
+        )
+    table(
+        "E14 — fault injection: overhead and supervised recovery "
+        "(24 disjoint workers × depth 3)",
+        ["configuration", "reason", "rounds", "commits", "crashes",
+         "restarts", "recoveries", "ms"],
+        rows,
+    )
+
+    image = random_blob_image(6, 6, blobs=2, seed=14)
+    rows = []
+    for interval in (8, 32, 128):
+        def run():
+            engine = Engine(
+                definitions=[worker_definition(default_threshold())],
+                seed=2,
+                checkpoint_interval=interval,
+            )
+            engine.assert_tuples(image_tuples(image))
+            engine.start("Threshold_and_label")
+            result = engine.run()
+            assert result.completed
+            engine.recovery.verify()
+            return engine, result
+
+        (engine, result), seconds = timed(run)
+        rows.append(
+            [
+                interval,
+                result.checkpoints,
+                engine.recovery.latest.size,
+                engine.recovery.replayed,
+                f"{seconds*1000:.0f}",
+            ]
+        )
+    table(
+        "E14 — checkpoint interval vs recovery cost (6x6 labeling, "
+        "replay verified against the live state)",
+        ["interval", "checkpoints", "state size", "replayed events", "ms"],
+        rows,
+    )
+
+
 def main() -> None:
     print("# Experiment report (regenerated)")
     e1_e2()
@@ -463,6 +564,7 @@ def main() -> None:
     e10()
     e12()
     e13()
+    e14()
 
 
 if __name__ == "__main__":

@@ -115,6 +115,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         trace=trace,
         on_deadlock="return",
+        commit=args.commit,
+        validate=args.validate,
+        faults=args.faults,
     )
     if args.data:
         engine.assert_tuples(_load_tuples(args.data))
@@ -125,11 +128,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         engine.start(name, start_args)
 
     result = engine.run(max_steps=args.max_steps)
-    print(
+    summary = (
         f"{result.reason}: {result.commits} commits, "
         f"{result.consensus_rounds} consensus, {result.rounds} rounds, "
         f"{result.steps} steps"
     )
+    if result.crashes or result.restarts:
+        summary += f", {result.crashes} crashes, {result.restarts} restarts"
+    print(summary)
     if result.reason == "deadlock":
         for line in result.deadlocked:
             print("  blocked:", line)
@@ -169,6 +175,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--limit", type=int, default=40, help="output rows to show")
     run.add_argument("--trace", action="store_true", help="print the event timeline")
     run.add_argument("--profile", action="store_true", help="print commits per round")
+    run.add_argument("--commit", choices=["live", "serial", "group"], default=None,
+                     help="round commit discipline (default: SDL_COMMIT or live)")
+    run.add_argument("--validate", choices=["serial"], default=None,
+                     help="cross-check group rounds against a serial replay")
+    run.add_argument("--faults", default=None, metavar="PLAN",
+                     help="fault-injection plan, e.g. "
+                          "'seed=7; pre-commit:crash:name=W:at=2' "
+                          "(default: SDL_FAULTS)")
     run.set_defaults(func=_cmd_run)
     return parser
 

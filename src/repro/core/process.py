@@ -32,6 +32,7 @@ class ProcessStatus(enum.Enum):
     CONSENSUS_WAIT = "consensus-wait"
     TERMINATED = "terminated"
     ABORTED = "aborted"
+    CRASHED = "crashed"  # crash-stop failure (fault injection); never live again
 
 
 class ProcessDefinition:

@@ -73,6 +73,15 @@ class ProcessSociety:
         instance = self.get(pid)
         instance.status = ProcessStatus.ABORTED if aborted else ProcessStatus.TERMINATED
 
+    def mark_crashed(self, pid: int) -> None:
+        """Record a crash-stop failure: the instance is dead, not aborted.
+
+        Crashed processes leave the live set (consensus no longer waits on
+        them) but stay distinguishable from orderly termination so traces,
+        supervisors, and the ``"crashed"`` run reason can tell them apart.
+        """
+        self.get(pid).status = ProcessStatus.CRASHED
+
     def live(self) -> list[ProcessInstance]:
         return [p for p in self._instances.values() if p.is_live()]
 

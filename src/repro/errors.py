@@ -83,6 +83,18 @@ class EngineError(SDLError, RuntimeError):
     """The runtime engine entered an invalid state."""
 
 
+class FaultPlanError(SDLError, ValueError):
+    """A fault-injection plan (``SDL_FAULTS``) is malformed."""
+
+
+class SupervisionError(SDLError, ValueError):
+    """A supervision restart policy is malformed."""
+
+
+class RecoveryError(EngineError):
+    """Checkpoint/replay recovery failed or diverged from the live state."""
+
+
 class DeadlockError(EngineError):
     """No task can make progress but blocked tasks remain."""
 

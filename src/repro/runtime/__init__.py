@@ -6,19 +6,32 @@ multiprocessor" is replaced by a reproducible virtual-time scheduler).
 Virtual time advances in **rounds**: a round ends once every task that was
 ready at its start has been stepped once, so round counts approximate the
 parallel makespan while step counts give total work.
+
+The runtime also implements a **crash-stop failure model**: deterministic
+fault injection (:mod:`repro.runtime.faults`), per-definition restart
+supervision with capped exponential backoff (:mod:`repro.runtime.supervision`),
+and checkpoint/replay recovery of the dataspace
+(:mod:`repro.runtime.recovery`).
 """
 
 from repro.runtime.events import (
+    CheckpointTaken,
     ConsensusFired,
     Event,
+    ProcessCrashed,
     ProcessCreated,
     ProcessFinished,
+    ProcessRestarted,
+    SupervisorEscalated,
     TaskBlocked,
     Trace,
     TxnCommitted,
     TxnFailed,
 )
 from repro.runtime.engine import Engine, RunResult
+from repro.runtime.faults import FaultInjector, FaultPlan, FaultSpec
+from repro.runtime.recovery import Checkpoint, RecoveryLog
+from repro.runtime.supervision import RestartPolicy, Supervisor
 
 __all__ = [
     "Engine",
@@ -31,4 +44,15 @@ __all__ = [
     "TxnFailed",
     "TaskBlocked",
     "ConsensusFired",
+    "ProcessCrashed",
+    "ProcessRestarted",
+    "SupervisorEscalated",
+    "CheckpointTaken",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultInjector",
+    "RestartPolicy",
+    "Supervisor",
+    "Checkpoint",
+    "RecoveryLog",
 ]

@@ -33,10 +33,13 @@ from repro.core.process import ProcessDefinition, ProcessInstance
 from repro.core.society import ProcessSociety
 from repro.core.views import Window, WindowStats
 from repro.errors import DeadlockError, EngineError, StepLimitExceeded
-from repro.runtime.events import ProcessCreated, Trace
+from repro.runtime.events import CheckpointTaken, ProcessCreated, ProcessRestarted, Trace
 from repro.runtime.executor import Executor
+from repro.runtime.faults import FaultInjector, FaultPlan, resolve_plan
 from repro.runtime.interpreter import interpret
+from repro.runtime.recovery import Checkpoint, RecoveryLog
 from repro.runtime.scheduler import Scheduler, Task, TaskKind, TaskState
+from repro.runtime.supervision import RestartPolicy, Supervisor
 from repro.runtime.wakeup import WakeupIndex
 
 __all__ = ["Engine", "RunResult"]
@@ -44,9 +47,16 @@ __all__ = ["Engine", "RunResult"]
 
 @dataclass(slots=True)
 class RunResult:
-    """Summary of one engine run."""
+    """Summary of one engine run.
 
-    reason: str  # "completed" | "deadlock" | "step-limit" | "round-limit"
+    ``reason`` values: ``"completed"`` (every process terminated, all crash
+    lineages recovered), ``"deadlock"``, ``"step-limit"``, ``"round-limit"``,
+    ``"crashed"`` (the program drained but at least one crash-stop failure
+    was never restarted), and ``"escalated"`` (a supervised lineage
+    exhausted its restart budget, failing the run).
+    """
+
+    reason: str
     steps: int
     rounds: int
     commits: int
@@ -69,6 +79,11 @@ class RunResult:
     batch_commits: int = 0
     conflicts: int = 0
     max_batch: int = 0
+    # Crash-stop failure counters (populated under fault injection).
+    crashes: int = 0
+    restarts: int = 0
+    recoveries: int = 0
+    checkpoints: int = 0
 
     @property
     def completed(self) -> bool:
@@ -119,6 +134,9 @@ class Engine:
         wake_filter: str = "keys",
         commit: str | None = None,
         validate: str | None = None,
+        faults: "FaultPlan | str | None" = None,
+        supervision: "dict[str, RestartPolicy] | RestartPolicy | None" = None,
+        checkpoint_interval: int | None = None,
     ) -> None:
         if policy not in ("random", "fifo"):
             raise EngineError(f"unknown scheduling policy {policy!r}")
@@ -126,6 +144,10 @@ class Engine:
             raise EngineError(f"unknown consensus_check {consensus_check!r}")
         if wake_filter not in ("keys", "arity", "all"):
             raise EngineError(f"unknown wake_filter {wake_filter!r}")
+        if on_deadlock not in ("raise", "return"):
+            raise EngineError(f"unknown on_deadlock {on_deadlock!r}")
+        if export_policy not in ("error", "drop"):
+            raise EngineError(f"unknown export_policy {export_policy!r}")
         # Round commit discipline: "live" (the seed's semantics — each step
         # sees mid-round mutations), "serial" (one item per round, the
         # serial reference for rounds-as-makespan comparisons), or "group"
@@ -153,6 +175,16 @@ class Engine:
         self.commit = commit
         self.validate = validate
 
+        # Crash-stop failure model: a fault plan (env SDL_FAULTS supplies a
+        # default so whole suites can be swept), a supervisor (always
+        # constructed — the default "never" policy makes crashes final),
+        # and optional periodic checkpointing of the dataspace.
+        if faults is None:
+            faults = os.environ.get("SDL_FAULTS") or None
+        plan = resolve_plan(faults)
+        self.faults = FaultInjector(plan) if plan is not None and plan.specs else None
+        self.supervisor = Supervisor(supervision)
+
         self.step_count = 0
         self.scheduler = Scheduler(self.rng, policy)
         if commit == "serial":
@@ -162,6 +194,13 @@ class Engine:
         self.tasks: dict[int, Task] = {}
         self._windows: dict[int, Window] = {}
         self._window_stats = WindowStats()  # absorbed from dropped windows
+        self.recovery: RecoveryLog | None = None
+        if checkpoint_interval is not None:
+            self.recovery = RecoveryLog(
+                self.dataspace,
+                interval=checkpoint_interval,
+                on_checkpoint=self._emit_checkpoint,
+            )
 
     @property
     def policy(self) -> str:
@@ -200,12 +239,21 @@ class Engine:
         scheduler = self.scheduler
         executor = self.executor
         while True:
+            if self.supervisor.escalated is not None:
+                return self._summary("escalated")
             if executor.consensus_dirty and self.consensus_check == "eager":
                 executor.try_consensus()
             if not scheduler.round_active:
+                # Round boundary: injector-delayed wakes deliver now, and
+                # restarts whose backoff elapsed rejoin the society.
+                executor.flush_delayed()
+                self._spawn_restarts()
                 if not scheduler.start_round():
-                    # global idle: last-chance consensus, then termination
+                    # global idle: last-chance consensus, then backoff
+                    # fast-forward, then termination
                     if executor.try_consensus():
+                        continue
+                    if self._spawn_restarts(idle=True):
                         continue
                     return self._finish()
                 if max_rounds is not None and scheduler.round_count > max_rounds:
@@ -233,11 +281,17 @@ class Engine:
         executor = self.executor
         deferred: list = []
         while True:
+            if self.supervisor.escalated is not None:
+                return self._summary("escalated")
             if executor.consensus_dirty and self.consensus_check == "eager":
                 executor.try_consensus()
+            executor.flush_delayed()
+            self._spawn_restarts()
             items = scheduler.take_round(prepend=deferred)
             if items is None:
                 if executor.try_consensus():
+                    continue
+                if self._spawn_restarts(idle=True):
                     continue
                 return self._finish()
             deferred = []
@@ -258,6 +312,11 @@ class Engine:
             if self.on_deadlock == "raise":
                 raise DeadlockError(blocked_desc)
             return self._summary("deadlock", blocked_desc)
+        counters = self.trace.counters
+        if counters.crashes > counters.restarts:
+            # The program drained, but some crash-stop failure was never
+            # replaced — the run did not fully complete.
+            return self._summary("crashed")
         return self._summary("completed")
 
     def _summary(self, reason: str, deadlocked: list[str] | None = None) -> RunResult:
@@ -285,6 +344,48 @@ class Engine:
             batch_commits=counters.batch_commits,
             conflicts=counters.conflicts,
             max_batch=counters.max_batch,
+            crashes=counters.crashes,
+            restarts=counters.restarts,
+            recoveries=self.supervisor.recoveries,
+            checkpoints=counters.checkpoints,
+        )
+
+    # ------------------------------------------------------------------
+    # crash-stop support (restarts, delayed wakes, checkpoints)
+    # ------------------------------------------------------------------
+    def _spawn_restarts(self, idle: bool = False) -> bool:
+        """Spawn supervised replacements whose backoff has elapsed.
+
+        At global idle (*idle*), virtual time fast-forwards to the earliest
+        pending due-round — nothing else can happen in between, so skipping
+        the empty rounds preserves the semantics while keeping backoff
+        measured in rounds meaningful.
+        """
+        supervisor = self.supervisor
+        if not supervisor.pending:
+            return False
+        if idle:
+            due = supervisor.earliest_due()
+            if due is not None and due > self.scheduler.round_count:
+                self.scheduler.round_count = due
+        spawned = False
+        for entry in supervisor.take_due(self.scheduler.round_count):
+            instance = self.spawn(entry.name, entry.args, spawner=None)
+            supervisor.adopt(entry, instance.pid)
+            self.trace.emit(
+                ProcessRestarted(
+                    self.step_count, self.round_count, instance.pid,
+                    entry.name, entry.generation,
+                )
+            )
+            spawned = True
+        return spawned
+
+    def _emit_checkpoint(self, checkpoint: Checkpoint) -> None:
+        self.trace.emit(
+            CheckpointTaken(
+                self.step_count, self.round_count, checkpoint.version, checkpoint.size
+            )
         )
 
     # ------------------------------------------------------------------

@@ -30,6 +30,10 @@ __all__ = [
     "ReplicaSpawned",
     "RoundCommitted",
     "ConflictDetected",
+    "ProcessCrashed",
+    "ProcessRestarted",
+    "SupervisorEscalated",
+    "CheckpointTaken",
     "Trace",
 ]
 
@@ -126,6 +130,46 @@ class ConflictDetected(Event):
     winner: int  # pid of the admitted transaction it collided with
 
 
+@dataclass(frozen=True, slots=True)
+class ProcessCrashed(Event):
+    """A process suffered a crash-stop failure (fault injection).
+
+    The crash is atomic with respect to the dataspace: whatever transaction
+    was in flight was either fully committed before the crash or not
+    started — never half-applied.
+    """
+
+    pid: int
+    name: str
+    site: str  # the fault site that fired ("pre-commit", "batch-admit", ...)
+
+
+@dataclass(frozen=True, slots=True)
+class ProcessRestarted(Event):
+    """The supervisor respawned a crashed process after its backoff."""
+
+    pid: int         # the *new* instance's pid
+    name: str
+    generation: int  # 1 for the first restart of a lineage, 2 for the next, ...
+
+
+@dataclass(frozen=True, slots=True)
+class SupervisorEscalated(Event):
+    """A lineage exhausted ``max_restarts``; the run fails with ``"escalated"``."""
+
+    pid: int       # the final crashed instance
+    name: str
+    restarts: int  # restarts already consumed by the lineage
+
+
+@dataclass(frozen=True, slots=True)
+class CheckpointTaken(Event):
+    """The recovery log captured a dataspace checkpoint."""
+
+    version: int  # dataspace version the checkpoint is consistent with
+    size: int     # live instances captured
+
+
 @dataclass(slots=True)
 class TraceCounters:
     """Aggregate counters kept for every run."""
@@ -149,6 +193,11 @@ class TraceCounters:
     batch_commits: int = 0
     conflicts: int = 0
     max_batch: int = 0
+    # crash-stop failure counters
+    crashes: int = 0
+    restarts: int = 0
+    escalations: int = 0
+    checkpoints: int = 0
 
 
 class Trace:
@@ -211,6 +260,14 @@ class Trace:
                 counters.max_batch = event.admitted
         elif isinstance(event, ConflictDetected):
             counters.conflicts += 1
+        elif isinstance(event, ProcessCrashed):
+            counters.crashes += 1
+        elif isinstance(event, ProcessRestarted):
+            counters.restarts += 1
+        elif isinstance(event, SupervisorEscalated):
+            counters.escalations += 1
+        elif isinstance(event, CheckpointTaken):
+            counters.checkpoints += 1
         if self.detail:
             self.events.append(event)
         for observer in list(self._observers.values()):

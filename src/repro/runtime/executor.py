@@ -40,9 +40,11 @@ from repro.runtime.commit import (
 from repro.runtime.events import (
     ConflictDetected,
     ConsensusFired,
+    ProcessCrashed,
     ProcessFinished,
     ReplicaSpawned,
     RoundCommitted,
+    SupervisorEscalated,
     TaskBlocked,
     TaskWoken,
     TxnCommitted,
@@ -71,6 +73,17 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 __all__ = ["Executor"]
 
 
+class _Crashed(Exception):
+    """Unwinds the current step after a crash-stop fault killed its process.
+
+    The crash itself (:meth:`Executor.crash_process`) already released every
+    slot the process held; this exception only prevents the remainder of the
+    in-flight step from acting on behalf of the dead process.  It is caught
+    at the step boundaries (:meth:`Executor.step`, the group-round tail) and
+    never escapes to user code.
+    """
+
+
 class Executor:
     """Steps tasks and pumps on behalf of one :class:`Engine`."""
 
@@ -89,10 +102,13 @@ class Executor:
     # task stepping
     # ------------------------------------------------------------------
     def step(self, item: Any) -> None:
-        if isinstance(item, Pump):
-            self._step_pump(item)
-        else:
-            self._step_task(item)
+        try:
+            if isinstance(item, Pump):
+                self._step_pump(item)
+            else:
+                self._step_task(item)
+        except _Crashed:
+            pass  # the process died mid-step; its slots are already released
 
     def _step_task(self, task: Task) -> None:
         if task.park is not None:
@@ -236,6 +252,10 @@ class Executor:
     # ------------------------------------------------------------------
     def _handle_replication(self, task: Task, replication: Replication) -> None:
         engine = self.engine
+        if engine.faults is not None:
+            if engine.faults.fire("pump-spawn", task.process.pid, task.process.name) == "crash":
+                self.crash_process(task.process, "pump-spawn")
+                raise _Crashed
         pump = Pump(engine.scheduler.issue_tid(), task.process, task, replication)
         task.awaiting = pump
         task.state = TaskState.WAITING
@@ -245,19 +265,19 @@ class Executor:
         engine = self.engine
         if pump.state is not TaskState.READY:
             return
-        if pump.process.status is ProcessStatus.ABORTED:
+        if pump.process.status in (ProcessStatus.ABORTED, ProcessStatus.CRASHED):
             # The process was aborted (e.g. by one of this pump's own
-            # replicas) while the pump was still queued; pumps are not in
-            # the task table, so _abort_process cannot mark them DONE.
-            # Without this guard a stale pump fires further guards on
-            # behalf of a dead process.
+            # replicas) or crashed while the pump was still queued; pumps
+            # are not in the task table, so _abort_process cannot mark
+            # them DONE.  Without this guard a stale pump fires further
+            # guards on behalf of a dead process.
             pump.state = TaskState.DONE
             engine.wakeups.discard(pump.tid)
             return
         fired_any = False
         if not pump.exit_requested:
             fired_any = self._pump_fire_batch(pump)
-            if pump.process.status is ProcessStatus.ABORTED:
+            if pump.process.status in (ProcessStatus.ABORTED, ProcessStatus.CRASHED):
                 return
         self._classify_wake(pump, spurious=not fired_any)
         if fired_any:
@@ -312,6 +332,16 @@ class Executor:
                 result = guard.query.evaluate(frozen.refresh(), scope, engine.rng)
                 if not result.success:
                     continue
+                if engine.faults is not None:
+                    action = engine.faults.fire(
+                        "pre-commit", pump.process.pid, pump.process.name
+                    )
+                    if action == "crash":
+                        pump.state = TaskState.DONE
+                        self.crash_process(pump.process, "pre-commit")
+                        raise _Crashed
+                    if action == "abort-txn":
+                        continue
                 outcome = execute(
                     guard,
                     window,
@@ -386,6 +416,7 @@ class Executor:
         engine.drop_window(process.pid)
         self.consensus_waiters.pop(process.pid, None)
         self.consensus_dirty = True  # a terminated process may unblock a set
+        engine.supervisor.notify_finished(process.pid, aborted)
         engine.trace.emit(
             ProcessFinished(
                 engine.step_count, engine.round_count, process.pid, process.name, aborted
@@ -393,12 +424,81 @@ class Executor:
         )
 
     def _abort_process(self, process: ProcessInstance) -> None:
-        for task in self.engine.tasks.values():
-            if task.process.pid == process.pid and task.state is not TaskState.DONE:
-                task.state = TaskState.DONE
-                self.engine.wakeups.discard(task.tid)
-        self.consensus_waiters.pop(process.pid, None)
+        self._detach_process(process.pid)
         self._process_finished(process, aborted=True)
+
+    def _detach_process(self, pid: int) -> None:
+        """Release every scheduling slot held by *pid* (abort or crash).
+
+        Tasks are swept via the task table; **pumps are not in that table**,
+        so their wakeup registrations are swept directly — without this, a
+        dead process's blocked pump would linger in the wakeup index and
+        surface as a phantom deadlock participant.
+        """
+        engine = self.engine
+        for task in engine.tasks.values():
+            if task.process.pid == pid and task.state is not TaskState.DONE:
+                task.state = TaskState.DONE
+                engine.wakeups.discard(task.tid)
+        for item in list(engine.wakeups.items()):
+            if item.process.pid == pid:
+                item.state = TaskState.DONE
+                engine.wakeups.discard(item.tid)
+        self.consensus_waiters.pop(pid, None)
+        self.consensus_dirty = True  # the departure may unblock a set
+
+    # ------------------------------------------------------------------
+    # crash-stop failures (fault injection)
+    # ------------------------------------------------------------------
+    def crash_process(self, process: ProcessInstance, site: str) -> None:
+        """Kill *process* crash-stop: no effects, no farewell, slots released.
+
+        The caller must not act for the process afterwards (raise
+        :class:`_Crashed` when unwinding out of an in-flight step).  The
+        dataspace is untouched by construction — every fault site sits
+        *before* effects apply — and peers see the death: blocked and
+        consensus slots are released so they observe ``deadlock`` rather
+        than hanging, and the supervisor is notified for restart/escalation.
+        """
+        engine = self.engine
+        self._detach_process(process.pid)
+        engine.society.mark_crashed(process.pid)
+        engine.drop_window(process.pid)
+        engine.trace.emit(
+            ProcessCrashed(
+                engine.step_count, engine.round_count, process.pid, process.name, site
+            )
+        )
+        if engine.supervisor.notify_crash(process, engine.round_count) == "escalate":
+            engine.trace.emit(
+                SupervisorEscalated(
+                    engine.step_count,
+                    engine.round_count,
+                    process.pid,
+                    process.name,
+                    engine.supervisor.restarts_for(process.pid),
+                )
+            )
+
+    def flush_delayed(self) -> bool:
+        """Deliver wakes the injector held back (round-boundary flush)."""
+        engine = self.engine
+        injector = engine.faults
+        if injector is None:
+            return False
+        delivered = False
+        for item in injector.take_delayed():
+            if item.state is not TaskState.BLOCKED:
+                continue  # woken by a later change, finished, or crashed
+            engine.wakeups.discard(item.tid)
+            item.state = TaskState.READY
+            item.woken = True
+            engine.scheduler.enqueue(item)
+            engine.trace.emit(
+                TaskWoken(engine.step_count, engine.round_count, item.process.pid)
+            )
+            delivered = True
+        return delivered
 
     # ------------------------------------------------------------------
     # transaction attempts and commits
@@ -406,14 +506,17 @@ class Executor:
     def _attempt(self, task: Task, txn: Transaction) -> TransactionOutcome:
         engine = self.engine
         window = engine.window(task.process)
-        outcome = execute(
-            txn,
-            window,
-            task.process.scope(),
-            owner=task.process.pid,
-            rng=engine.rng,
-            export_policy=engine.export_policy,
-        )
+        if engine.faults is None:
+            outcome = execute(
+                txn,
+                window,
+                task.process.scope(),
+                owner=task.process.pid,
+                rng=engine.rng,
+                export_policy=engine.export_policy,
+            )
+        else:
+            outcome = self._attempt_with_faults(task, txn, window)
         if outcome.success:
             self._after_commit(task.process, txn, outcome)
         else:
@@ -424,6 +527,46 @@ class Executor:
                 )
             )
         return outcome
+
+    def _attempt_with_faults(self, task: Task, txn: Transaction, window) -> TransactionOutcome:
+        """The :meth:`_attempt` body with fault sites threaded through.
+
+        The query is evaluated *here* (then handed to :func:`execute` via
+        ``result=``) so the ``post-match`` and ``pre-commit`` sites can sit
+        between verdict and effects; the RNG stream is identical to the
+        fault-free path because ``execute`` skips re-evaluation.  The
+        ``pre-commit`` site fires only on about-to-commit attempts, making
+        its per-process occurrence count equal the process's commit index —
+        the property that keeps ``at=``-keyed plans aligned across commit
+        modes.
+        """
+        engine = self.engine
+        faults = engine.faults
+        process = task.process
+        scope = process.scope()
+        result = txn.query.evaluate(window.refresh(), scope, engine.rng)
+        action = faults.fire("post-match", process.pid, process.name)
+        if action == "crash":
+            self.crash_process(process, "post-match")
+            raise _Crashed
+        if action == "abort-txn":
+            return TransactionOutcome.failure()
+        if result.success:
+            action = faults.fire("pre-commit", process.pid, process.name)
+            if action == "crash":
+                self.crash_process(process, "pre-commit")
+                raise _Crashed
+            if action == "abort-txn":
+                return TransactionOutcome.failure()
+        return execute(
+            txn,
+            window,
+            scope,
+            owner=process.pid,
+            rng=engine.rng,
+            result=result,
+            export_policy=engine.export_policy,
+        )
 
     def _after_commit(
         self, process: ProcessInstance, txn: Transaction, outcome: TransactionOutcome
@@ -492,6 +635,18 @@ class Executor:
                 # Pure consensus transactions are re-examined by the
                 # consensus engine, not rescheduled.
                 continue
+            if engine.faults is not None and engine.faults.wants("wakeup-deliver"):
+                action = engine.faults.fire(
+                    "wakeup-deliver", item.process.pid, item.process.name
+                )
+                if action == "drop-wake":
+                    # Lost message: the item stays parked and registered, so
+                    # a later change can still wake it (at-least-once overall)
+                    # — but if none comes, the run reports deadlock.
+                    continue
+                if action == "delay-wake":
+                    engine.faults.delay(item)  # delivered at the next round boundary
+                    continue
             engine.wakeups.discard(item.tid)
             item.state = TaskState.READY
             item.woken = True
@@ -560,20 +715,49 @@ class Executor:
                 tail.append(("request", task, request))
 
         # Phase B — evaluate against the round-start snapshot and admit.
+        faults = engine.faults
         watermark = engine.dataspace.serial
         admitted: list[tuple[Task, Transaction, Any, str]] = []
         admitted_fps: list = []
         losers: list[Task] = []
         conflict_count = 0
-        for task, txn, origin in candidates:
+        for position, (task, txn, origin) in enumerate(candidates):
             if task.state is not TaskState.READY:
                 continue  # its process died during classification
-            window = engine.window(task.process)
+            process = task.process
+            if faults is not None:
+                action = faults.fire("batch-admit", process.pid, process.name)
+                if action == "crash":
+                    self.crash_process(process, "batch-admit")
+                    continue  # candidate evicted before evaluation
+                if action == "abort-txn":
+                    self._group_failure(task, txn, origin)
+                    continue
+                if action == "kill-round":
+                    # The whole remaining candidate set (this one included)
+                    # defers to the next round, reusing the loser path.
+                    for later_task, later_txn, later_origin in candidates[position:]:
+                        if later_task.state is not TaskState.READY:
+                            continue
+                        if later_origin == "request":
+                            later_task.pending = later_txn
+                        later_task.queued = True
+                        losers.append(later_task)
+                    break
+            window = engine.window(process)
             lens = _SnapshotLens(window, watermark)
-            scope = task.process.scope()
+            scope = process.scope()
             result = txn.query.evaluate(lens.refresh(), scope, engine.rng)
+            if faults is not None:
+                action = faults.fire("post-match", process.pid, process.name)
+                if action == "crash":
+                    self.crash_process(process, "post-match")
+                    continue
+                if action == "abort-txn":
+                    self._group_failure(task, txn, origin)
+                    continue
             fp = footprint_for(
-                txn, result if result.success else None, task.process, scope
+                txn, result if result.success else None, process, scope
             )
             winner = first_conflict(admitted_fps, fp)
             if winner is not None:
@@ -598,6 +782,18 @@ class Executor:
                 # time to see the batch's own writes.
                 self._group_failure(task, txn, origin)
                 continue
+            if faults is not None:
+                # About to commit: admission is decided, effects are not yet
+                # applied.  Firing here (and only here) keeps the site's
+                # per-process occurrence count equal to the commit index, as
+                # in the serial modes.
+                action = faults.fire("pre-commit", process.pid, process.name)
+                if action == "crash":
+                    self.crash_process(process, "pre-commit")
+                    continue  # evicted from the batch; peers are unaffected
+                if action == "abort-txn":
+                    self._group_failure(task, txn, origin)
+                    continue
             admitted.append((task, txn, result, origin))
             admitted_fps.append(fp)
 
@@ -610,7 +806,10 @@ class Executor:
             ]
 
         # Phase C — apply the admitted batch in arbitration order.
+        applied: list[tuple[Task, Transaction, Any]] = []
         for task, txn, result, origin in admitted:
+            if task.state is not TaskState.READY:
+                continue  # its process crashed after admission (fault injection)
             outcome = execute(
                 txn,
                 engine.window(task.process),
@@ -621,16 +820,17 @@ class Executor:
                 export_policy=engine.export_policy,
             )
             self._deliver_commit(task, txn, outcome, origin)
+            applied.append((task, txn, result))
         engine.trace.emit(
             RoundCommitted(
                 engine.step_count, engine.round_count,
-                len(candidates), len(admitted), conflict_count, len(tail),
+                len(candidates), len(applied), conflict_count, len(tail),
             )
         )
         if validating:
             validate_serial_equivalence(
                 pre_rows,
-                [(task.process, txn, result) for task, txn, result, __ in admitted],
+                [(task.process, txn, result) for task, txn, result in applied],
                 engine.dataspace.multiset(),
                 engine.round_count,
                 engine.export_policy,
@@ -638,16 +838,19 @@ class Executor:
 
         # Phase D — the tail steps serially against the live batch state.
         for entry in tail:
-            if entry[0] == "pump":
-                if entry[1].state is TaskState.READY:
-                    self._step_pump(entry[1])
-            elif entry[0] == "task":
-                if entry[1].state is TaskState.READY:
-                    self._step_task(entry[1])
-            else:
-                __, task, request = entry
-                if task.state is TaskState.READY:
-                    self._handle_request(task, request)
+            try:
+                if entry[0] == "pump":
+                    if entry[1].state is TaskState.READY:
+                        self._step_pump(entry[1])
+                elif entry[0] == "task":
+                    if entry[1].state is TaskState.READY:
+                        self._step_task(entry[1])
+                else:
+                    __, task, request = entry
+                    if task.state is TaskState.READY:
+                        self._handle_request(task, request)
+            except _Crashed:
+                continue  # the tail item's process died mid-step
         return losers
 
     def _group_failure(self, task: Task, txn: Transaction, origin: str) -> None:

@@ -1,0 +1,183 @@
+"""Checkpoint/replay recovery for the shared dataspace.
+
+The dataspace already keeps a bounded change journal (the delta backbone
+of the reactivity pipeline); this module turns that journal into a
+write-ahead log.  A :class:`RecoveryLog` subscribes to the dataspace and
+captures a full :class:`Checkpoint` every ``interval`` change events;
+:meth:`RecoveryLog.recover` rebuilds the state by loading the newest
+checkpoint into a scratch dataspace and replaying the journal suffix —
+the same scratch-replay idiom the group-commit validator uses — and
+:meth:`RecoveryLog.verify` proves the rebuilt state identical to the
+live one (multiset of ``(values, owner)`` pairs; instance serials are
+allowed to differ, identity is an engine artefact, not state).
+
+The interval must not exceed :data:`~repro.core.dataspace.JOURNAL_DEPTH`:
+a checkpoint older than the journal's reach could never be replayed
+forward (``changes_since`` would return ``None``), so the constraint is
+enforced eagerly at construction instead of failing at recovery time.
+
+Checkpoints are cheap snapshots, not copies: tuple instances are frozen,
+so capturing them is one tuple build over the live table.  The cost knob
+is ``interval`` — benchmark E14 measures rounds-to-recover against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.dataspace import JOURNAL_DEPTH, Dataspace, DataspaceChange, _sort_key
+from repro.core.tuples import TupleId, TupleInstance
+from repro.errors import RecoveryError
+
+__all__ = ["Checkpoint", "RecoveryLog"]
+
+
+@dataclass(frozen=True, slots=True)
+class Checkpoint:
+    """A consistent snapshot: every live instance as of *version*."""
+
+    version: int
+    instances: tuple[TupleInstance, ...]
+
+    @property
+    def size(self) -> int:
+        return len(self.instances)
+
+    def __repr__(self) -> str:
+        return f"Checkpoint(v={self.version}, |D|={self.size})"
+
+
+class RecoveryLog:
+    """Periodic checkpoints plus journal replay over one dataspace."""
+
+    def __init__(
+        self,
+        dataspace: Dataspace,
+        interval: int = 64,
+        keep: int = 4,
+        on_checkpoint: Callable[[Checkpoint], None] | None = None,
+    ) -> None:
+        if interval < 1:
+            raise RecoveryError(f"checkpoint interval must be >= 1, got {interval}")
+        if interval > JOURNAL_DEPTH:
+            raise RecoveryError(
+                f"checkpoint interval {interval} exceeds the journal depth "
+                f"({JOURNAL_DEPTH}); such a checkpoint could never be replayed "
+                "forward"
+            )
+        if keep < 1:
+            raise RecoveryError(f"keep must be >= 1, got {keep}")
+        self.dataspace = dataspace
+        self.interval = interval
+        self.keep = keep
+        self.on_checkpoint = on_checkpoint
+        self.checkpoints: list[Checkpoint] = []
+        self.checkpoints_taken = 0
+        self.replayed = 0  # change events replayed by the last recover()
+        self._since_checkpoint = 0
+        # Baseline checkpoint so recovery is possible before the first
+        # interval elapses (an empty or preloaded initial dataspace).
+        self._capture()
+        self._unsubscribe: Callable[[], None] | None = dataspace.subscribe(
+            self._on_change
+        )
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def _on_change(self, change: DataspaceChange) -> None:
+        self._since_checkpoint += 1
+        if self._since_checkpoint >= self.interval:
+            self._capture()
+
+    def _capture(self) -> Checkpoint:
+        checkpoint = Checkpoint(
+            version=self.dataspace.version,
+            instances=tuple(self.dataspace.instances()),
+        )
+        self.checkpoints.append(checkpoint)
+        if len(self.checkpoints) > self.keep:
+            del self.checkpoints[: len(self.checkpoints) - self.keep]
+        self.checkpoints_taken += 1
+        self._since_checkpoint = 0
+        if self.on_checkpoint is not None:
+            self.on_checkpoint(checkpoint)
+        return checkpoint
+
+    @property
+    def latest(self) -> Checkpoint:
+        return self.checkpoints[-1]
+
+    # ------------------------------------------------------------------
+    # replay
+    # ------------------------------------------------------------------
+    def recover(self, checkpoint: Checkpoint | None = None) -> Dataspace:
+        """Rebuild the current state: load *checkpoint*, replay the journal.
+
+        Returns a scratch :class:`Dataspace` whose multiset of
+        ``(values, owner)`` pairs equals the live dataspace's.  Raises
+        :class:`RecoveryError` when the journal no longer reaches back to
+        the checkpoint (a gap) or replay references an unknown instance.
+        """
+        if checkpoint is None:
+            checkpoint = self.latest
+        changes = self.dataspace.changes_since(checkpoint.version)
+        if changes is None:
+            raise RecoveryError(
+                f"journal gap: no delta from checkpoint v{checkpoint.version} "
+                f"to live v{self.dataspace.version}"
+            )
+        scratch = Dataspace()
+        tid_map: dict[TupleId, TupleId] = {}
+        for instance in checkpoint.instances:
+            rebuilt = scratch.insert(instance.values, owner=instance.tid.owner)
+            tid_map[instance.tid] = rebuilt.tid
+        for change in changes:
+            for instance in change.asserted:
+                rebuilt = scratch.insert(instance.values, owner=instance.tid.owner)
+                tid_map[instance.tid] = rebuilt.tid
+            for instance in change.retracted:
+                scratch_tid = tid_map.pop(instance.tid, None)
+                if scratch_tid is None:
+                    raise RecoveryError(
+                        f"replay retracts unknown instance {instance.tid!r} "
+                        f"(change v{change.version})"
+                    )
+                scratch.retract(scratch_tid)
+        self.replayed = len(changes)
+        return scratch
+
+    def verify(self, checkpoint: Checkpoint | None = None) -> Dataspace:
+        """Recover and prove the result identical to the live state."""
+        scratch = self.recover(checkpoint)
+        live = _state_signature(self.dataspace)
+        rebuilt = _state_signature(scratch)
+        if live != rebuilt:
+            raise RecoveryError(
+                "recovered state diverges from live state: "
+                f"live has {len(live)} instance(s), recovered {len(rebuilt)}"
+                if len(live) != len(rebuilt)
+                else "recovered state diverges from live state (same size, "
+                "different contents)"
+            )
+        return scratch
+
+    def close(self) -> None:
+        """Stop checkpointing (idempotent)."""
+        if self._unsubscribe is not None:
+            self._unsubscribe()
+            self._unsubscribe = None
+
+    def __repr__(self) -> str:
+        return (
+            f"RecoveryLog(interval={self.interval}, "
+            f"taken={self.checkpoints_taken}, latest={self.latest!r})"
+        )
+
+
+def _state_signature(space: Dataspace) -> list[tuple]:
+    """Order-independent state identity: sorted ``(values, owner)`` pairs."""
+    return sorted(
+        ((_sort_key(inst.values), inst.tid.owner) for inst in space.instances()),
+    )

@@ -12,9 +12,13 @@ from typing import Any, Callable, Mapping
 from repro.core.dataspace import Dataspace
 from repro.core.values import value_repr
 from repro.runtime.events import (
+    CheckpointTaken,
     ConsensusFired,
+    ProcessCrashed,
     ProcessCreated,
     ProcessFinished,
+    ProcessRestarted,
+    SupervisorEscalated,
     Trace,
     TxnCommitted,
 )
@@ -91,6 +95,26 @@ def render_timeline(trace: Trace, limit: int = 60) -> str:
         elif isinstance(event, ProcessFinished):
             flag = "aborted" if event.aborted else "done"
             lines.append(f"r{event.round:>4} s{event.step:>5}  pid {event.pid:>4} {flag}")
+        elif isinstance(event, ProcessCrashed):
+            lines.append(
+                f"r{event.round:>4} s{event.step:>5}  pid {event.pid:>4} CRASHED "
+                f"at {event.site}"
+            )
+        elif isinstance(event, ProcessRestarted):
+            lines.append(
+                f"r{event.round:>4} s{event.step:>5}  pid {event.pid:>4} restarted "
+                f"{event.name} (generation {event.generation})"
+            )
+        elif isinstance(event, SupervisorEscalated):
+            lines.append(
+                f"r{event.round:>4} s{event.step:>5}  pid {event.pid:>4} ESCALATED "
+                f"{event.name} after {event.restarts} restart(s)"
+            )
+        elif isinstance(event, CheckpointTaken):
+            lines.append(
+                f"r{event.round:>4} s{event.step:>5}  checkpoint v{event.version} "
+                f"(|D|={event.size})"
+            )
         if len(lines) >= limit:
             lines.append("  ...")
             break

@@ -59,6 +59,10 @@ class RunMetrics:
     max_batch: int
     conflicts: int
     conflict_rate: float
+    # crash-stop failure counters (zero without fault injection)
+    crashes: int = 0
+    restarts: int = 0
+    recoveries: int = 0
 
     def as_row(self) -> dict[str, Any]:
         """Flat dict, handy for printing benchmark tables."""
@@ -83,6 +87,9 @@ class RunMetrics:
             "max_batch": self.max_batch,
             "conflicts": self.conflicts,
             "conflict_rate": round(self.conflict_rate, 3),
+            "crashes": self.crashes,
+            "restarts": self.restarts,
+            "recoveries": self.recoveries,
         }
 
 
@@ -113,6 +120,9 @@ def run_metrics(result: RunResult, trace: Trace) -> RunMetrics:
         max_batch=result.max_batch,
         conflicts=result.conflicts,
         conflict_rate=result.conflict_rate,
+        crashes=result.crashes,
+        restarts=result.restarts,
+        recoveries=result.recoveries,
     )
 
 

@@ -3,9 +3,22 @@
 from __future__ import annotations
 
 import pytest
+from hypothesis import settings
 
 from repro.core.dataspace import Dataspace
 from repro.core.expressions import variables
+
+# Hypothesis profiles: most property tests pin ``max_examples`` in their
+# own ``@settings`` (the pin wins over any profile), but the chaos suite
+# (test_chaos_properties.py) deliberately leaves it unpinned so CI can
+# scale it up with ``--hypothesis-profile=ci`` while local runs stay fast.
+settings.register_profile("dev", max_examples=15, deadline=None)
+settings.register_profile("ci", max_examples=60, deadline=None)
+
+
+def pytest_configure(config):
+    if not config.getoption("--hypothesis-profile", default=None):
+        settings.load_profile("dev")
 
 
 @pytest.fixture

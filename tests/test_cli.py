@@ -127,3 +127,51 @@ class TestCommands:
 
     def test_missing_file(self, capsys):
         assert main(["check", "/no/such/file.sdl"]) == 2
+
+
+class TestFailureFlags:
+    def test_run_commit_and_validate(self, program_file, data_file, capsys):
+        code = main(
+            [
+                "run", program_file,
+                "--start", "Main(7)",
+                "--data", data_file,
+                "--commit", "group",
+                "--validate", "serial",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "completed" in out
+        assert "<found,88>" in out
+
+    def test_run_faults_crash_summary(self, program_file, data_file, capsys):
+        code = main(
+            [
+                "run", program_file,
+                "--start", "Main(7)",
+                "--data", data_file,
+                "--faults", "pre-commit:crash:name=Main:at=1:max=1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "crashed" in out
+        assert "1 crashes, 0 restarts" in out
+        # crash-stop atomicity: Main never committed its first assert
+        assert "<started,7>" not in out
+
+    def test_run_bad_fault_plan_exits_2(self, program_file, capsys):
+        code = main(
+            [
+                "run", program_file,
+                "--start", "Main(1)",
+                "--faults", "pre-commit:explode",
+            ]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_run_bad_commit_mode_rejected(self, program_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", program_file, "--start", "Main(1)", "--commit", "bogus"])

@@ -1,0 +1,398 @@
+"""Fault injection: plan parsing, injector determinism, crash semantics.
+
+The crash-stop contract under test: a process crashed mid-transaction
+leaves the dataspace atomically untouched, its pumps detach, and its
+blocked/consensus slots are released so peers observe ``deadlock``
+rather than hanging forever.
+"""
+
+import pytest
+
+from repro.core.actions import assert_tuple
+from repro.core.expressions import Var
+from repro.core.patterns import P
+from repro.core.process import ProcessDefinition, ProcessStatus
+from repro.core.query import exists
+from repro.core.transactions import delayed, immediate
+from repro.errors import FaultPlanError
+from repro.runtime import Engine
+from repro.runtime.events import ProcessCrashed, Trace
+from repro.runtime.faults import FaultInjector, FaultPlan, FaultSpec
+
+a = Var("a")
+b = Var("b")
+
+
+def mover(name="Mover", hops=2, src="src", dst="dst"):
+    """Retract <src, a>, assert <dst, a>, `hops` times."""
+    return ProcessDefinition(
+        name,
+        body=[
+            delayed(exists(a).match(P[src, a].retract())).then(assert_tuple(dst, a))
+            for __ in range(hops)
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# plan parsing and validation
+# ---------------------------------------------------------------------------
+
+
+class TestFaultPlan:
+    def test_parse_full_clause(self):
+        plan = FaultPlan.parse("seed=7; pre-commit:crash:name=W:at=2; wakeup-deliver:drop:prob=0.1")
+        assert plan.seed == 7
+        assert plan.specs[0] == FaultSpec("pre-commit", "crash", name="W", at=2)
+        assert plan.specs[1].action == "drop-wake"  # alias expanded
+        assert plan.specs[1].prob == 0.1
+
+    def test_default_trigger_is_at_1(self):
+        (spec,) = FaultPlan.parse("pre-commit:crash").specs
+        assert spec.at == 1 and spec.prob is None
+
+    def test_roundtrips_through_str(self):
+        text = "seed=3;pre-commit:crash:name=W:at=2;batch-admit:kill-round:prob=0.5"
+        assert str(FaultPlan.parse(text)) == text
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "nope:crash",                      # unknown site
+            "pre-commit:explode",              # unknown action
+            "pre-commit:drop-wake",            # action/site mismatch
+            "wakeup-deliver:crash",            # action/site mismatch
+            "pre-commit:crash:at=0",           # at < 1
+            "pre-commit:crash:prob=1.5",       # prob out of range
+            "pre-commit:crash:at=1:prob=0.5",  # both triggers
+            "pre-commit",                      # missing action
+            "pre-commit:crash:bogus=1",        # unknown option
+            "pre-commit:crash:at=x",           # bad int
+            "seed=x",                          # bad seed
+        ],
+    )
+    def test_malformed_plans_rejected(self, bad):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.parse(bad)
+
+    def test_engine_rejects_bad_plan_eagerly(self):
+        with pytest.raises(FaultPlanError):
+            Engine(faults="pre-commit:explode")
+
+
+class TestFaultInjector:
+    def test_at_counts_occurrences_per_pid(self):
+        inj = FaultInjector(FaultPlan.parse("pre-commit:crash:at=2"))
+        assert inj.fire("pre-commit", pid=1) is None
+        assert inj.fire("pre-commit", pid=2) is None   # separate counter
+        assert inj.fire("pre-commit", pid=1) == "crash"
+        assert inj.fire("pre-commit", pid=2) == "crash"
+
+    def test_filters_do_not_consume_occurrences(self):
+        inj = FaultInjector(FaultPlan.parse("pre-commit:crash:name=W:at=1"))
+        assert inj.fire("pre-commit", pid=1, name="X") is None
+        assert inj.fire("pre-commit", pid=1, name="W") == "crash"
+
+    def test_max_caps_total_firings(self):
+        inj = FaultInjector(FaultPlan.parse("pre-commit:crash:at=1:max=1"))
+        assert inj.fire("pre-commit", pid=1) == "crash"
+        assert inj.fire("pre-commit", pid=2) is None  # cap spent
+
+    def test_probabilistic_firing_is_seed_deterministic(self):
+        def pattern(seed):
+            inj = FaultInjector(FaultPlan.parse(f"seed={seed}; post-match:abort:prob=0.5"))
+            return [inj.fire("post-match", pid=1) for __ in range(32)]
+
+        assert pattern(7) == pattern(7)
+        assert pattern(7) != pattern(8)  # astronomically unlikely to collide
+
+    def test_fire_records_events(self):
+        inj = FaultInjector(FaultPlan.parse("pre-commit:crash:at=2"))
+        inj.fire("pre-commit", pid=5, name="W")
+        inj.fire("pre-commit", pid=5, name="W")
+        (event,) = inj.fired
+        assert (event.site, event.action, event.pid, event.occurrence) == (
+            "pre-commit", "crash", 5, 2
+        )
+
+
+# ---------------------------------------------------------------------------
+# crash semantics in the engine
+# ---------------------------------------------------------------------------
+
+
+def build_mover_engine(n_items=4, **kw):
+    engine = Engine(definitions=[mover()], seed=1, on_deadlock="return", **kw)
+    engine.assert_tuples([("src", i) for i in range(n_items)])
+    engine.start("Mover")
+    return engine
+
+
+class TestCrashAtomicity:
+    @pytest.mark.parametrize("commit", ["live", "serial", "group"])
+    def test_crash_leaves_dataspace_untouched(self, commit):
+        """A pre-commit crash applies none of the transaction's effects."""
+        engine = build_mover_engine(commit=commit, faults="pre-commit:crash:name=Mover:at=2")
+        result = engine.run()
+        state = engine.dataspace.multiset()
+        # commit 1 landed whole, commit 2 not at all: 3 src + 1 dst, total 4
+        assert result.commits == 1 and result.crashes == 1
+        assert sum(state.values()) == 4
+        assert sum(v for k, v in state.items() if k[0] == "dst") == 1
+        assert sum(v for k, v in state.items() if k[0] == "src") == 3
+
+    @pytest.mark.parametrize("commit", ["live", "serial", "group"])
+    def test_crash_run_reports_crashed(self, commit):
+        engine = build_mover_engine(commit=commit, faults="pre-commit:crash:name=Mover:at=1")
+        result = engine.run()
+        assert result.reason == "crashed"
+        assert result.commits == 0
+        assert engine.dataspace.multiset() == {("src", i): 1 for i in range(4)}
+
+    def test_crashed_process_status_and_event(self):
+        trace = Trace(detail=True)
+        engine = build_mover_engine(trace=trace, faults="pre-commit:crash:name=Mover:at=1")
+        engine.run()
+        (instance,) = [p for p in engine.society.all_instances()]
+        assert instance.status is ProcessStatus.CRASHED
+        assert not instance.is_live()
+        (event,) = list(trace.of_kind(ProcessCrashed))
+        assert (event.name, event.site) == ("Mover", "pre-commit")
+
+    def test_post_match_crash_fires_on_failed_verdicts_too(self):
+        # No <src, _> at all: the query fails, post-match still fires.
+        engine = Engine(
+            definitions=[mover()], seed=0, on_deadlock="return",
+            faults="post-match:crash:name=Mover:at=1",
+        )
+        engine.start("Mover")
+        result = engine.run()
+        assert result.reason == "crashed" and result.crashes == 1
+
+    def test_abort_txn_turns_commit_into_failure(self):
+        # IMMEDIATE mode: abort-txn surfaces as a plain failed transaction.
+        prog = ProcessDefinition(
+            "Tryer",
+            body=[immediate(exists(a).match(P["src", a].retract())).then(
+                assert_tuple("dst", a)
+            )],
+        )
+        engine = Engine(
+            definitions=[prog], seed=0, on_deadlock="return",
+            faults="pre-commit:abort:name=Tryer:at=1",
+        )
+        engine.assert_tuples([("src", 1)])
+        engine.start("Tryer")
+        result = engine.run()
+        assert result.completed and result.commits == 0 and result.crashes == 0
+        assert engine.dataspace.multiset() == {("src", 1): 1}
+
+
+class TestCrashReleasesPeers:
+    def test_blocked_peer_sees_deadlock_not_hang(self):
+        """The producer crashes before its commit; the consumer must be
+        reported deadlocked instead of waiting forever."""
+        producer = ProcessDefinition(
+            "Prod", body=[delayed(exists()).then(assert_tuple("item", 1))]
+        )
+        consumer = ProcessDefinition(
+            "Cons",
+            body=[delayed(exists(a).match(P["item", a].retract())).then(
+                assert_tuple("got", a)
+            )],
+        )
+        engine = Engine(
+            definitions=[producer, consumer], seed=0, on_deadlock="return",
+            faults="pre-commit:crash:name=Prod:at=1",
+        )
+        engine.start("Cons")
+        engine.start("Prod")
+        result = engine.run(max_steps=10_000)
+        assert result.reason == "deadlock"
+        assert any("Cons" in line for line in result.deadlocked)
+
+    def test_group_mode_crash_releasing_last_runnable_reports_deadlock(self):
+        """Satellite: in ``commit="group"``, A crashing mid-round while B is
+        blocked on A's future output must end the round sequence with a
+        ``deadlock`` report naming B (not a hang, not "completed")."""
+        producer = ProcessDefinition(
+            "A", body=[delayed(exists()).then(assert_tuple("item", 1))]
+        )
+        waiter = ProcessDefinition(
+            "B",
+            body=[delayed(exists(a).match(P["item", a].retract())).then(
+                assert_tuple("got", a)
+            )],
+        )
+        engine = Engine(
+            definitions=[producer, waiter], seed=3, on_deadlock="return",
+            commit="group", faults="pre-commit:crash:name=A:at=1",
+        )
+        engine.start("A")
+        engine.start("B")
+        result = engine.run(max_steps=10_000)
+        assert result.reason == "deadlock"
+        assert any("B" in line for line in result.deadlocked)
+        assert result.crashes == 1
+
+    def test_consensus_peer_unblocks_when_waiter_crashes(self):
+        """A crash releases consensus slots: the remaining singleton set can
+        fire alone instead of waiting for the dead process forever."""
+        from repro.core.transactions import consensus
+
+        both = ProcessDefinition(
+            "Cons",
+            params=("k",),
+            body=[
+                delayed(exists(a).match(P["work", a].retract())).then(
+                    assert_tuple("done", a)
+                ),
+                consensus(exists()).then(assert_tuple("phase", Var("k"))),
+            ],
+        )
+        engine = Engine(
+            definitions=[both], seed=0, on_deadlock="return",
+            faults="pre-commit:crash:name=Cons:pid=1:at=1",
+        )
+        engine.assert_tuples([("work", 1), ("work", 2)])
+        engine.start("Cons", (1,))
+        engine.start("Cons", (2,))
+        result = engine.run(max_steps=10_000)
+        # pid 1 crashed before its first commit; pid 2 finishes its work and
+        # its consensus fires as a singleton (pid 1 left the live set).
+        assert result.consensus_rounds == 1
+        state = engine.dataspace.multiset()
+        assert state.get(("phase", 2)) == 1
+
+
+class TestPumpFaults:
+    def test_pump_spawn_crash(self):
+        from repro.core.constructs import guarded, replicate
+
+        prog = ProcessDefinition(
+            "Repl",
+            body=[
+                # replication over a guard: the pump-spawn site fires when
+                # the pump is created, before any guard can commit
+                replicate(
+                    guarded(
+                        immediate(exists(a).match(P["w", a].retract())).then(
+                            assert_tuple("d", a)
+                        )
+                    )
+                )
+            ],
+        )
+        engine = Engine(
+            definitions=[prog], seed=0, on_deadlock="return",
+            faults="pump-spawn:crash:name=Repl:at=1",
+        )
+        engine.assert_tuples([("w", 1), ("w", 2)])
+        engine.start("Repl")
+        result = engine.run()
+        assert result.reason == "crashed" and result.commits == 0
+        assert engine.dataspace.multiset() == {("w", 1): 1, ("w", 2): 1}
+
+    def test_pump_pre_commit_crash_is_atomic(self):
+        from repro.core.constructs import guarded, replicate
+
+        prog = ProcessDefinition(
+            "Repl",
+            body=[
+                replicate(
+                    guarded(
+                        immediate(exists(a).match(P["w", a].retract())).then(
+                            assert_tuple("d", a)
+                        )
+                    )
+                )
+            ],
+        )
+        engine = Engine(
+            definitions=[prog], seed=0, on_deadlock="return",
+            faults="pre-commit:crash:name=Repl:at=2",
+        )
+        engine.assert_tuples([("w", 1), ("w", 2), ("w", 3)])
+        engine.start("Repl")
+        result = engine.run()
+        state = engine.dataspace.multiset()
+        assert result.reason == "crashed"
+        # exactly one replica fired before the crash; the rest untouched
+        assert sum(v for k, v in state.items() if k[0] == "d") == 1
+        assert sum(v for k, v in state.items() if k[0] == "w") == 2
+
+
+class TestWakeFaults:
+    def _producer_consumer(self, faults):
+        producer = ProcessDefinition(
+            "Prod", body=[delayed(exists()).then(assert_tuple("item", 1))]
+        )
+        consumer = ProcessDefinition(
+            "Cons",
+            body=[delayed(exists(a).match(P["item", a].retract())).then(
+                assert_tuple("got", a)
+            )],
+        )
+        engine = Engine(
+            definitions=[consumer, producer], seed=0, on_deadlock="return",
+            faults=faults,
+        )
+        engine.start("Cons")
+        engine.start("Prod")
+        return engine
+
+    def test_drop_wake_surfaces_as_deadlock(self):
+        engine = self._producer_consumer("wakeup-deliver:drop-wake:name=Cons:at=1")
+        result = engine.run(max_steps=10_000)
+        assert result.reason == "deadlock"
+        assert any("Cons" in line for line in result.deadlocked)
+
+    def test_delayed_wake_delivers_at_round_boundary(self):
+        engine = self._producer_consumer("wakeup-deliver:delay-wake:name=Cons:at=1")
+        result = engine.run(max_steps=10_000)
+        assert result.completed and result.commits == 2
+        assert engine.dataspace.multiset() == {("got", 1): 1}
+
+    def test_later_change_can_still_wake_after_drop(self):
+        """At-least-once overall: a second assert re-triggers the dropped
+        consumer."""
+        producer = ProcessDefinition(
+            "Prod2",
+            body=[
+                delayed(exists()).then(assert_tuple("item", 1)),
+                delayed(exists()).then(assert_tuple("item", 2)),
+            ],
+        )
+        consumer = ProcessDefinition(
+            "Cons",
+            body=[delayed(exists(a).match(P["item", a].retract())).then(
+                assert_tuple("got", a)
+            )],
+        )
+        engine = Engine(
+            definitions=[consumer, producer], seed=0, on_deadlock="return",
+            faults="wakeup-deliver:drop-wake:name=Cons:at=1",
+        )
+        engine.start("Cons")
+        engine.start("Prod2")
+        result = engine.run(max_steps=10_000)
+        assert result.completed
+        state = engine.dataspace.multiset()
+        assert sum(v for k, v in state.items() if k[0] == "got") == 1
+
+
+class TestDisabledInjectorIsInert:
+    @pytest.mark.parametrize("commit", ["live", "group"])
+    def test_never_firing_plan_is_bit_identical(self, commit):
+        """A plan that cannot fire must not perturb arbitration or results."""
+        def run(faults):
+            engine = build_mover_engine(commit=commit, faults=faults)
+            result = engine.run()
+            return engine.dataspace.multiset(), result.steps, result.rounds, result.commits
+
+        assert run(None) == run("pre-commit:crash:name=NoSuchProcess:at=1")
+
+    def test_empty_plan_means_no_injector(self):
+        assert Engine(faults="seed=5").faults is None
+        assert Engine(faults="").faults is None
+        assert Engine().faults is None

@@ -1,0 +1,195 @@
+"""Supervision: restart policies, backoff in rounds, lineage budgets."""
+
+import pytest
+
+from repro.core.actions import assert_tuple
+from repro.core.expressions import Var
+from repro.core.patterns import P
+from repro.core.process import ProcessDefinition
+from repro.core.query import exists
+from repro.core.transactions import delayed
+from repro.errors import SupervisionError
+from repro.runtime import Engine, RestartPolicy, Supervisor
+from repro.runtime.events import ProcessRestarted, SupervisorEscalated, Trace
+
+a = Var("a")
+
+
+def taker(name="Taker", hops=1):
+    return ProcessDefinition(
+        name,
+        body=[
+            delayed(exists(a).match(P["src", a].retract())).then(assert_tuple("dst", a))
+            for __ in range(hops)
+        ],
+    )
+
+
+class TestRestartPolicy:
+    def test_defaults(self):
+        policy = RestartPolicy()
+        assert policy.policy == "never"
+
+    def test_backoff_doubles_and_caps(self):
+        policy = RestartPolicy(policy="restart", backoff_base=2, backoff_cap=10)
+        assert [policy.backoff(g) for g in range(5)] == [2, 4, 8, 10, 10]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"policy": "resume"},
+            {"max_restarts": -1},
+            {"backoff_base": -1},
+            {"backoff_base": 8, "backoff_cap": 4},
+        ],
+    )
+    def test_invalid_policy_rejected(self, kwargs):
+        with pytest.raises(SupervisionError):
+            RestartPolicy(**kwargs)
+
+    def test_supervisor_rejects_non_policy_values(self):
+        with pytest.raises(SupervisionError):
+            Supervisor({"W": "restart"})
+        with pytest.raises(SupervisionError):
+            Supervisor("restart")
+
+
+class TestEngineRestart:
+    def _engine(self, faults, supervision, n_items=3, hops=2, **kw):
+        engine = Engine(
+            definitions=[taker(hops=hops)], seed=1, on_deadlock="return",
+            faults=faults, supervision=supervision, **kw,
+        )
+        engine.assert_tuples([("src", i) for i in range(n_items)])
+        engine.start("Taker")
+        return engine
+
+    def test_one_shot_crash_restarts_and_recovers(self):
+        trace = Trace(detail=True)
+        engine = self._engine(
+            "pre-commit:crash:name=Taker:at=2:max=1",
+            RestartPolicy(policy="restart"),
+            trace=trace,
+        )
+        result = engine.run()
+        assert result.reason == "completed"
+        assert (result.crashes, result.restarts, result.recoveries) == (1, 1, 1)
+        (event,) = list(trace.of_kind(ProcessRestarted))
+        assert event.name == "Taker" and event.generation == 1
+        # the replacement re-runs the whole body from the start: the crashed
+        # instance committed once, the replacement twice more (state lives in
+        # the dataspace, not the process)
+        state = engine.dataspace.multiset()
+        assert sum(v for k, v in state.items() if k[0] == "dst") == 3
+
+    def test_per_definition_policy_mapping(self):
+        engine = self._engine(
+            "pre-commit:crash:name=Taker:at=2:max=1",
+            {"Taker": RestartPolicy(policy="restart")},
+        )
+        assert engine.run().reason == "completed"
+
+    def test_unsupervised_crash_is_final(self):
+        engine = self._engine("pre-commit:crash:name=Taker:at=2:max=1", None)
+        result = engine.run()
+        assert result.reason == "crashed"
+        assert (result.crashes, result.restarts) == (1, 0)
+
+    def test_deterministic_crasher_escalates(self):
+        """at= counts per pid, so every replacement crashes again and the
+        lineage burns through its budget."""
+        trace = Trace(detail=True)
+        engine = self._engine(
+            "pre-commit:crash:name=Taker:at=1",
+            RestartPolicy(policy="restart", max_restarts=2),
+            n_items=8,
+            trace=trace,
+        )
+        result = engine.run()
+        assert result.reason == "escalated"
+        assert (result.crashes, result.restarts) == (3, 2)
+        (event,) = list(trace.of_kind(SupervisorEscalated))
+        assert event.name == "Taker" and event.restarts == 2
+
+    def test_backoff_is_measured_in_rounds(self):
+        trace = Trace(detail=True)
+        engine = self._engine(
+            "pre-commit:crash:name=Taker:at=1:max=1",
+            RestartPolicy(policy="restart", backoff_base=8),
+            trace=trace,
+        )
+        from repro.runtime.events import ProcessCrashed
+
+        result = engine.run()
+        assert result.reason == "completed"
+        (crash,) = list(trace.of_kind(ProcessCrashed))
+        (restart,) = list(trace.of_kind(ProcessRestarted))
+        assert restart.round - crash.round >= 8  # waited out the backoff
+
+    def test_restart_in_group_mode(self):
+        engine = self._engine(
+            "pre-commit:crash:name=Taker:at=2:max=1",
+            RestartPolicy(policy="restart"),
+            commit="group",
+            validate="serial",
+        )
+        result = engine.run()
+        assert result.reason == "completed"
+        assert result.restarts == 1 and result.recoveries == 1
+
+    def test_restart_replays_args(self):
+        """The replacement is spawned with the crashed instance's args."""
+        prog = ProcessDefinition(
+            "Par",
+            params=("k",),
+            body=[
+                delayed(exists(a).match(P["src", a].retract())).then(
+                    assert_tuple("dst", Var("k"), a)
+                ),
+                delayed(exists(a).match(P["src", a].retract())).then(
+                    assert_tuple("dst", Var("k"), a)
+                ),
+            ],
+        )
+        engine = Engine(
+            definitions=[prog], seed=1, on_deadlock="return",
+            faults="pre-commit:crash:name=Par:at=2:max=1",
+            supervision=RestartPolicy(policy="restart"),
+        )
+        engine.assert_tuples([("src", 1), ("src", 2), ("src", 3)])
+        engine.start("Par", (42,))
+        result = engine.run()
+        assert result.reason == "completed"
+        state = engine.dataspace.multiset()
+        assert sum(v for k, v in state.items() if k[:1] == ("dst",) and k[1] == 42) == 3
+
+
+class TestSupervisorUnit:
+    def test_lineage_budget_spans_replacements(self):
+        from repro.core.process import ProcessInstance
+
+        definition = taker()
+        supervisor = Supervisor(RestartPolicy(policy="restart", max_restarts=2))
+        p1 = ProcessInstance(1, definition, ())
+        assert supervisor.notify_crash(p1, round=0) == "queued"
+        (entry,) = supervisor.take_due(10)
+        supervisor.adopt(entry, 2)
+        p2 = ProcessInstance(2, definition, ())
+        assert supervisor.notify_crash(p2, round=10) == "queued"
+        (entry,) = supervisor.take_due(100)
+        supervisor.adopt(entry, 3)
+        p3 = ProcessInstance(3, definition, ())
+        assert supervisor.notify_crash(p3, round=100) == "escalate"
+        assert supervisor.escalated == "Taker"
+        assert supervisor.restarts_for(3) == 2
+
+    def test_take_due_respects_due_round(self):
+        supervisor = Supervisor(RestartPolicy(policy="restart", backoff_base=4))
+        p = __import__("repro.core.process", fromlist=["ProcessInstance"]).ProcessInstance(
+            1, taker(), ()
+        )
+        supervisor.notify_crash(p, round=10)
+        assert supervisor.take_due(12) == []
+        assert supervisor.earliest_due() == 14
+        (entry,) = supervisor.take_due(14)
+        assert entry.due_round == 14 and entry.generation == 1
