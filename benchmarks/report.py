@@ -551,6 +551,76 @@ def e14() -> None:
     )
 
 
+def e15() -> None:
+    n = 64
+
+    # disabled-overhead table: obs off vs on over the same seeded runs
+    rows = []
+    for label, kwargs in (
+        ("E1 Sum2", {}),
+        ("E13 Sum2/group", {"commit": "group", "validate": "serial", "checkpoint_interval": 16}),
+    ):
+        off, t_off = timed(run_sum2, list(range(n)), seed=15, **kwargs)
+        on, t_on = timed(run_sum2, list(range(n)), seed=15, obs=True, **kwargs)
+        assert off.total == on.total
+        assert (off.result.rounds, off.result.commits) == (on.result.rounds, on.result.commits)
+        rows.append(
+            [
+                label,
+                on.result.rounds,
+                on.result.commits,
+                f"{t_off*1000:.0f}",
+                f"{t_on*1000:.0f}",
+                f"{t_on/t_off:.2f}x" if t_off else "-",
+            ]
+        )
+    table(
+        "E15 — observability overhead (identical seeded runs, obs off vs on)",
+        ["workload", "rounds", "commits", "off ms", "on ms", "ratio"],
+        rows,
+    )
+
+    # per-site latency table across the three instrumented workloads
+    def site_rows(label, metrics):
+        out = []
+        for name, entry in sorted(metrics.items()):
+            if entry.get("kind") != "histogram" or not name.endswith("_seconds"):
+                continue
+            data = entry["data"]
+            if not data["count"]:
+                continue
+            site = name[len("sdl_"):-len("_seconds")]
+            out.append(
+                [
+                    label,
+                    site,
+                    data["count"],
+                    f"{data['p50']*1e6:.1f}",
+                    f"{data['p95']*1e6:.1f}",
+                    f"{data['max']*1e6:.1f}",
+                ]
+            )
+        return out
+
+    rows = []
+    e1, __ = timed(run_sum2, list(range(n)), seed=15, obs=True)
+    rows += site_rows("E1 Sum2", e1.result.metrics)
+    image = random_blob_image(6, 6, blobs=2, seed=15)
+    e5_run, __ = timed(run_worker_labeling, image, seed=2, obs=True)
+    assert e5_run.correct
+    rows += site_rows("E5 labeling", e5_run.result.metrics)
+    e13_run, __ = timed(
+        run_sum2, list(range(n)), seed=15, obs=True,
+        commit="group", validate="serial", checkpoint_interval=16,
+    )
+    rows += site_rows("E13 group", e13_run.result.metrics)
+    table(
+        "E15 — per-site latency histograms (µs, bucket-estimated quantiles)",
+        ["workload", "site", "count", "p50", "p95", "max"],
+        rows,
+    )
+
+
 def main() -> None:
     print("# Experiment report (regenerated)")
     e1_e2()
@@ -565,6 +635,7 @@ def main() -> None:
     e12()
     e13()
     e14()
+    e15()
 
 
 if __name__ == "__main__":

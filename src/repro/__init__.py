@@ -35,7 +35,9 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.linda` — the Linda baseline kernel;
 * :mod:`repro.baselines` — shared-array / message-passing baselines;
 * :mod:`repro.viz` — traces, statistics, ASCII renderers;
-* :mod:`repro.workloads` — synthetic workload generators.
+* :mod:`repro.workloads` — synthetic workload generators;
+* :mod:`repro.obs` — runtime observability (metrics, spans, hot-path
+  timers), off by default.
 """
 
 from repro.core.values import Atom, NIL
@@ -77,6 +79,7 @@ from repro.core.constructs import (
 from repro.core.process import ProcessDefinition, ProcessInstance, process
 from repro.core.society import ProcessSociety
 from repro.core.validate import Issue, validate_process, validate_program
+from repro.obs import Observability
 from repro.runtime.engine import Engine, RunResult
 from repro.runtime.events import Trace
 from repro import errors
@@ -143,6 +146,7 @@ __all__ = [
     "Engine",
     "RunResult",
     "Trace",
+    "Observability",
     "errors",
     "__version__",
 ]

@@ -3,7 +3,14 @@
 Usage::
 
     python -m repro run PROGRAM.sdl --start Main [--start "Worker(1, x)"] \\
-        [--data TUPLES.txt] [--seed 7] [--max-steps N] [--trace] [--profile]
+        [--data TUPLES.txt] [--seed 7] [--max-steps N] [--trace] [--profile] \\
+        [--metrics-out METRICS.prom|.json] [--trace-out SPANS.jsonl]
+
+``--metrics-out`` / ``--trace-out`` enable the runtime observability layer
+(:mod:`repro.obs`) and write the metrics registry (Prometheus text, or JSON
+when the path ends in ``.json``) and the span trace (JSONL) after the run.
+Setting the ``SDL_OBS`` environment variable enables the layer without
+writing files (the run summary then reports per-site observation counts).
 
     python -m repro check PROGRAM.sdl          # parse/compile only
     python -m repro pretty PROGRAM.sdl         # reformat a program
@@ -110,6 +117,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     source = open(args.program).read()
     definitions = compile_program(source)
     trace = Trace(detail=args.trace or args.profile)
+    # Either output flag switches observability on; otherwise leave the
+    # engine to consult SDL_OBS (None = env default).
+    obs = True if (args.metrics_out or args.trace_out) else None
     engine = Engine(
         definitions=definitions.values(),
         seed=args.seed,
@@ -118,6 +128,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         commit=args.commit,
         validate=args.validate,
         faults=args.faults,
+        obs=obs,
     )
     if args.data:
         engine.assert_tuples(_load_tuples(args.data))
@@ -139,6 +150,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if result.reason == "deadlock":
         for line in result.deadlocked:
             print("  blocked:", line)
+    if engine.obs is not None:
+        if args.metrics_out:
+            engine.obs.write_metrics(args.metrics_out)
+            print(f"metrics written to {args.metrics_out}")
+        if args.trace_out:
+            retained = engine.obs.write_trace(args.trace_out)
+            print(f"trace written to {args.trace_out} ({retained} spans)")
     print()
     print(render_dataspace(engine.dataspace, limit=args.limit))
     if args.trace:
@@ -183,6 +201,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="fault-injection plan, e.g. "
                           "'seed=7; pre-commit:crash:name=W:at=2' "
                           "(default: SDL_FAULTS)")
+    run.add_argument("--metrics-out", default=None, metavar="PATH",
+                     help="enable observability and write run metrics here "
+                          "(Prometheus text, or JSON if PATH ends in .json)")
+    run.add_argument("--trace-out", default=None, metavar="PATH",
+                     help="enable observability and write the span trace "
+                          "here as JSONL")
     run.set_defaults(func=_cmd_run)
     return parser
 

@@ -109,6 +109,11 @@ class Dataspace:
         """*indexed=False* disables the field index (arity buckets remain),
         degrading candidate selection to arity scans — exists only for the
         A1 ablation benchmark quantifying what content addressing buys."""
+        #: Observability hook (``repro.obs.Observability`` or ``None``).
+        #: ``None`` keeps :meth:`candidates` on the original path at
+        #: original cost; the engine attaches a live instance when
+        #: observability is enabled (see ``attach_obs``).
+        self._obs = None
         self._instances: dict[TupleId, TupleInstance] = {}
         self._by_arity: dict[int, dict[TupleId, TupleInstance]] = {}
         self._by_field: dict[tuple[int, int, Any], dict[TupleId, TupleInstance]] = {}
@@ -247,6 +252,11 @@ class Dataspace:
         start = len(journal) - (self._version - version)
         return [journal[i] for i in range(start, len(journal))]
 
+    @property
+    def listener_count(self) -> int:
+        """Live change-listener registrations (leak checks in tests)."""
+        return len(self._listeners)
+
     def subscribe(self, listener: Callable[[DataspaceChange], None]) -> Callable[[], None]:
         """Register a change listener; returns an unsubscribe callable.
 
@@ -286,32 +296,66 @@ class Dataspace:
         may mutate the dataspace while iterating.  Candidates are *not*
         guaranteed to match — callers must still run :meth:`Pattern.match`.
         """
+        obs = self._obs
+        start = obs.spans.now() if obs is not None else 0
         bound = bound or {}
         best: Mapping[TupleId, TupleInstance] | None = None
+        out: list[TupleInstance] | None = None
         if self.indexed:
             for position, value in pat.index_constants(bound):
                 bucket = self._by_field.get((pat.arity, position, value))
                 if bucket is None:
-                    return []
+                    out = []
+                    break
                 if best is None or len(bucket) < len(best):
                     best = bucket
-        if best is None:
-            best = self._by_arity.get(pat.arity, {})
-        return list(best.values())
+        if out is None:
+            if best is None:
+                best = self._by_arity.get(pat.arity, {})
+            out = list(best.values())
+        if obs is not None:
+            obs.observe_ns(
+                "match",
+                start,
+                obs.spans.now() - start,
+                {"arity": pat.arity, "n": len(out)},
+            )
+        return out
+
+    def attach_obs(self, obs) -> None:
+        """Attach an observability hook timing every :meth:`candidates` call."""
+        self._obs = obs
 
     def count_matching(self, pat: Pattern, bound: Mapping[str, Any] | None = None) -> int:
-        """Number of instances matching *pat* under *bound*."""
+        """Number of instances matching *pat* under *bound*.
+
+        Every candidate is matched against its **own copy** of *bound*
+        (mirroring ``core/matching.py`` and the executor's snapshot lens):
+        a pattern implementation that treats the mapping as scratch space
+        must never leak bindings from one candidate into the next.
+        """
         bound = dict(bound or {})
-        return sum(1 for inst in self.candidates(pat, bound) if pat.match(inst.values, bound) is not None)
+        return sum(
+            1
+            for inst in self.candidates(pat, bound)
+            if pat.match(inst.values, dict(bound)) is not None
+        )
 
     def find_matching(
         self,
         pat: Pattern,
         bound: Mapping[str, Any] | None = None,
     ) -> list[TupleInstance]:
-        """All instances matching *pat* under *bound* (snapshot list)."""
+        """All instances matching *pat* under *bound* (snapshot list).
+
+        Per-candidate binding isolation as in :meth:`count_matching`.
+        """
         bound = dict(bound or {})
-        return [inst for inst in self.candidates(pat, bound) if pat.match(inst.values, bound) is not None]
+        return [
+            inst
+            for inst in self.candidates(pat, bound)
+            if pat.match(inst.values, dict(bound)) is not None
+        ]
 
     # ------------------------------------------------------------------
     # inspection

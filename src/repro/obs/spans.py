@@ -1,0 +1,127 @@
+"""Span-based tracing: structured JSONL events in a bounded ring buffer.
+
+A *span* is one timed occurrence at a named site (``match``, ``wakeup``,
+``group-admit``, ...); a *point* is an instantaneous event (a fault firing,
+a checkpoint).  Both are recorded as plain dicts in a ``deque`` bounded by
+*capacity*, so an instrumented run can never grow without bound — when the
+ring wraps, the oldest events are dropped and counted (``dropped``), which
+the flush records in a leading meta line so a truncated trace is never
+mistaken for a complete one.
+
+Timestamps come from a caller-supplied monotonic nanosecond clock
+(:func:`time.perf_counter_ns` by default) and are recorded **relative to
+recorder creation** (``t``), so traces from different runs line up at 0.
+Durations are nanoseconds (``dur``).  The recorder never touches any RNG:
+instrumented runs are bit-identical to uninstrumented ones.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from typing import Any, Callable, Iterable
+
+__all__ = ["SpanRecorder", "load_jsonl"]
+
+
+class SpanRecorder:
+    """Bounded ring of structured trace events, flushable as JSONL."""
+
+    __slots__ = ("capacity", "dropped", "_clock", "_epoch", "_ring", "_seq")
+
+    def __init__(
+        self,
+        capacity: int = 65536,
+        clock: Callable[[], int] = time.perf_counter_ns,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"trace capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.dropped = 0
+        self._clock = clock
+        self._epoch = clock()
+        self._ring: deque[dict[str, Any]] = deque(maxlen=capacity)
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    @property
+    def recorded(self) -> int:
+        """Total events ever recorded (dropped ones included)."""
+        return self._seq
+
+    def now(self) -> int:
+        """The raw monotonic clock (for sites that time inline)."""
+        return self._clock()
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def record(self, name: str, start_ns: int, dur_ns: int, fields: dict | None = None) -> None:
+        """Record one completed span (*start_ns* from :meth:`now`)."""
+        event = {
+            "seq": self._seq,
+            "name": name,
+            "t": start_ns - self._epoch,
+            "dur": dur_ns,
+        }
+        if fields:
+            event.update(fields)
+        self._push(event)
+
+    def point(self, name: str, **fields: Any) -> None:
+        """Record one instantaneous event."""
+        event = {"seq": self._seq, "name": name, "t": self._clock() - self._epoch}
+        if fields:
+            event.update(fields)
+        self._push(event)
+
+    def _push(self, event: dict[str, Any]) -> None:
+        self._seq += 1
+        if len(self._ring) == self.capacity:
+            self.dropped += 1
+        self._ring.append(event)
+
+    # ------------------------------------------------------------------
+    # draining
+    # ------------------------------------------------------------------
+    def events(self) -> list[dict[str, Any]]:
+        """The retained events, oldest first (a copy)."""
+        return list(self._ring)
+
+    def render_jsonl(self) -> str:
+        """JSONL text: one meta line, then one line per retained event."""
+        meta = {
+            "meta": "sdl-trace",
+            "recorded": self._seq,
+            "retained": len(self._ring),
+            "dropped": self.dropped,
+            "capacity": self.capacity,
+        }
+        lines = [json.dumps(meta, default=repr)]
+        lines.extend(json.dumps(event, default=repr) for event in self._ring)
+        return "\n".join(lines) + "\n"
+
+    def flush(self, path: str) -> int:
+        """Write the JSONL trace to *path*; returns events written."""
+        with open(path, "w") as handle:
+            handle.write(self.render_jsonl())
+        return len(self._ring)
+
+    def __repr__(self) -> str:
+        return (
+            f"SpanRecorder(retained={len(self._ring)}/{self.capacity}, "
+            f"recorded={self._seq}, dropped={self.dropped})"
+        )
+
+
+def load_jsonl(path: str) -> tuple[dict[str, Any], list[dict[str, Any]]]:
+    """Read a flushed trace back: ``(meta, events)`` (round-trip helper)."""
+    with open(path) as handle:
+        lines: Iterable[str] = (line for line in handle if line.strip())
+        rows = [json.loads(line) for line in lines]
+    if not rows or rows[0].get("meta") != "sdl-trace":
+        raise ValueError(f"{path}: not an SDL JSONL trace")
+    return rows[0], rows[1:]

@@ -135,11 +135,19 @@ def run_worker_labeling(
     threshold_fn: Callable[[int], int] | None = None,
     seed: int = 0,
     detail: bool = False,
+    **engine_kwargs,
 ) -> LabelingRun:
-    """Threshold and label *image* with the single worker process."""
+    """Threshold and label *image* with the single worker process.
+
+    Extra keyword arguments go straight to :class:`Engine` — e.g.
+    ``commit="group"`` or ``obs=True``.
+    """
     threshold_fn = threshold_fn or default_threshold()
     engine = Engine(
-        definitions=[worker_definition(threshold_fn)], seed=seed, trace=Trace(detail)
+        definitions=[worker_definition(threshold_fn)],
+        seed=seed,
+        trace=Trace(detail),
+        **engine_kwargs,
     )
     engine.assert_tuples(image_tuples(image))
     engine.start("Threshold_and_label")
@@ -260,6 +268,7 @@ def run_community_labeling(
     threshold_fn: Callable[[int], int] | None = None,
     seed: int = 0,
     detail: bool = False,
+    **engine_kwargs,
 ) -> LabelingRun:
     """Threshold and label *image* with the community model."""
     threshold_fn = threshold_fn or default_threshold()
@@ -281,6 +290,7 @@ def run_community_labeling(
         ],
         seed=seed,
         trace=Trace(detail),
+        **engine_kwargs,
     )
     engine_box.append(engine)
     engine.assert_tuples(image_tuples(image))

@@ -137,10 +137,18 @@ def _finish(engine: Engine, result: RunResult, value_field: int) -> SummationRun
     )
 
 
-def run_sum1(values: list[int], seed: int = 0, detail: bool = False) -> SummationRun:
-    """Run Sum1 on A = *values* (the paper's initial dataspace and society)."""
+def run_sum1(
+    values: list[int], seed: int = 0, detail: bool = False, **engine_kwargs
+) -> SummationRun:
+    """Run Sum1 on A = *values* (the paper's initial dataspace and society).
+
+    Extra keyword arguments go straight to :class:`Engine` — e.g.
+    ``commit="group"`` or ``obs=True`` (same for the other runners).
+    """
     _require_power_of_two(len(values))
-    engine = Engine(definitions=[sum1_definition()], seed=seed, trace=Trace(detail))
+    engine = Engine(
+        definitions=[sum1_definition()], seed=seed, trace=Trace(detail), **engine_kwargs
+    )
     engine.assert_tuples(array_tuples(values))
     for k in range(2, len(values) + 1, 2):
         engine.start("Sum1", (k, 1))
@@ -148,10 +156,14 @@ def run_sum1(values: list[int], seed: int = 0, detail: bool = False) -> Summatio
     return _finish(engine, result, value_field=1)
 
 
-def run_sum2(values: list[int], seed: int = 0, detail: bool = False) -> SummationRun:
+def run_sum2(
+    values: list[int], seed: int = 0, detail: bool = False, **engine_kwargs
+) -> SummationRun:
     """Run Sum2: society { Sum2(k,j) | k mod 2^j = 0 }, phase-tagged data."""
     log_n = _require_power_of_two(len(values))
-    engine = Engine(definitions=[sum2_definition()], seed=seed, trace=Trace(detail))
+    engine = Engine(
+        definitions=[sum2_definition()], seed=seed, trace=Trace(detail), **engine_kwargs
+    )
     engine.assert_tuples(phase_tagged_tuples(values))
     n = len(values)
     for j in range(1, log_n + 1):
@@ -161,7 +173,9 @@ def run_sum2(values: list[int], seed: int = 0, detail: bool = False) -> Summatio
     return _finish(engine, result, value_field=1)
 
 
-def run_sum3(values: list[int], seed: int = 0, detail: bool = False) -> SummationRun:
+def run_sum3(
+    values: list[int], seed: int = 0, detail: bool = False, **engine_kwargs
+) -> SummationRun:
     """Run Sum3: a single process over the plain ``<k, A(k)>`` dataspace.
 
     Unlike Sum1/Sum2, any array length works — the replication simply
@@ -169,7 +183,9 @@ def run_sum3(values: list[int], seed: int = 0, detail: bool = False) -> Summatio
     """
     if not values:
         raise ValueError("need at least one value")
-    engine = Engine(definitions=[sum3_definition()], seed=seed, trace=Trace(detail))
+    engine = Engine(
+        definitions=[sum3_definition()], seed=seed, trace=Trace(detail), **engine_kwargs
+    )
     engine.assert_tuples(array_tuples(values))
     engine.start("Sum3")
     result = engine.run()

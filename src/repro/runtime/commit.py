@@ -237,6 +237,7 @@ def validate_serial_equivalence(
     post_multiset: Mapping[tuple, int],
     round_count: int,
     export_policy: str = "error",
+    obs=None,
 ) -> None:
     """Replay one admitted batch serially and compare final states.
 
@@ -248,8 +249,10 @@ def validate_serial_equivalence(
     invisible to the engine's seeded arbitration stream.
 
     Raises :class:`EngineError` on any divergence — a conflict the admission
-    rules failed to detect.
+    rules failed to detect.  *obs* (an ``Observability`` or ``None``) times
+    the whole replay under the ``group-validate`` site.
     """
+    start = obs.spans.now() if obs is not None else 0
     scratch = Dataspace()
     scratch.insert_many(pre_rows)
     rng = random.Random(0)
@@ -280,4 +283,11 @@ def validate_serial_equivalence(
             f"group commit violated serial equivalence in round "
             f"{round_count}: batch state differs from serial replay "
             f"(batch={dict(post_multiset)!r}, serial={scratch.multiset()!r})"
+        )
+    if obs is not None:
+        obs.observe_ns(
+            "group-validate",
+            start,
+            obs.spans.now() - start,
+            {"round": round_count, "admitted": len(admitted)},
         )

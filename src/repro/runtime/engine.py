@@ -33,6 +33,7 @@ from repro.core.process import ProcessDefinition, ProcessInstance
 from repro.core.society import ProcessSociety
 from repro.core.views import Window, WindowStats
 from repro.errors import DeadlockError, EngineError, StepLimitExceeded
+from repro.obs import Observability, resolve_obs
 from repro.runtime.events import CheckpointTaken, ProcessCreated, ProcessRestarted, Trace
 from repro.runtime.executor import Executor
 from repro.runtime.faults import FaultInjector, FaultPlan, resolve_plan
@@ -84,6 +85,11 @@ class RunResult:
     restarts: int = 0
     recoveries: int = 0
     checkpoints: int = 0
+    # Observability snapshot: the metrics registry dump of the run
+    # (``repro.obs``) when the engine ran with observability enabled,
+    # ``{}`` otherwise.  Keys are metric names; per-site latency
+    # histograms live under ``sdl_<site>_seconds``.
+    metrics: dict[str, Any] = field(default_factory=dict)
 
     @property
     def completed(self) -> bool:
@@ -137,6 +143,7 @@ class Engine:
         faults: "FaultPlan | str | None" = None,
         supervision: "dict[str, RestartPolicy] | RestartPolicy | None" = None,
         checkpoint_interval: int | None = None,
+        obs: "Observability | bool | str | None" = None,
     ) -> None:
         if policy not in ("random", "fifo"):
             raise EngineError(f"unknown scheduling policy {policy!r}")
@@ -175,6 +182,14 @@ class Engine:
         self.commit = commit
         self.validate = validate
 
+        # Observability (metrics + span tracing, ``repro.obs``): same
+        # disabled-path discipline as fault injection — ``self.obs`` is
+        # ``None`` unless enabled (argument, or env ``SDL_OBS``), every
+        # instrumented site guards with a single ``is None`` check, and
+        # the hook never consumes :attr:`rng`, so an instrumented run is
+        # bit-identical to a bare one.
+        self.obs: Observability | None = resolve_obs(obs)
+
         # Crash-stop failure model: a fault plan (env SDL_FAULTS supplies a
         # default so whole suites can be swept), a supervisor (always
         # constructed — the default "never" policy makes crashes final),
@@ -189,7 +204,7 @@ class Engine:
         self.scheduler = Scheduler(self.rng, policy)
         if commit == "serial":
             self.scheduler.round_size = 1
-        self.wakeups = WakeupIndex()
+        self.wakeups = WakeupIndex(obs=self.obs)
         self.executor = Executor(self)
         self.tasks: dict[int, Task] = {}
         self._windows: dict[int, Window] = {}
@@ -200,7 +215,12 @@ class Engine:
                 self.dataspace,
                 interval=checkpoint_interval,
                 on_checkpoint=self._emit_checkpoint,
+                obs=self.obs,
             )
+        if self.obs is not None:
+            self.dataspace.attach_obs(self.obs)
+            if self.faults is not None:
+                self.faults.obs = self.obs
 
     @property
     def policy(self) -> str:
@@ -322,6 +342,19 @@ class Engine:
     def _summary(self, reason: str, deadlocked: list[str] | None = None) -> RunResult:
         counters = self.trace.counters
         windows = self.window_stats()
+        if self.recovery is not None:
+            # Teardown: detach the recovery log's dataspace listener so a
+            # finished engine leaves no subscription behind (checkpoints and
+            # journal stay queryable — ``recover``/``verify`` still work).
+            self.recovery.close()
+        metrics: dict[str, Any] = {}
+        if self.obs is not None:
+            o = self.obs
+            o.gauge("sdl_dataspace_size", len(self.dataspace))
+            o.gauge("sdl_rounds_total", self.scheduler.round_count)
+            o.gauge("sdl_steps_total", self.step_count)
+            o.gauge("sdl_commits_total", counters.commits)
+            metrics = o.snapshot()
         return RunResult(
             reason=reason,
             steps=self.step_count,
@@ -348,6 +381,7 @@ class Engine:
             restarts=counters.restarts,
             recoveries=self.supervisor.recoveries,
             checkpoints=counters.checkpoints,
+            metrics=metrics,
         )
 
     # ------------------------------------------------------------------

@@ -715,6 +715,8 @@ class Executor:
                 tail.append(("request", task, request))
 
         # Phase B — evaluate against the round-start snapshot and admit.
+        obs = engine.obs
+        admit_start = obs.spans.now() if obs is not None else 0
         faults = engine.faults
         watermark = engine.dataspace.serial
         admitted: list[tuple[Task, Transaction, Any, str]] = []
@@ -796,6 +798,17 @@ class Executor:
                     continue
             admitted.append((task, txn, result, origin))
             admitted_fps.append(fp)
+        if obs is not None:
+            obs.observe_ns(
+                "group-admit",
+                admit_start,
+                obs.spans.now() - admit_start,
+                {
+                    "candidates": len(candidates),
+                    "admitted": len(admitted),
+                    "conflicts": conflict_count,
+                },
+            )
 
         validating = engine.validate == "serial" and admitted
         if validating:
@@ -806,6 +819,7 @@ class Executor:
             ]
 
         # Phase C — apply the admitted batch in arbitration order.
+        apply_start = obs.spans.now() if obs is not None else 0
         applied: list[tuple[Task, Transaction, Any]] = []
         for task, txn, result, origin in admitted:
             if task.state is not TaskState.READY:
@@ -821,6 +835,13 @@ class Executor:
             )
             self._deliver_commit(task, txn, outcome, origin)
             applied.append((task, txn, result))
+        if obs is not None:
+            obs.observe_ns(
+                "group-apply",
+                apply_start,
+                obs.spans.now() - apply_start,
+                {"applied": len(applied)},
+            )
         engine.trace.emit(
             RoundCommitted(
                 engine.step_count, engine.round_count,
@@ -834,6 +855,7 @@ class Executor:
                 engine.dataspace.multiset(),
                 engine.round_count,
                 engine.export_policy,
+                obs=obs,
             )
 
         # Phase D — the tail steps serially against the live batch state.
@@ -893,6 +915,23 @@ class Executor:
     # consensus
     # ------------------------------------------------------------------
     def try_consensus(self) -> bool:
+        obs = self.engine.obs
+        if obs is None or not self.consensus_waiters:
+            # No-waiter probes are O(1) bail-outs; recording them would
+            # flood the trace with empty consensus spans.
+            return self._try_consensus()
+        start = obs.spans.now()
+        waiters = len(self.consensus_waiters)
+        fired = self._try_consensus()
+        obs.observe_ns(
+            "consensus",
+            start,
+            obs.spans.now() - start,
+            {"waiters": waiters, "fired": fired},
+        )
+        return fired
+
+    def _try_consensus(self) -> bool:
         engine = self.engine
         self.consensus_dirty = False
         if not self.consensus_waiters:

@@ -196,11 +196,15 @@ class FaultEvent:
 class FaultInjector:
     """Evaluates a :class:`FaultPlan` at runtime sites, deterministically."""
 
-    __slots__ = ("plan", "rng", "fired", "_sites", "_counts", "_spent", "_delayed")
+    __slots__ = ("plan", "rng", "fired", "obs", "_sites", "_counts", "_spent", "_delayed")
 
     def __init__(self, plan: FaultPlan) -> None:
         self.plan = plan
         self.rng = random.Random(plan.seed)
+        #: Observability hook (``repro.obs.Observability`` or ``None``):
+        #: every firing is counted (``sdl_faults_fired_total{site,action}``)
+        #: and recorded as a trace point.  Set by the engine.
+        self.obs = None
         self.fired: list[FaultEvent] = []
         self._sites: dict[str, list[int]] = {}
         for index, spec in enumerate(plan.specs):
@@ -243,6 +247,11 @@ class FaultInjector:
                 continue
             self._spent[index] = self._spent.get(index, 0) + 1
             self.fired.append(FaultEvent(site, spec.action, pid, name, occurrence))
+            if self.obs is not None:
+                self.obs.count("sdl_faults_fired_total", site=site, action=spec.action)
+                self.obs.point(
+                    "fault", site=site, action=spec.action, pid=pid, occurrence=occurrence
+                )
             return spec.action
         return None
 

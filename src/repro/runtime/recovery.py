@@ -57,6 +57,7 @@ class RecoveryLog:
         interval: int = 64,
         keep: int = 4,
         on_checkpoint: Callable[[Checkpoint], None] | None = None,
+        obs=None,
     ) -> None:
         if interval < 1:
             raise RecoveryError(f"checkpoint interval must be >= 1, got {interval}")
@@ -72,6 +73,9 @@ class RecoveryLog:
         self.interval = interval
         self.keep = keep
         self.on_checkpoint = on_checkpoint
+        #: Observability hook (``repro.obs.Observability`` or ``None``):
+        #: times every capture (site ``checkpoint``) and replay (``replay``).
+        self.obs = obs
         self.checkpoints: list[Checkpoint] = []
         self.checkpoints_taken = 0
         self.replayed = 0  # change events replayed by the last recover()
@@ -92,10 +96,19 @@ class RecoveryLog:
             self._capture()
 
     def _capture(self) -> Checkpoint:
+        obs = self.obs
+        start = obs.spans.now() if obs is not None else 0
         checkpoint = Checkpoint(
             version=self.dataspace.version,
             instances=tuple(self.dataspace.instances()),
         )
+        if obs is not None:
+            obs.observe_ns(
+                "checkpoint",
+                start,
+                obs.spans.now() - start,
+                {"version": checkpoint.version, "size": checkpoint.size},
+            )
         self.checkpoints.append(checkpoint)
         if len(self.checkpoints) > self.keep:
             del self.checkpoints[: len(self.checkpoints) - self.keep]
@@ -122,6 +135,8 @@ class RecoveryLog:
         """
         if checkpoint is None:
             checkpoint = self.latest
+        obs = self.obs
+        start = obs.spans.now() if obs is not None else 0
         changes = self.dataspace.changes_since(checkpoint.version)
         if changes is None:
             raise RecoveryError(
@@ -146,6 +161,13 @@ class RecoveryLog:
                     )
                 scratch.retract(scratch_tid)
         self.replayed = len(changes)
+        if obs is not None:
+            obs.observe_ns(
+                "replay",
+                start,
+                obs.spans.now() - start,
+                {"from_version": checkpoint.version, "replayed": len(changes)},
+            )
         return scratch
 
     def verify(self, checkpoint: Checkpoint | None = None) -> Dataspace:

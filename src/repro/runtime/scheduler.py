@@ -181,6 +181,11 @@ class Scheduler:
         round unshuffled — the weak-fairness guarantee: the first loser is
         first in the next arbitration order, hence unconditionally admitted.
         Returns ``None`` when there is no work at all.
+
+        :attr:`round_size` is honored exactly as in :meth:`start_round`:
+        losers count against the cap but are never dropped (weak fairness
+        trumps the cap), and the overflow of the ready set stays queued
+        (``queued`` still set) for later rounds.
         """
         if not self._ready and not prepend:
             return None
@@ -189,6 +194,12 @@ class Scheduler:
         self._ready.clear()
         if self.policy == "random":
             self.rng.shuffle(items)
+        if self.round_size is not None:
+            room = max(self.round_size - len(prepend), 0)
+            if len(items) > room:
+                # Overflow stays ready (still flagged queued) for later rounds.
+                self._ready.extend(items[room:])
+                items = items[:room]
         out = list(prepend) + items
         for item in out:
             item.queued = False

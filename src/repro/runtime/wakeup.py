@@ -216,10 +216,13 @@ class WakeupIndex:
     so wake delivery stays FIFO — the weak-fairness order of the seed.
     """
 
-    __slots__ = ("stats", "_items", "_subs", "_any", "_by_arity", "_by_key", "_order", "_seq")
+    __slots__ = ("stats", "obs", "_items", "_subs", "_any", "_by_arity", "_by_key", "_order", "_seq")
 
-    def __init__(self, stats: WakeupStats | None = None) -> None:
+    def __init__(self, stats: WakeupStats | None = None, obs=None) -> None:
         self.stats = stats if stats is not None else WakeupStats()
+        #: Observability hook (``repro.obs.Observability`` or ``None``);
+        #: ``None`` keeps :meth:`affected` on the original path.
+        self.obs = obs
         self._items: dict[int, Any] = {}
         self._subs: dict[int, Subscription] = {}
         self._any: set[int] = set()
@@ -310,6 +313,9 @@ class WakeupIndex:
         """
         if not self._items:
             return []
+        obs = self.obs
+        start = obs.spans.now() if obs is not None else 0
+        checked = 0
         woken: set[int] = set(self._any)
         if self._by_arity or self._by_key:
             candidates: set[int] = set()
@@ -323,8 +329,17 @@ class WakeupIndex:
                     if bucket:
                         candidates |= bucket
             candidates -= woken
+            checked = len(candidates)
+            self.stats.wake_checks += checked
             for tid in candidates:
-                self.stats.wake_checks += 1
                 if self._subs[tid].matches(instances):
                     woken.add(tid)
-        return [self._items[tid] for tid in sorted(woken, key=self._order.__getitem__)]
+        out = [self._items[tid] for tid in sorted(woken, key=self._order.__getitem__)]
+        if obs is not None:
+            obs.observe_ns(
+                "wakeup",
+                start,
+                obs.spans.now() - start,
+                {"changed": len(instances), "checked": checked, "woken": len(out)},
+            )
+        return out

@@ -9,7 +9,7 @@ metrics.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any
 
 from repro.runtime.engine import RunResult
@@ -63,6 +63,16 @@ class RunMetrics:
     crashes: int = 0
     restarts: int = 0
     recoveries: int = 0
+    # observability snapshot (``RunResult.metrics``; empty when obs is off)
+    obs: dict[str, Any] = field(default_factory=dict)
+
+    def obs_sites(self) -> dict[str, int]:
+        """Per-site observation counts from the obs snapshot (empty if off)."""
+        return {
+            name[len("sdl_"):-len("_seconds")]: entry["data"]["count"]
+            for name, entry in self.obs.items()
+            if entry.get("kind") == "histogram" and name.endswith("_seconds")
+        }
 
     def as_row(self) -> dict[str, Any]:
         """Flat dict, handy for printing benchmark tables."""
@@ -90,6 +100,7 @@ class RunMetrics:
             "crashes": self.crashes,
             "restarts": self.restarts,
             "recoveries": self.recoveries,
+            "obs_sites": sum(1 for count in self.obs_sites().values() if count),
         }
 
 
@@ -123,6 +134,7 @@ def run_metrics(result: RunResult, trace: Trace) -> RunMetrics:
         crashes=result.crashes,
         restarts=result.restarts,
         recoveries=result.recoveries,
+        obs=result.metrics,
     )
 
 

@@ -5,24 +5,35 @@ amplified: deep union-find recursion under large consensus partitions,
 listener bookkeeping that detached the wrong registration, binding leakage
 between match candidates in the snapshot lens, and a replication pump that
 kept firing for an aborted process.
+
+The observability PR added three more latent-leak fixes, pinned at the
+bottom: the recovery log's dataspace listener outliving its engine,
+``Scheduler.take_round`` ignoring ``round_size``, and
+``Dataspace.count_matching``/``find_matching`` sharing one ``bound`` dict
+across candidates.
 """
 
 from __future__ import annotations
 
+import random
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.actions import ABORT, assert_tuple
 from repro.core.consensus import partition
 from repro.core.constructs import guarded, replicate
 from repro.core.dataspace import Dataspace
 from repro.core.expressions import Var
-from repro.core.patterns import ANY, P
+from repro.core.patterns import ANY, P, Pattern
 from repro.core.process import ProcessDefinition
 from repro.core.query import exists
 from repro.core.transactions import immediate
 from repro.runtime.engine import Engine
 from repro.runtime.events import Trace
 from repro.runtime.executor import _SnapshotLens
+from repro.runtime.scheduler import Scheduler
 
 
 # ---------------------------------------------------------------------------
@@ -203,6 +214,179 @@ class TestPumpAfterAbort:
         assert ("job", 1) in multiset  # the dead process must not consume it
         assert ("looted", 1) not in multiset
         assert result.completed
+
+
+# ---------------------------------------------------------------------------
+# RecoveryLog: a finished engine must leave no dataspace listener behind
+# ---------------------------------------------------------------------------
+
+
+class TestRecoveryTeardown:
+    def _run_engine(self):
+        a, b = Var("a"), Var("b")
+        merge = ProcessDefinition(
+            "Merge",
+            body=[
+                replicate(
+                    immediate(
+                        exists(a, b)
+                        .match(P[ANY, a].retract(), P[ANY, b].retract())
+                    ).then(assert_tuple("sum", a + b))
+                )
+            ],
+        )
+        engine = Engine(definitions=[merge], checkpoint_interval=2)
+        engine.assert_tuples([(i, i * 10) for i in range(4)])
+        engine.start("Merge")
+        result = engine.run()
+        assert result.completed
+        return engine
+
+    def test_finished_engine_leaves_zero_listeners(self):
+        # Pre-fix the engine never called ``recovery.close()``, so every
+        # finished engine left one live subscription on the dataspace —
+        # a leak that also kept taking checkpoints for post-run mutations.
+        engine = self._run_engine()
+        assert engine.dataspace.listener_count == 0
+
+    def test_post_run_changes_take_no_checkpoints(self):
+        engine = self._run_engine()
+        taken = engine.recovery.checkpoints_taken
+        for i in range(10):
+            engine.dataspace.insert(("late", i))
+        assert engine.recovery.checkpoints_taken == taken
+
+    def test_recover_and_verify_still_work_after_teardown(self):
+        # close() detaches the listener only; checkpoints + journal stay
+        # queryable, so post-run forensics keep working.
+        engine = self._run_engine()
+        engine.recovery.verify()
+
+
+# ---------------------------------------------------------------------------
+# Scheduler.take_round: the round_size cap must be honored
+# ---------------------------------------------------------------------------
+
+
+class _StubItem:
+    __slots__ = ("name", "queued")
+
+    def __init__(self, name):
+        self.name = name
+        self.queued = False
+
+    def __repr__(self):
+        return self.name
+
+
+class TestTakeRoundCap:
+    def _scheduler(self, round_size):
+        scheduler = Scheduler(random.Random(0), "fifo")
+        scheduler.round_size = round_size
+        return scheduler
+
+    def test_overflow_stays_ready_and_queued(self):
+        # Pre-fix ``take_round`` promoted the whole ready set regardless of
+        # ``round_size`` (only ``start_round`` honored the cap).
+        scheduler = self._scheduler(2)
+        items = [_StubItem(f"i{i}") for i in range(5)]
+        for item in items:
+            scheduler.enqueue(item)
+        first = scheduler.take_round()
+        assert first == items[:2]
+        assert all(not item.queued for item in first)
+        assert all(item.queued for item in items[2:])
+        assert scheduler.take_round() == items[2:4]
+        assert scheduler.take_round() == items[4:5]
+        assert scheduler.take_round() is None
+
+    def test_losers_count_against_cap_but_are_never_dropped(self):
+        scheduler = self._scheduler(2)
+        items = [_StubItem(f"i{i}") for i in range(3)]
+        for item in items:
+            scheduler.enqueue(item)
+        losers = [_StubItem("L0"), _StubItem("L1"), _StubItem("L2")]
+        out = scheduler.take_round(prepend=losers)
+        # All three losers lead the round (weak fairness trumps the cap);
+        # the ready set contributes nothing and stays queued.
+        assert out == losers
+        assert all(item.queued for item in items)
+        assert scheduler.take_round() == items[:2]
+
+    def test_group_engine_respects_round_size(self):
+        a, b = Var("a"), Var("b")
+        merge = ProcessDefinition(
+            "Merge",
+            body=[
+                immediate(
+                    exists(a, b).match(P[ANY, a].retract(), P[ANY, b].retract())
+                ).then(assert_tuple(0, a + b)),
+            ],
+        )
+        engine = Engine(definitions=[merge], commit="group", seed=5)
+        engine.assert_tuples([(i, 1) for i in range(8)])
+        for _ in range(4):
+            engine.start("Merge")
+        engine.scheduler.round_size = 1
+        result = engine.run()
+        assert result.completed
+        # One candidate per round means batches can never exceed 1.
+        assert result.max_batch == 1
+        total = sum(
+            inst.values[1] for inst in engine.dataspace.find_matching(P[ANY, ANY])
+        )
+        assert total == 8
+
+
+# ---------------------------------------------------------------------------
+# Dataspace.count_matching / find_matching: candidate isolation
+# ---------------------------------------------------------------------------
+
+
+class _ScratchPattern(Pattern):
+    """A pattern that (legally) treats its ``bound`` dict as scratch space.
+
+    Matches ``<key, v>`` only when the mapping holds no ``_prev`` marker,
+    then stashes one.  With per-candidate isolation every candidate sees a
+    clean mapping, so *all* candidates match; with the pre-fix shared dict
+    the first candidate's stash leaked into every later candidate's match
+    and only one tuple ever matched.
+    """
+
+    def match(self, values, bound):
+        got = super().match(values, bound)
+        if got is None or "_prev" in bound:
+            return None
+        if isinstance(bound, dict):
+            bound["_prev"] = values
+        return got
+
+
+class TestDataspaceCandidateIsolation:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=9), min_size=0, max_size=12))
+    def test_stateful_pattern_cannot_leak_across_candidates(self, values):
+        ds = Dataspace()
+        for v in values:
+            ds.insert(("key", v))
+            ds.insert(("decoy", v, v))  # different arity: never a candidate
+        a = Var("a")
+        impure = _ScratchPattern(P["key", a].elements)
+        pure = P["key", a]
+        assert ds.count_matching(impure) == ds.count_matching(pure) == len(values)
+        assert [inst.tid for inst in ds.find_matching(impure)] == [
+            inst.tid for inst in ds.find_matching(pure)
+        ]
+
+    def test_caller_bound_dict_never_mutated(self):
+        ds = Dataspace()
+        ds.insert(("key", 1))
+        ds.insert(("key", 2))
+        a = Var("a")
+        bound = {"unrelated": 42}
+        ds.find_matching(_ScratchPattern(P["key", a].elements), bound)
+        ds.count_matching(_ScratchPattern(P["key", a].elements), bound)
+        assert bound == {"unrelated": 42}
 
 
 if __name__ == "__main__":
