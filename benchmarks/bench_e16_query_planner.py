@@ -1,0 +1,311 @@
+"""E16 — cost-based query planner: compiled kernels, reordering, plan cache.
+
+Three claims back the planner tentpole:
+
+* **selectivity-inverted joins get dramatically cheaper** — a conjunction
+  written wide-atom-first (the naive walk's worst case: it enumerates the
+  wide arity bucket and joins the narrow atom per candidate) must run at
+  least 2x faster once the planner reorders it narrow-first and probes the
+  wide atom through the intersected field indexes.  Measured over >= 1k
+  tuples, both as raw query evaluation and end-to-end full enumeration.
+* **plans are cached** — whole-program runs re-plan nothing in steady
+  state: the cache hit rate of a Sum2/labeling run must be high (> 0.9)
+  and misses must stay bounded by the number of distinct (atoms, bound
+  set) pairs the program contains.
+* **planner-off parity** — ``plan="off"`` produces the same program
+  outcomes (totals, labelings, sort orders), keeping the naive path as a
+  live differential baseline.
+
+The measured series is attached as ``extra_info`` so the E16 table in
+``benchmarks/report.py`` (and the BENCH_E16.json CI artifact) can report
+the speedup and cache behaviour.
+"""
+
+import random
+import time
+
+from _helpers import attach, once
+from repro.core.dataspace import Dataspace
+from repro.core.expressions import variables
+from repro.core.patterns import P
+from repro.core.plan import QueryPlanner
+from repro.core.query import Query, exists
+from repro.core.views import FULL_VIEW
+from repro.programs.labeling import run_worker_labeling
+from repro.programs.plist import run_find
+from repro.programs.summation import run_sum2
+from repro.workloads import random_blob_image, random_property_list
+
+A, B = variables("a b")
+
+#: Dataspace size for the selectivity-inversion joins (ISSUE floor: >= 1k).
+N_WIDE = 1500
+#: Evaluations per timing sample (amortises clock granularity).
+REPS = 20
+
+
+def inverted_join_space(n: int = N_WIDE) -> Dataspace:
+    """A dataspace where textual atom order is the worst possible plan.
+
+    ``n`` wide ``<data, i, i%7>`` rows and a single ``<probe, n-1>`` row
+    whose join partner is the *last* wide row inserted, so the naive
+    textual walk (wide atom first, no rotation) scans the whole wide
+    bucket before finding the match.
+    """
+    ds = Dataspace()
+    ds.insert_many([("data", i, i % 7) for i in range(n)])
+    ds.insert(("probe", n - 1))
+    return ds
+
+
+def planner_window(ds: Dataspace):
+    window = FULL_VIEW.window(ds)
+    window.planner = QueryPlanner(ds)
+    return window
+
+
+def timed_evaluations(window, query: Query, reps: int = REPS) -> float:
+    start = time.perf_counter()
+    for __ in range(reps):
+        result = query.evaluate(window, {}, None)
+        assert result.success
+    return time.perf_counter() - start
+
+
+def test_e16_selectivity_inverted_exists(benchmark):
+    """The headline claim: >= 2x on the inverted two-atom ∃ join."""
+    ds = inverted_join_space()
+    # Textually wide-first: <data, a, b>, <probe, a>.
+    query = exists(A, B).match(P["data", A, B], P["probe", A]).build()
+
+    def measure():
+        t_naive = timed_evaluations(FULL_VIEW.window(ds), query)
+        t_planned = timed_evaluations(planner_window(ds), query)
+        return t_naive, t_planned
+
+    t_naive, t_planned = once(benchmark, measure)
+    speedup = t_naive / t_planned if t_planned else float("inf")
+    assert speedup >= 2.0, (
+        f"planner speedup {speedup:.1f}x < 2x "
+        f"(naive {t_naive*1e3:.1f}ms, planned {t_planned*1e3:.1f}ms)"
+    )
+    attach(
+        benchmark,
+        tuples=N_WIDE + 1,
+        naive_ms=round(t_naive * 1e3 / REPS, 3),
+        planned_ms=round(t_planned * 1e3 / REPS, 3),
+        speedup=round(speedup, 1),
+    )
+
+
+def test_e16_three_atom_chain(benchmark):
+    """A 3-atom chain join, again written in inverted (worst) order."""
+    n = 1200
+    ds = Dataspace()
+    ds.insert_many([("edge", i, i + 1) for i in range(n)])
+    ds.insert_many([("mid", i) for i in range(n - 40, n)])
+    ds.insert(("goal", n - 1))
+    query = (
+        exists(A, B)
+        .match(P["edge", A, B], P["mid", A], P["goal", B])
+        .build()
+    )
+
+    def measure():
+        t_naive = timed_evaluations(FULL_VIEW.window(ds), query)
+        t_planned = timed_evaluations(planner_window(ds), query)
+        return t_naive, t_planned
+
+    t_naive, t_planned = once(benchmark, measure)
+    speedup = t_naive / t_planned if t_planned else float("inf")
+    assert speedup >= 2.0
+    attach(
+        benchmark,
+        tuples=len(ds),
+        naive_ms=round(t_naive * 1e3 / REPS, 3),
+        planned_ms=round(t_planned * 1e3 / REPS, 3),
+        speedup=round(speedup, 1),
+    )
+
+
+def test_e16_full_enumeration_parity_and_speed(benchmark):
+    """Full joint enumeration: same match set, planner still >= 2x."""
+    ds = inverted_join_space()
+    patterns = [P["data", A, B], P["probe", A]]
+    planner = QueryPlanner(ds)
+
+    def canonical(matches):
+        return sorted(
+            (tuple(sorted(b.items())), tuple(sorted(i.tid for i in insts)))
+            for b, insts in matches
+        )
+
+    def measure():
+        from repro.core.matching import iter_joint_matches
+
+        start = time.perf_counter()
+        for __ in range(REPS):
+            naive = canonical(iter_joint_matches(ds, patterns, {}))
+        t_naive = time.perf_counter() - start
+        start = time.perf_counter()
+        for __ in range(REPS):
+            planned = canonical(planner.iter_matches(ds, patterns, {}))
+        t_planned = time.perf_counter() - start
+        assert planned == naive and len(naive) == 1
+        return t_naive, t_planned
+
+    t_naive, t_planned = once(benchmark, measure)
+    speedup = t_naive / t_planned if t_planned else float("inf")
+    assert speedup >= 2.0
+    attach(
+        benchmark,
+        naive_ms=round(t_naive * 1e3 / REPS, 3),
+        planned_ms=round(t_planned * 1e3 / REPS, 3),
+        speedup=round(speedup, 1),
+    )
+
+
+def test_e16_plan_cache_steady_state(benchmark):
+    """Whole-program runs amortise planning: high hit rate, bounded misses."""
+
+    def run():
+        got = run_sum2(list(range(64)), seed=16, plan="on")
+        assert got.total == sum(range(64))
+        return got
+
+    got = once(benchmark, run)
+    result = got.result
+    lookups = result.plan_hits + result.plan_misses
+    assert result.plan_hit_rate > 0.9, (
+        f"hit rate {result.plan_hit_rate:.3f} over {lookups} lookups"
+    )
+    # Misses are bounded by distinct (atoms, bound-set) pairs, not by run
+    # length: Sum2 has a handful of transaction shapes.
+    assert result.plan_misses <= 32
+    attach(
+        benchmark,
+        plan_hits=result.plan_hits,
+        plan_misses=result.plan_misses,
+        hit_rate=round(result.plan_hit_rate, 3),
+    )
+
+
+def test_e16_program_parity_plan_on_off(benchmark):
+    """plan=off differential baselines: identical program outcomes."""
+
+    def run():
+        rows = []
+        for label, runner, check in (
+            (
+                "sum2",
+                lambda plan: run_sum2(list(range(32)), seed=3, plan=plan),
+                lambda out: out.total,
+            ),
+            (
+                "labeling",
+                lambda plan: run_worker_labeling(
+                    random_blob_image(5, 5, blobs=2, seed=16), seed=3, plan=plan
+                ),
+                lambda out: out.labels,
+            ),
+            (
+                "plist-find",
+                lambda plan: _find(plan),
+                lambda out: out.answer,
+            ),
+        ):
+            on, t_on = _timed(runner, "on")
+            off, t_off = _timed(runner, "off")
+            assert check(on) == check(off)
+            rows.append((label, t_on, t_off, on.result.plan_hit_rate))
+        return rows
+
+    rows = once(benchmark, run)
+    for label, t_on, t_off, hit_rate in rows:
+        attach(
+            benchmark,
+            **{
+                f"{label}_on_ms": round(t_on * 1e3, 1),
+                f"{label}_off_ms": round(t_off * 1e3, 1),
+                f"{label}_hit_rate": round(hit_rate, 3),
+            },
+        )
+
+
+def _find(plan):
+    plist = random_property_list(24, seed=16)
+    return run_find(plist, plist[-1][1], seed=3, plan=plan)
+
+
+def _timed(runner, plan):
+    start = time.perf_counter()
+    out = runner(plan)
+    return out, time.perf_counter() - start
+
+
+def test_e16_seeded_determinism(benchmark):
+    """Same seed, planner on: byte-identical outcomes and counters."""
+
+    def run():
+        one = run_sum2(list(range(32)), seed=7)
+        two = run_sum2(list(range(32)), seed=7)
+        assert one.total == two.total
+        assert one.result.steps == two.result.steps
+        assert one.engine.dataspace.snapshot() == two.engine.dataspace.snapshot()
+        assert (one.result.plan_hits, one.result.plan_misses) == (
+            two.result.plan_hits,
+            two.result.plan_misses,
+        )
+        return one
+
+    got = once(benchmark, run)
+    attach(benchmark, steps=got.result.steps, plan_hits=got.result.plan_hits)
+
+
+def test_e16_forall_resume_linear(benchmark):
+    """The ∀-retraction O(n^2)->O(n) fix: cost grows ~linearly in matches.
+
+    Before the fix every accepted retracting match restarted enumeration
+    from scratch; doubling the match count quadrupled the work.  With the
+    live-exclusion resume the per-size cost ratio must stay well under
+    the quadratic ratio (4x for a 2x size step, with generous slack).
+    """
+    rng = random.Random(16)
+
+    def forall_drain(n: int) -> float:
+        ds = Dataspace()
+        ds.insert_many([("job", i) for i in range(n)])
+        window = planner_window(ds)
+        query = Query("forall", (A,), [P["job", A].retract()])
+        start = time.perf_counter()
+        result = query.evaluate(window, {}, rng)
+        elapsed = time.perf_counter() - start
+        assert result.success and len(result.matches) == n
+        return elapsed
+
+    def measure():
+        small = min(forall_drain(400) for __ in range(3))
+        large = min(forall_drain(800) for __ in range(3))
+        return small, large
+
+    small, large = once(benchmark, measure)
+    ratio = large / small if small else 0.0
+    assert ratio < 3.5, f"forall drain scaled {ratio:.1f}x for a 2x size step"
+    attach(
+        benchmark,
+        small_ms=round(small * 1e3, 2),
+        large_ms=round(large * 1e3, 2),
+        ratio=round(ratio, 2),
+    )
+
+
+def test_e16_pattern_probe_kernel(benchmark):
+    """Micro: probe-intersected fetch on a hot 2000-tuple field bucket."""
+    ds = Dataspace()
+    ds.insert_many([("k", i % 10, i) for i in range(2000)])
+
+    def planned():
+        return len(ds.candidates_probed(3, [(0, "k"), (1, 4)]))
+
+    count = benchmark(planned)
+    assert count == 200

@@ -621,6 +621,82 @@ def e15() -> None:
     )
 
 
+def e16() -> None:
+    from repro.core.plan import QueryPlanner
+    from repro.core.query import exists as q_exists
+
+    a, b = variables("a b")
+    reps = 20
+
+    def eval_times(ds, query):
+        naive_window = FULL_VIEW.window(ds)
+        planned_window = FULL_VIEW.window(ds)
+        planned_window.planner = QueryPlanner(ds)
+        start = time.perf_counter()
+        for __ in range(reps):
+            assert query.evaluate(naive_window, {}, None).success
+        t_naive = time.perf_counter() - start
+        start = time.perf_counter()
+        for __ in range(reps):
+            assert query.evaluate(planned_window, {}, None).success
+        t_planned = time.perf_counter() - start
+        return t_naive / reps, t_planned / reps
+
+    # selectivity-inverted joins at growing scale (wide atom textually first)
+    rows = []
+    for n in (500, 1500, 5000):
+        ds = Dataspace()
+        ds.insert_many([("data", i, i % 7) for i in range(n)])
+        ds.insert(("probe", n - 1))
+        query = q_exists(a, b).match(P["data", a, b], P["probe", a]).build()
+        t_naive, t_planned = eval_times(ds, query)
+        rows.append(
+            [
+                n + 1,
+                f"{t_naive*1e3:.2f}",
+                f"{t_planned*1e3:.3f}",
+                f"{t_naive/t_planned:.0f}x" if t_planned else "-",
+            ]
+        )
+    table(
+        "E16 — selectivity-inverted 2-atom ∃ join (textual order worst-case)",
+        ["tuples", "naive ms", "planned ms", "speedup"],
+        rows,
+    )
+
+    # whole-program runs: planner on vs off, with cache behaviour
+    rows = []
+    plist = random_property_list(24, seed=16)
+    for label, runner in (
+        ("Sum2 n=64", lambda plan: run_sum2(list(range(64)), seed=16, plan=plan)),
+        (
+            "labeling 6x6",
+            lambda plan: run_worker_labeling(
+                random_blob_image(6, 6, blobs=2, seed=16), seed=2, plan=plan
+            ),
+        ),
+        ("Find L=24", lambda plan: run_find(plist, plist[-1][1], seed=2, plan=plan)),
+    ):
+        on, t_on = timed(runner, "on")
+        off, t_off = timed(runner, "off")
+        result = on.result
+        rows.append(
+            [
+                label,
+                f"{t_off*1000:.0f}",
+                f"{t_on*1000:.0f}",
+                result.plan_misses,
+                result.plan_hits,
+                f"{result.plan_hit_rate:.3f}",
+            ]
+        )
+    table(
+        "E16 — whole programs, planner off vs on (plan cache amortisation)",
+        ["workload", "off ms", "on ms", "plans built", "cache hits", "hit rate"],
+        rows,
+    )
+
+
 def main() -> None:
     print("# Experiment report (regenerated)")
     e1_e2()
@@ -636,6 +712,7 @@ def main() -> None:
     e13()
     e14()
     e15()
+    e16()
 
 
 if __name__ == "__main__":

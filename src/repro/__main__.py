@@ -129,6 +129,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         validate=args.validate,
         faults=args.faults,
         obs=obs,
+        plan=args.plan,
     )
     if args.data:
         engine.assert_tuples(_load_tuples(args.data))
@@ -146,6 +147,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     if result.crashes or result.restarts:
         summary += f", {result.crashes} crashes, {result.restarts} restarts"
+    if result.plan_hits or result.plan_misses:
+        summary += (
+            f", plan cache {result.plan_hits}/"
+            f"{result.plan_hits + result.plan_misses} hits"
+        )
     print(summary)
     if result.reason == "deadlock":
         for line in result.deadlocked:
@@ -197,6 +203,8 @@ def build_parser() -> argparse.ArgumentParser:
                      help="round commit discipline (default: SDL_COMMIT or live)")
     run.add_argument("--validate", choices=["serial"], default=None,
                      help="cross-check group rounds against a serial replay")
+    run.add_argument("--plan", choices=["on", "off"], default=None,
+                     help="cost-based query planner (default: SDL_PLAN or on)")
     run.add_argument("--faults", default=None, metavar="PLAN",
                      help="fault-injection plan, e.g. "
                           "'seed=7; pre-commit:crash:name=W:at=2' "

@@ -125,6 +125,10 @@ class Dataspace:
         #: one, and cost O(n)).  Dicts preserve registration order.
         self._listeners: dict[int, Callable[[DataspaceChange], None]] = {}
         self._listener_token = 0
+        #: Cached tuple of the listeners, rebuilt lazily after any
+        #: subscribe/unsubscribe: steady-state mutation then notifies with
+        #: O(1) allocations instead of copying the registry every change.
+        self._listener_snapshot: tuple[Callable[[DataspaceChange], None], ...] | None = ()
         self._journal: deque[DataspaceChange] = deque(maxlen=JOURNAL_DEPTH)
         self.indexed = indexed
 
@@ -232,7 +236,10 @@ class Dataspace:
         self._version += 1
         change = DataspaceChange(kind, asserted, retracted, self._version)
         self._journal.append(change)
-        for listener in list(self._listeners.values()):
+        listeners = self._listener_snapshot
+        if listeners is None:
+            listeners = self._listener_snapshot = tuple(self._listeners.values())
+        for listener in listeners:
             listener(change)
 
     def changes_since(self, version: int) -> list[DataspaceChange] | None:
@@ -267,9 +274,11 @@ class Dataspace:
         self._listener_token += 1
         token = self._listener_token
         self._listeners[token] = listener
+        self._listener_snapshot = None
 
         def unsubscribe() -> None:
-            self._listeners.pop(token, None)
+            if self._listeners.pop(token, None) is not None:
+                self._listener_snapshot = None
 
         return unsubscribe
 
@@ -322,6 +331,59 @@ class Dataspace:
             )
         return out
 
+    def candidates_probed(
+        self,
+        arity: int,
+        probes: Iterable[tuple[int, Any]],
+    ) -> list[TupleInstance]:
+        """Candidates of *arity* consistent with every ``(position, value)`` probe.
+
+        The planner's candidate fetch: the narrowest applicable field bucket
+        is enumerated and every remaining probe is applied as a direct value
+        filter, so the result is the **intersection** of all probe buckets —
+        unlike :meth:`candidates`, which consults only the single narrowest
+        bucket and leaves the rest to per-candidate pattern matching.  An
+        empty probe bucket short-circuits to ``[]``.  Probes must name
+        distinct positions (true of any single pattern's fields).
+        """
+        obs = self._obs
+        start = obs.spans.now() if obs is not None else 0
+        best: Mapping[TupleId, TupleInstance] | None = None
+        best_position = -1
+        probes = list(probes)
+        out: list[TupleInstance] | None = None
+        if self.indexed and probes:
+            for position, value in probes:
+                bucket = self._by_field.get((arity, position, value))
+                if bucket is None:
+                    out = []
+                    break
+                if best is None or len(bucket) < len(best):
+                    best = bucket
+                    best_position = position
+        if out is None:
+            if best is None:
+                best = self._by_arity.get(arity, {})
+                rest = probes if not self.indexed else []
+            else:
+                rest = [probe for probe in probes if probe[0] != best_position]
+            if rest:
+                out = [
+                    inst
+                    for inst in best.values()
+                    if all(inst.values[position] == value for position, value in rest)
+                ]
+            else:
+                out = list(best.values())
+        if obs is not None:
+            obs.observe_ns(
+                "match",
+                start,
+                obs.spans.now() - start,
+                {"arity": arity, "n": len(out), "probes": len(probes)},
+            )
+        return out
+
     def attach_obs(self, obs) -> None:
         """Attach an observability hook timing every :meth:`candidates` call."""
         self._obs = obs
@@ -332,9 +394,17 @@ class Dataspace:
         Every candidate is matched against its **own copy** of *bound*
         (mirroring ``core/matching.py`` and the executor's snapshot lens):
         a pattern implementation that treats the mapping as scratch space
-        must never leak bindings from one candidate into the next.
+        must never leak bindings from one candidate into the next.  When
+        the pattern has no unbound binding variables the mapping cannot be
+        written at all, so one shared copy serves every candidate.
         """
         bound = dict(bound or {})
+        if _cannot_bind(pat, bound):
+            return sum(
+                1
+                for inst in self.candidates(pat, bound)
+                if pat.match(inst.values, bound) is not None
+            )
         return sum(
             1
             for inst in self.candidates(pat, bound)
@@ -348,9 +418,16 @@ class Dataspace:
     ) -> list[TupleInstance]:
         """All instances matching *pat* under *bound* (snapshot list).
 
-        Per-candidate binding isolation as in :meth:`count_matching`.
+        Per-candidate binding isolation as in :meth:`count_matching`, with
+        the same shared-copy fast path for patterns that cannot bind.
         """
         bound = dict(bound or {})
+        if _cannot_bind(pat, bound):
+            return [
+                inst
+                for inst in self.candidates(pat, bound)
+                if pat.match(inst.values, bound) is not None
+            ]
         return [
             inst
             for inst in self.candidates(pat, bound)
@@ -382,6 +459,18 @@ class Dataspace:
             )
             return f"Dataspace({body})"
         return f"Dataspace(|D|={len(self)}, v={self._version})"
+
+
+def _cannot_bind(pat: Pattern, bound: Mapping[str, Any]) -> bool:
+    """Can matching *pat* under *bound* never produce a new binding?
+
+    True for pure literal/wildcard patterns and for patterns whose variable
+    fields are all already bound (they act as equality tests) — in either
+    case :meth:`Pattern.match` returns only empty binding dicts, so callers
+    may share one *bound* mapping across candidates.
+    """
+    names = pat.binding_variables()
+    return not names or names <= bound.keys()
 
 
 def _sort_key(values: tuple) -> tuple:

@@ -55,6 +55,14 @@ def iter_joint_matches(
 
     def search(index: int) -> Iterator[tuple[dict[str, Any], list[TupleInstance]]]:
         if index == len(patterns):
+            # *excluded* is consulted live: ∀ enumeration grows it while
+            # this generator is suspended, so instances chosen at an outer
+            # depth may have been consumed since — prune at the leaf rather
+            # than restarting the whole search (the per-depth membership
+            # checks only cover the selection moment).  With a static
+            # excluded set this re-check can never fire.
+            if excluded and not used_tids.isdisjoint(excluded):
+                return
             yield dict(env), list(used)
             return
         pat = patterns[index]

@@ -165,7 +165,7 @@ def _as_element(field: Any) -> PatternElement:
 class Pattern:
     """An immutable sequence of pattern elements with a fixed arity."""
 
-    __slots__ = ("elements", "_free")
+    __slots__ = ("elements", "_free", "_compiled")
 
     def __init__(self, elements: Iterable[PatternElement]) -> None:
         self.elements: tuple[PatternElement, ...] = tuple(elements)
@@ -175,6 +175,10 @@ class Pattern:
         for el in self.elements:
             free |= el.free_variables()
         self._free = free
+        #: Memoised :class:`repro.core.plan.CompiledPattern` (filled by
+        #: :func:`repro.core.plan.compile_pattern` on first use; patterns
+        #: are immutable, so the compilation never goes stale).
+        self._compiled: Any = None
 
     @property
     def arity(self) -> int:

@@ -1,0 +1,495 @@
+"""Cost-based query planning: selectivity-ordered joins over compiled kernels.
+
+Every SDL transaction is a quantified conjunctive query; the naive engine
+(:mod:`repro.core.matching`) walks the atoms in textual order, re-derives
+the index probes of every pattern on every call, and pays a
+``{**bound, **new}`` dict merge per element per candidate.  This module
+removes all three costs while preserving the semantics exactly:
+
+* each :class:`~repro.core.patterns.Pattern` is **compiled once** into a
+  :class:`CompiledPattern` — per-element kind/position arrays splitting the
+  fields into *static probes* (pure constants, resolved at compile time),
+  *expression slots* (evaluable once the referenced variables are bound),
+  and *variable slots* (bind on first occurrence, probe thereafter);
+
+* a :class:`Plan` **reorders the binding atoms by estimated selectivity**:
+  estimates read the dataspace's live index-bucket sizes (``by_field`` /
+  ``by_arity`` fan-out), preferring atoms whose constants or already-bound
+  variables probe the narrowest buckets.  Atoms whose literal expressions
+  reference variables bound by other atoms are only eligible after their
+  producers, so reordering never changes which expressions are evaluable —
+  the one hard ordering constraint the naive walk imposes;
+
+* candidate fetches intersect **all** applicable field buckets (narrowest
+  bucket enumerated, remaining probes applied as direct value filters)
+  instead of picking only the single narrowest — see
+  ``Dataspace.candidates_probed``;
+
+* :class:`QueryPlanner` **caches plans** keyed by
+  ``(atoms-signature, bound-variable set)``, with hit/miss counters
+  surfaced through ``repro.obs`` and :class:`~repro.runtime.engine.RunResult`.
+
+Soundness: a joint match is a set of per-atom instance choices satisfying
+a conjunction of equality constraints; conjunction is commutative, so the
+*set* of joint matches is independent of atom order.  Which match an ``∃``
+commits remains an arbitrary seeded-RNG choice (the paper's "an arbitrary
+one of them is selected"), so the planner stays within the semantics while
+changing which legal choice a given seed lands on.  A planner-off engine
+(``SDL_PLAN=off`` / ``Engine(plan="off")``) keeps the naive path alive for
+differential testing — `docs/SEMANTICS.md` §12.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterator, Mapping, Sequence
+
+from repro.core.expressions import Bindings, Const, EvalContext, Expr
+from repro.core.patterns import (
+    LitElement,
+    Pattern,
+    VarElement,
+    WildElement,
+)
+from repro.core.tuples import TupleId, TupleInstance
+
+__all__ = [
+    "CompiledPattern",
+    "PlanStep",
+    "Plan",
+    "QueryPlanner",
+    "compile_pattern",
+    "resolve_plan_mode",
+]
+
+#: Estimated candidate count for a probe whose value is only known at run
+#: time (a variable bound by an *earlier atom*, not by the caller): the
+#: bucket cannot be measured at plan time, so assume index probing recovers
+#: roughly a square-root fan-out of the arity bucket.
+_UNKNOWN_PROBE_EXPONENT = 0.5
+
+#: Plan-cache flush threshold.  Programs build their patterns once, so real
+#: workloads hold a handful of plans; the bound only guards pathological
+#: pattern-churning callers.
+_MAX_CACHE_ENTRIES = 1024
+
+
+def _eval_expr(expr: Expr, env: Mapping[str, Any]) -> Any:
+    """Evaluate a literal-element expression under plain-dict bindings."""
+    if isinstance(expr, Const):
+        return expr.value
+    return expr.evaluate(EvalContext(Bindings(env)))
+
+
+class CompiledPattern:
+    """The once-per-pattern compilation: element kinds split by role.
+
+    Independent of any binding environment — the per-step specialisation
+    (which variable slots probe vs bind) happens in :class:`PlanStep`,
+    where the bound-variable set is statically known from the plan order.
+    """
+
+    __slots__ = (
+        "pattern",
+        "arity",
+        "static_probes",
+        "expr_slots",
+        "var_slots",
+        "binding_names",
+        "expr_free",
+        "free_names",
+    )
+
+    def __init__(self, pattern: Pattern) -> None:
+        self.pattern = pattern
+        self.arity = pattern.arity
+        static_probes: list[tuple[int, Any]] = []
+        expr_slots: list[tuple[int, Expr, frozenset[str]]] = []
+        var_slots: list[tuple[int, str]] = []
+        for position, element in enumerate(pattern.elements):
+            if isinstance(element, WildElement):
+                continue
+            if isinstance(element, VarElement):
+                var_slots.append((position, element.name))
+            else:
+                assert isinstance(element, LitElement)
+                expr = element.expr
+                if isinstance(expr, Const):
+                    static_probes.append((position, expr.value))
+                else:
+                    expr_slots.append((position, expr, expr.free_variables()))
+        self.static_probes = tuple(static_probes)
+        self.expr_slots = tuple(expr_slots)
+        self.var_slots = tuple(var_slots)
+        self.binding_names = frozenset(name for __, name in var_slots)
+        free: frozenset[str] = frozenset()
+        for __, __, names in expr_slots:
+            free |= names
+        self.expr_free = free
+        self.free_names = free | self.binding_names
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledPattern({self.pattern!r}, "
+            f"static={len(self.static_probes)}, exprs={len(self.expr_slots)}, "
+            f"vars={len(self.var_slots)})"
+        )
+
+
+def compile_pattern(pattern: Pattern) -> CompiledPattern:
+    """Compile *pattern* once; the result is memoised on the pattern."""
+    compiled = pattern._compiled
+    if compiled is None:
+        compiled = CompiledPattern(pattern)
+        pattern._compiled = compiled
+    return compiled
+
+
+class PlanStep:
+    """One atom of a plan, specialised to the bound set at its position.
+
+    Because the plan fixes the join order, the set of variables bound when
+    this atom runs is known statically, so each variable slot is resolved
+    at plan time into exactly one of:
+
+    * a **probe** — the variable is already bound: its value narrows the
+      candidate fetch and needs no per-candidate equality code at all
+      (probe filtering subsumes it);
+    * a **binder** — first occurrence: write ``env[name] = values[pos]``;
+    * a **repeat check** — a later occurrence of a variable this same atom
+      binds: ``values[pos] == values[first_pos]``.
+
+    Matching a probe-filtered candidate therefore costs only the repeat
+    checks plus the binder writes — no dict merges, no per-element method
+    dispatch, no :meth:`Pattern.index_constants` recomputation.
+    """
+
+    __slots__ = (
+        "index",
+        "compiled",
+        "static_probes",
+        "probe_vars",
+        "probe_exprs",
+        "binders",
+        "repeat_checks",
+    )
+
+    def __init__(self, index: int, compiled: CompiledPattern, bound_names: frozenset[str]) -> None:
+        self.index = index
+        self.compiled = compiled
+        self.static_probes = compiled.static_probes
+        probe_vars: list[tuple[int, str]] = []
+        binders: list[tuple[int, str]] = []
+        repeat_checks: list[tuple[int, int]] = []
+        first_seen: dict[str, int] = {}
+        for position, name in compiled.var_slots:
+            if name in bound_names:
+                probe_vars.append((position, name))
+            elif name in first_seen:
+                repeat_checks.append((position, first_seen[name]))
+            else:
+                first_seen[name] = position
+                binders.append((position, name))
+        self.probe_vars = tuple(probe_vars)
+        # Expressions are probes too once their variables are bound; by
+        # eligibility they always are at this step (an expression over a
+        # never-bound variable keeps its textual position and raises at
+        # evaluation exactly as the naive walk would).
+        self.probe_exprs = tuple((pos, expr) for pos, expr, __ in compiled.expr_slots)
+        self.binders = tuple(binders)
+        self.repeat_checks = tuple(repeat_checks)
+
+    def probes_for(self, env: Mapping[str, Any]) -> list[tuple[int, Any]]:
+        """The concrete ``(position, value)`` probes under *env*.
+
+        Static probes are precomputed; bound-variable probes are dict
+        lookups; expression probes evaluate once per environment state
+        (not once per candidate, as the naive walk pays).
+        """
+        probes = list(self.static_probes)
+        for position, name in self.probe_vars:
+            probes.append((position, env[name]))
+        for position, expr in self.probe_exprs:
+            probes.append((position, _eval_expr(expr, env)))
+        return probes
+
+    def __repr__(self) -> str:
+        return f"PlanStep(atom={self.index}, {self.compiled.pattern!r})"
+
+
+class Plan:
+    """A selectivity-ordered join plan for one atom conjunction."""
+
+    __slots__ = ("steps", "order", "patterns")
+
+    def __init__(self, steps: Sequence[PlanStep], patterns: Sequence[Pattern]) -> None:
+        self.steps = tuple(steps)
+        self.order = tuple(step.index for step in steps)
+        self.patterns = tuple(patterns)  # keeps id()-keyed cache entries alive
+
+    def __repr__(self) -> str:
+        return f"Plan(order={list(self.order)})"
+
+
+def _estimate(
+    compiled: CompiledPattern,
+    bound_names: set[str],
+    bound_values: Mapping[str, Any],
+    dataspace: Any,
+) -> float:
+    """Estimated candidate count for *compiled* under the current bound set.
+
+    Reads the live index-bucket sizes: the narrowest measurable field
+    bucket wins; probes whose value is only produced by an earlier atom
+    (name bound, value unknown at plan time) are credited a square-root
+    fan-out of the arity bucket; a probe-less atom scans its arity bucket.
+    """
+    arity_size = len(dataspace.by_arity(compiled.arity))
+    if arity_size == 0:
+        return 0.0
+    best: float | None = None
+    unknown_probes = 0
+    if getattr(dataspace, "indexed", False):
+        for position, value in compiled.static_probes:
+            size = len(dataspace.by_field(compiled.arity, position, value))
+            if best is None or size < best:
+                best = float(size)
+        for position, name in compiled.var_slots:
+            if name in bound_values:
+                size = len(dataspace.by_field(compiled.arity, position, bound_values[name]))
+                if best is None or size < best:
+                    best = float(size)
+            elif name in bound_names:
+                unknown_probes += 1
+        for position, expr, free in compiled.expr_slots:
+            if free <= set(bound_values):
+                try:
+                    value = _eval_expr(expr, bound_values)
+                except Exception:
+                    unknown_probes += 1
+                    continue
+                size = len(dataspace.by_field(compiled.arity, position, value))
+                if best is None or size < best:
+                    best = float(size)
+            elif free <= bound_names:
+                unknown_probes += 1
+    if best is not None:
+        return best
+    if unknown_probes:
+        return max(1.0, arity_size ** _UNKNOWN_PROBE_EXPONENT)
+    return float(arity_size)
+
+
+def build_plan(
+    patterns: Sequence[Pattern],
+    bound_names: frozenset[str],
+    bound_values: Mapping[str, Any],
+    dataspace: Any,
+) -> Plan:
+    """Order *patterns* greedily by estimated selectivity and compile steps.
+
+    At each position the cheapest *eligible* atom is chosen — an atom is
+    eligible when every variable its literal expressions reference is bound
+    (by the caller or by an already-placed atom).  The textually-first
+    unplaced atom is always eligible in a valid program (the naive walk
+    evaluates textually), so the loop always progresses; if nothing is
+    eligible the textually-first atom is placed anyway and evaluation
+    raises :class:`~repro.errors.UnboundVariableError` exactly where the
+    naive walk would.  Ties break toward textual order, keeping plans
+    deterministic for a given dataspace shape.
+    """
+    compiled = [compile_pattern(p) for p in patterns]
+    remaining = list(range(len(patterns)))
+    placed: set[str] = set(bound_names)
+    steps: list[PlanStep] = []
+    while remaining:
+        eligible = [i for i in remaining if compiled[i].expr_free <= placed]
+        if not eligible:
+            eligible = [remaining[0]]
+        best_index = min(
+            eligible,
+            key=lambda i: (_estimate(compiled[i], placed, bound_values, dataspace), i),
+        )
+        steps.append(PlanStep(best_index, compiled[best_index], frozenset(placed)))
+        placed |= compiled[best_index].binding_names
+        remaining.remove(best_index)
+    return Plan(steps, patterns)
+
+
+def _rotated(items: list, rng: random.Random | None) -> list:
+    """Seeded arbitrary rotation — same choice discipline as the naive walk."""
+    if rng is None or len(items) < 2:
+        return items
+    start = rng.randrange(len(items))
+    if start == 0:
+        return items
+    return items[start:] + items[:start]
+
+
+def _fetch_candidates(window: Any, step: PlanStep, env: dict[str, Any]) -> list[TupleInstance]:
+    """Probe-intersected candidates for *step* from any window-like object."""
+    probes = step.probes_for(env)
+    fetch = getattr(window, "candidates_probed", None)
+    if fetch is not None:
+        return fetch(step.compiled.arity, probes)
+    # Fallback for bare window-likes exposing only ``candidates``: fetch by
+    # pattern, then apply the probes as direct value filters.
+    raw = window.candidates(step.compiled.pattern, env)
+    if not probes:
+        return raw
+    return [
+        inst for inst in raw
+        if all(inst.values[position] == value for position, value in probes)
+    ]
+
+
+class QueryPlanner:
+    """Per-engine planning service: plan cache plus the planned join.
+
+    The cache is two-level: the atoms signature (identity of the pattern
+    tuple — patterns are immutable and built once per program) maps to the
+    set of *relevant* variable names plus the per-bound-set plans, so two
+    calls whose parameter environments differ only in names the query never
+    mentions share one plan.  Cached entries hold strong references to
+    their patterns, keeping the identity keys valid for the entry lifetime.
+    """
+
+    __slots__ = ("dataspace", "obs", "hits", "misses", "_cache")
+
+    def __init__(self, dataspace: Any, obs: Any = None) -> None:
+        self.dataspace = dataspace
+        self.obs = obs
+        self.hits = 0
+        self.misses = 0
+        # atoms-key -> (patterns, relevant names, {bound-key -> Plan})
+        self._cache: dict[tuple, tuple[tuple, frozenset, dict]] = {}
+
+    # ------------------------------------------------------------------
+    # plan cache
+    # ------------------------------------------------------------------
+    @property
+    def cache_size(self) -> int:
+        return sum(len(plans) for __, __, plans in self._cache.values())
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def plan_for(self, patterns: Sequence[Pattern], bound: Mapping[str, Any]) -> Plan:
+        """The cached (or freshly built) plan for *patterns* under *bound*."""
+        atoms_key = tuple(map(id, patterns))
+        entry = self._cache.get(atoms_key)
+        if entry is None:
+            relevant: frozenset[str] = frozenset()
+            for pattern in patterns:
+                relevant |= compile_pattern(pattern).free_names
+            entry = (tuple(patterns), relevant, {})
+            if len(self._cache) >= _MAX_CACHE_ENTRIES:
+                self._cache.clear()
+            self._cache[atoms_key] = entry
+        __, relevant, plans = entry
+        bound_key = frozenset(name for name in bound if name in relevant)
+        plan = plans.get(bound_key)
+        obs = self.obs
+        if plan is not None:
+            self.hits += 1
+            if obs is not None:
+                obs.count("sdl_plan_cache_total", result="hit")
+            return plan
+        self.misses += 1
+        if obs is not None:
+            obs.count("sdl_plan_cache_total", result="miss")
+            start = obs.spans.now()
+            plan = build_plan(patterns, bound_key, bound, self.dataspace)
+            obs.observe_ns(
+                "plan", start, obs.spans.now() - start,
+                {"atoms": len(patterns), "order": list(plan.order)},
+            )
+        else:
+            plan = build_plan(patterns, bound_key, bound, self.dataspace)
+        if len(plans) >= _MAX_CACHE_ENTRIES:
+            plans.clear()
+        plans[bound_key] = plan
+        return plan
+
+    # ------------------------------------------------------------------
+    # the planned join
+    # ------------------------------------------------------------------
+    def iter_matches(
+        self,
+        window: Any,
+        patterns: Sequence[Pattern],
+        bound: Mapping[str, Any],
+        rng: random.Random | None = None,
+        excluded: frozenset[TupleId] | set[TupleId] = frozenset(),
+    ) -> Iterator[tuple[dict[str, Any], list[TupleInstance]]]:
+        """Planned counterpart of :func:`~repro.core.matching.iter_joint_matches`.
+
+        Same contract: yields ``(bindings, instances)`` with *instances*
+        aligned to the **original** atom order, distinct atoms bind
+        distinct instances, candidates rotate by seeded RNG, and *excluded*
+        is consulted live — matches whose instances were excluded after
+        being chosen are pruned at yield time, which is what lets ``∀``
+        enumeration resume under a growing exclusion set.
+        """
+        plan = self.plan_for(patterns, bound)
+        env: dict[str, Any] = dict(bound)
+        total = len(plan.steps)
+        used: list[TupleInstance | None] = [None] * total
+        used_tids: set[TupleId] = set()
+        steps = plan.steps
+
+        def search(depth: int) -> Iterator[tuple[dict[str, Any], list[TupleInstance]]]:
+            if depth == total:
+                if excluded and not used_tids.isdisjoint(excluded):
+                    return
+                yield dict(env), list(used)  # type: ignore[arg-type]
+                return
+            step = steps[depth]
+            for inst in _rotated(_fetch_candidates(window, step, env), rng):
+                tid = inst.tid
+                if tid in used_tids or tid in excluded:
+                    continue
+                values = inst.values
+                admitted = True
+                for position, first in step.repeat_checks:
+                    if values[position] != values[first]:
+                        admitted = False
+                        break
+                if not admitted:
+                    continue
+                for position, name in step.binders:
+                    env[name] = values[position]
+                used[step.index] = inst
+                used_tids.add(tid)
+                yield from search(depth + 1)
+                used_tids.discard(tid)
+                used[step.index] = None
+                for __, name in step.binders:
+                    del env[name]
+
+        return search(0)
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryPlanner(plans={self.cache_size}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
+
+
+def resolve_plan_mode(plan: str | bool | None, env_value: str | None) -> str:
+    """Normalise an ``Engine(plan=...)`` argument (or ``SDL_PLAN``) to
+    ``"on"`` / ``"off"``.  ``None`` consults the environment default; the
+    planner is on unless explicitly disabled."""
+    if plan is None:
+        plan = env_value if env_value else "on"
+    if isinstance(plan, bool):
+        return "on" if plan else "off"
+    if isinstance(plan, str):
+        normalised = plan.strip().lower()
+        if normalised in ("on", "1", "true", "yes", ""):
+            return "on"
+        if normalised in ("off", "0", "false", "no", "naive"):
+            return "off"
+    raise ValueError(f"unknown plan mode {plan!r}")

@@ -96,7 +96,12 @@ class Membership(Expr):
         if ctx.window is None:
             raise QueryError("Membership evaluated without a window")
         bound = ctx.bindings.as_dict()
-        for bindings, __ in iter_joint_matches(ctx.window, self.patterns, bound, ctx.rng):
+        planner = getattr(ctx.window, "planner", None)
+        if planner is not None:
+            joint = planner.iter_matches(ctx.window, self.patterns, bound, ctx.rng)
+        else:
+            joint = iter_joint_matches(ctx.window, self.patterns, bound, ctx.rng)
+        for bindings, __ in joint:
             if self.test is None:
                 return True
             inner = EvalContext(Bindings(bindings), window=ctx.window, rng=ctx.rng)
@@ -217,13 +222,26 @@ class Query:
         *excluded* instances may not participate in binding atoms; the
         consensus engine uses this to evaluate participants against the
         dataspace net of earlier participants' retractions.
+
+        When *window* carries a query planner (``window.planner``, attached
+        by the engine unless ``plan="off"``), the join runs through the
+        planner's selectivity-ordered compiled kernels; otherwise through
+        the naive textual-order walk.  Both enumerate the same match set —
+        only which arbitrary match a given seed lands on differs.
         """
         bound = dict(params or {})
         patterns = [a.pattern for a in self.atoms]
         retract_mask = [a.retract for a in self.atoms]
+        planner = getattr(window, "planner", None)
+        if planner is not None:
+            def joint(excl):
+                return planner.iter_matches(window, patterns, bound, rng, excl)
+        else:
+            def joint(excl):
+                return iter_joint_matches(window, patterns, bound, rng, excl)
 
         if self.negated:
-            for bindings, __ in iter_joint_matches(window, patterns, bound, rng, excluded):
+            for bindings, __ in joint(excluded):
                 if self._passes_test(bindings, window, rng):
                     return QueryResult(False)
             return QueryResult(True)
@@ -232,7 +250,7 @@ class Query:
             return QueryResult(True, [Match(bound, (), ())])
 
         if self.quantifier == EXISTS:
-            for bindings, instances in iter_joint_matches(window, patterns, bound, rng, excluded):
+            for bindings, instances in joint(excluded):
                 if not self._passes_test(bindings, window, rng):
                     continue
                 retracted = tuple(
@@ -241,37 +259,32 @@ class Query:
                 return QueryResult(True, [Match(bindings, tuple(instances), retracted)])
             return QueryResult(False)
 
-        # FORALL: greedy maximal enumeration.
+        # FORALL: greedy maximal enumeration, resumed in place.  *consumed*
+        # is handed to the generator and mutated while it is suspended; the
+        # matcher consults it live (per-depth at selection time plus a
+        # re-check at the leaf), so accepting a retracting match simply
+        # continues the same enumeration under the updated exclusion set —
+        # one O(n) pass instead of the former full restart after every
+        # retracting match.  Query evaluation never mutates the window, so
+        # the candidate space is stable across the whole enumeration.
         consumed: set[TupleId] = set(excluded)
         seen_signatures: set[tuple] = set()
         matches: list[Match] = []
-        progress = True
-        while progress:
-            progress = False
-            for bindings, instances in iter_joint_matches(
-                window, patterns, bound, rng, excluded=consumed
-            ):
-                if not self._passes_test(bindings, window, rng):
-                    continue
-                retracted = tuple(
-                    inst for inst, kill in zip(instances, retract_mask) if kill
-                )
-                signature = (
-                    tuple(bindings.get(v) for v in self.variables),
-                    tuple(sorted(i.tid for i in retracted)),
-                )
-                if signature in seen_signatures:
-                    continue
-                seen_signatures.add(signature)
-                consumed.update(i.tid for i in retracted)
-                matches.append(Match(bindings, tuple(instances), retracted))
-                if retracted:
-                    # Restart enumeration: the exclusion set changed under
-                    # the running generator.
-                    progress = True
-                    break
-            else:
-                progress = False
+        for bindings, instances in joint(consumed):
+            if not self._passes_test(bindings, window, rng):
+                continue
+            retracted = tuple(
+                inst for inst, kill in zip(instances, retract_mask) if kill
+            )
+            signature = (
+                tuple(bindings.get(v) for v in self.variables),
+                tuple(sorted(i.tid for i in retracted)),
+            )
+            if signature in seen_signatures:
+                continue
+            seen_signatures.add(signature)
+            consumed.update(i.tid for i in retracted)
+            matches.append(Match(bindings, tuple(instances), retracted))
         if self.require_nonempty and not matches:
             return QueryResult(False)
         return QueryResult(True, matches)

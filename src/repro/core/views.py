@@ -248,7 +248,7 @@ class Window:
     """
 
     __slots__ = (
-        "dataspace", "view", "params", "stats",
+        "dataspace", "view", "params", "stats", "planner",
         "_memo", "_memo_version", "_footprint", "_footprint_frozen",
     )
 
@@ -257,6 +257,11 @@ class Window:
         self.view = view
         self.params = params
         self.stats = WindowStats()
+        #: Engine-attached :class:`repro.core.plan.QueryPlanner` (or ``None``
+        #: for the naive textual-order walk).  Query evaluation dispatches on
+        #: this attribute, so a bare ``View.window(...)`` — e.g. the serial
+        #: replay of ``validate_serial_equivalence`` — stays naive.
+        self.planner = None
         self._memo: dict[TupleId, bool] = {}
         self._memo_version = dataspace.version
         #: Delta-maintained footprint set (restricted views only); ``None``
@@ -339,6 +344,15 @@ class Window:
     ) -> list[TupleInstance]:
         """Candidate instances for *pat* within the window."""
         raw = self.dataspace.candidates(pat, bound)
+        if self.view.imports is None:
+            return raw
+        return [inst for inst in raw if self.imports_instance(inst)]
+
+    def candidates_probed(
+        self, arity: int, probes: list[tuple[int, Any]]
+    ) -> list[TupleInstance]:
+        """Probe-intersected candidates within the window (planner path)."""
+        raw = self.dataspace.candidates_probed(arity, probes)
         if self.view.imports is None:
             return raw
         return [inst for inst in raw if self.imports_instance(inst)]

@@ -55,6 +55,7 @@ __all__ = [
 #: Per-site latency histogram names (the instrumentation sites of §11).
 SITE_HISTOGRAMS = {
     "match": "sdl_match_seconds",
+    "plan": "sdl_plan_seconds",
     "wakeup": "sdl_wakeup_seconds",
     "group-admit": "sdl_group_admit_seconds",
     "group-apply": "sdl_group_apply_seconds",
@@ -66,6 +67,7 @@ SITE_HISTOGRAMS = {
 
 _SITE_HELP = {
     "match": "Dataspace.candidates: index probe + snapshot build",
+    "plan": "QueryPlanner: selectivity estimation + plan construction (cache misses only)",
     "wakeup": "WakeupIndex.affected: wake candidate selection + verification",
     "group-admit": "group round phase B: snapshot evaluation + conflict admission",
     "group-apply": "group round phase C: applying the admitted batch",

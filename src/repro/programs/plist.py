@@ -181,10 +181,16 @@ def _lookup_answer(engine: Engine, prop: Any) -> Any:
 
 
 def run_search(
-    rows: list[tuple], prop: Any, seed: int = 0, detail: bool = False
+    rows: list[tuple], prop: Any, seed: int = 0, detail: bool = False, **engine_kwargs
 ) -> PlistRun:
-    """Search for *prop* starting at node 0 of the list in *rows*."""
-    engine = Engine(definitions=[search_definition()], seed=seed, trace=Trace(detail))
+    """Search for *prop* starting at node 0 of the list in *rows*.
+
+    Extra keyword arguments go straight to :class:`Engine` — e.g.
+    ``plan="off"`` or ``commit="group"``.
+    """
+    engine = Engine(
+        definitions=[search_definition()], seed=seed, trace=Trace(detail), **engine_kwargs
+    )
     engine.assert_tuples(rows)
     engine.start("Search", (0, prop))
     result = engine.run()
@@ -192,22 +198,28 @@ def run_search(
 
 
 def run_find(
-    rows: list[tuple], prop: Any, seed: int = 0, detail: bool = False
+    rows: list[tuple], prop: Any, seed: int = 0, detail: bool = False, **engine_kwargs
 ) -> PlistRun:
     """Find *prop* anywhere in the (stable) list in *rows*."""
-    engine = Engine(definitions=[find_definition()], seed=seed, trace=Trace(detail))
+    engine = Engine(
+        definitions=[find_definition()], seed=seed, trace=Trace(detail), **engine_kwargs
+    )
     engine.assert_tuples(rows)
     engine.start("Find", (prop,))
     result = engine.run()
     return PlistRun(_lookup_answer(engine, prop), result, engine.trace, engine)
 
 
-def run_sort(rows: list[tuple], seed: int = 0, detail: bool = False) -> PlistRun:
+def run_sort(
+    rows: list[tuple], seed: int = 0, detail: bool = False, **engine_kwargs
+) -> PlistRun:
     """Sort the list in *rows* by property name; one Sort per node.
 
     The answer is the resulting name order (walked along the chain).
     """
-    engine = Engine(definitions=[sort_definition()], seed=seed, trace=Trace(detail))
+    engine = Engine(
+        definitions=[sort_definition()], seed=seed, trace=Trace(detail), **engine_kwargs
+    )
     engine.assert_tuples(rows)
     for row in rows:
         engine.start("Sort", (row[0], row[3]))

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence as Seq
 
 from repro.core.dataspace import Dataspace
+from repro.core.plan import QueryPlanner, resolve_plan_mode
 from repro.core.process import ProcessDefinition, ProcessInstance
 from repro.core.society import ProcessSociety
 from repro.core.views import Window, WindowStats
@@ -85,6 +86,10 @@ class RunResult:
     restarts: int = 0
     recoveries: int = 0
     checkpoints: int = 0
+    # Query-planner counters (zero under ``plan="off"``): plan-cache
+    # lookups that reused a compiled plan vs. built one.
+    plan_hits: int = 0
+    plan_misses: int = 0
     # Observability snapshot: the metrics registry dump of the run
     # (``repro.obs``) when the engine ran with observability enabled,
     # ``{}`` otherwise.  Keys are metric names; per-site latency
@@ -123,6 +128,12 @@ class RunResult:
         probes = self.window_hits + self.window_misses
         return self.window_hits / probes if probes else 0.0
 
+    @property
+    def plan_hit_rate(self) -> float:
+        """Fraction of plan-cache lookups served without rebuilding."""
+        lookups = self.plan_hits + self.plan_misses
+        return self.plan_hits / lookups if lookups else 0.0
+
 
 class Engine:
     """Executes an SDL program over a dataspace and a process society."""
@@ -144,6 +155,7 @@ class Engine:
         supervision: "dict[str, RestartPolicy] | RestartPolicy | None" = None,
         checkpoint_interval: int | None = None,
         obs: "Observability | bool | str | None" = None,
+        plan: "str | bool | None" = None,
     ) -> None:
         if policy not in ("random", "fifo"):
             raise EngineError(f"unknown scheduling policy {policy!r}")
@@ -189,6 +201,20 @@ class Engine:
         # the hook never consumes :attr:`rng`, so an instrumented run is
         # bit-identical to a bare one.
         self.obs: Observability | None = resolve_obs(obs)
+
+        # Cost-based query planning (``repro.core.plan``): on by default;
+        # ``plan="off"`` (or env ``SDL_PLAN=off``) keeps the naive
+        # textual-order matcher alive for differential testing.  The
+        # planner rides on windows (``window.planner``), so the serial
+        # replay of ``validate="serial"`` — which builds bare windows —
+        # always re-checks group rounds against the naive walk.
+        try:
+            self.plan = resolve_plan_mode(plan, os.environ.get("SDL_PLAN"))
+        except ValueError as exc:
+            raise EngineError(str(exc)) from None
+        self.planner: QueryPlanner | None = (
+            QueryPlanner(self.dataspace, obs=self.obs) if self.plan == "on" else None
+        )
 
         # Crash-stop failure model: a fault plan (env SDL_FAULTS supplies a
         # default so whole suites can be swept), a supervisor (always
@@ -347,6 +373,7 @@ class Engine:
             # finished engine leaves no subscription behind (checkpoints and
             # journal stay queryable — ``recover``/``verify`` still work).
             self.recovery.close()
+        planner = self.planner
         metrics: dict[str, Any] = {}
         if self.obs is not None:
             o = self.obs
@@ -354,6 +381,9 @@ class Engine:
             o.gauge("sdl_rounds_total", self.scheduler.round_count)
             o.gauge("sdl_steps_total", self.step_count)
             o.gauge("sdl_commits_total", counters.commits)
+            if planner is not None:
+                o.gauge("sdl_plan_cache_size", planner.cache_size)
+                o.gauge("sdl_plan_hit_rate", planner.hit_rate)
             metrics = o.snapshot()
         return RunResult(
             reason=reason,
@@ -381,6 +411,8 @@ class Engine:
             restarts=counters.restarts,
             recoveries=self.supervisor.recoveries,
             checkpoints=counters.checkpoints,
+            plan_hits=planner.hits if planner is not None else 0,
+            plan_misses=planner.misses if planner is not None else 0,
             metrics=metrics,
         )
 
@@ -445,6 +477,7 @@ class Engine:
         window = self._windows.get(process.pid)
         if window is None:
             window = process.view.window(self.dataspace, process.params)
+            window.planner = self.planner
             self._windows[process.pid] = window
         return window
 

@@ -1091,10 +1091,23 @@ class _SnapshotLens:
         self.window.refresh()
         return self
 
+    @property
+    def planner(self):
+        """The underlying window's planner, so planned evaluation sees the
+        same snapshot discipline as the naive path."""
+        return getattr(self.window, "planner", None)
+
     def candidates(self, pat, bound=None) -> list:
         return [
             inst
             for inst in self.window.candidates(pat, bound)
+            if inst.tid.serial <= self.max_serial
+        ]
+
+    def candidates_probed(self, arity, probes) -> list:
+        return [
+            inst
+            for inst in self.window.candidates_probed(arity, probes)
             if inst.tid.serial <= self.max_serial
         ]
 

@@ -63,6 +63,10 @@ class RunMetrics:
     crashes: int = 0
     restarts: int = 0
     recoveries: int = 0
+    # query-planner counters (zero under ``plan="off"``)
+    plan_hits: int = 0
+    plan_misses: int = 0
+    plan_hit_rate: float = 0.0
     # observability snapshot (``RunResult.metrics``; empty when obs is off)
     obs: dict[str, Any] = field(default_factory=dict)
 
@@ -100,6 +104,7 @@ class RunMetrics:
             "crashes": self.crashes,
             "restarts": self.restarts,
             "recoveries": self.recoveries,
+            "plan_hit_rate": round(self.plan_hit_rate, 3),
             "obs_sites": sum(1 for count in self.obs_sites().values() if count),
         }
 
@@ -134,6 +139,9 @@ def run_metrics(result: RunResult, trace: Trace) -> RunMetrics:
         crashes=result.crashes,
         restarts=result.restarts,
         recoveries=result.recoveries,
+        plan_hits=result.plan_hits,
+        plan_misses=result.plan_misses,
+        plan_hit_rate=result.plan_hit_rate,
         obs=result.metrics,
     )
 

@@ -1,0 +1,189 @@
+"""Differential properties: planner-on vs planner-off (naive) evaluation.
+
+The planner reorders atoms and intersects index buckets but must preserve
+the semantics exactly: the *set* of joint matches is identical, query
+verdicts are identical, and whole-program outcomes agree.  ``∃`` commits
+an arbitrary match and ``∀`` enumerates greedily, so individual committed
+matches may differ between the two paths for a given seed — the properties
+below assert exactly the order-independent facts.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dataspace import Dataspace
+from repro.core.expressions import variables
+from repro.core.patterns import ANY, P
+from repro.core.plan import QueryPlanner
+from repro.core.matching import iter_joint_matches
+from repro.core.query import Query
+from repro.core.views import FULL_VIEW
+from repro.programs.labeling import run_worker_labeling
+from repro.programs.summation import run_sum2
+from repro.workloads import stripe_image
+
+A, B, C = variables("a b c")
+
+NAMES = ("r", "s")
+VALUES = st.integers(min_value=0, max_value=3)
+
+rows = st.lists(
+    st.tuples(st.sampled_from(NAMES), VALUES, VALUES), min_size=0, max_size=12
+)
+
+fields = st.one_of(
+    st.just(ANY),
+    st.sampled_from((A, B, C)),
+    VALUES,
+)
+
+atoms = st.tuples(st.sampled_from(NAMES), fields, fields).map(
+    lambda t: P[t[0], t[1], t[2]]
+)
+
+pattern_lists = st.lists(atoms, min_size=1, max_size=3)
+
+
+def space_of(tuples):
+    ds = Dataspace()
+    ds.insert_many(tuples)
+    return ds
+
+
+def canonical(matches):
+    return sorted(
+        (tuple(sorted(b.items())), tuple(sorted(i.tid for i in insts)))
+        for b, insts in matches
+    )
+
+
+def planner_window(ds):
+    window = FULL_VIEW.window(ds)
+    window.planner = QueryPlanner(ds)
+    return window
+
+
+class TestJointMatchDifferential:
+    @given(rows, pattern_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_planned_enumeration_equals_naive(self, tuples, patterns):
+        ds = space_of(tuples)
+        naive = canonical(iter_joint_matches(ds, patterns, {}))
+        planned = canonical(QueryPlanner(ds).iter_matches(ds, patterns, {}))
+        assert planned == naive
+
+    @given(rows, pattern_lists, st.dictionaries(st.sampled_from("ab"), VALUES))
+    @settings(max_examples=60, deadline=None)
+    def test_differential_under_prebound_variables(self, tuples, patterns, bound):
+        ds = space_of(tuples)
+        naive = canonical(iter_joint_matches(ds, patterns, bound))
+        planned = canonical(QueryPlanner(ds).iter_matches(ds, patterns, bound))
+        assert planned == naive
+
+    @given(rows, pattern_lists, st.integers(0, 999))
+    @settings(max_examples=40, deadline=None)
+    def test_planned_enumeration_is_seed_deterministic(self, tuples, patterns, seed):
+        ds = space_of(tuples)
+        planner = QueryPlanner(ds)
+        one = canonical(
+            planner.iter_matches(ds, patterns, {}, random.Random(seed))
+        )
+        two = canonical(
+            planner.iter_matches(ds, patterns, {}, random.Random(seed))
+        )
+        assert one == two
+
+
+class TestQueryDifferential:
+    @given(rows, pattern_lists, st.integers(0, 999))
+    @settings(max_examples=40, deadline=None)
+    def test_exists_verdicts_agree(self, tuples, patterns, seed):
+        ds = space_of(tuples)
+        q = Query("exists", (A, B, C), patterns)
+        on = q.evaluate(planner_window(ds), {}, random.Random(seed))
+        off = q.evaluate(FULL_VIEW.window(ds), {}, random.Random(seed))
+        assert on.success == off.success
+
+    @given(rows, pattern_lists, st.integers(0, 999))
+    @settings(max_examples=40, deadline=None)
+    def test_negated_verdicts_agree(self, tuples, patterns, seed):
+        ds = space_of(tuples)
+        q = Query("exists", (), patterns, negated=True)
+        on = q.evaluate(planner_window(ds), {}, random.Random(seed))
+        off = q.evaluate(FULL_VIEW.window(ds), {}, random.Random(seed))
+        assert on.success == off.success
+
+    @given(rows, pattern_lists, st.integers(0, 999))
+    @settings(max_examples=40, deadline=None)
+    def test_forall_read_only_match_sets_agree(self, tuples, patterns, seed):
+        # Without retraction the greedy enumeration accepts *every* match,
+        # so the committed binding set must be order-independent.
+        ds = space_of(tuples)
+        q = Query("forall", (A, B, C), patterns)
+        on = q.evaluate(planner_window(ds), {}, random.Random(seed))
+        off = q.evaluate(FULL_VIEW.window(ds), {}, random.Random(seed))
+        assert on.success and off.success
+        sig = lambda r: sorted(  # noqa: E731
+            tuple(sorted(m.bindings.items())) for m in r.matches
+        )
+        assert sig(on) == sig(off)
+
+    @given(rows, pattern_lists, st.integers(0, 999))
+    @settings(max_examples=40, deadline=None)
+    def test_forall_retracting_stays_disjoint(self, tuples, patterns, seed):
+        # Greedy maximality under retraction: accepted matches retract
+        # pairwise-disjoint instances on both paths (the committed *sets*
+        # may legitimately differ between enumeration orders).
+        from repro.core.query import QueryAtom
+
+        ds = space_of(tuples)
+        q = Query(
+            "forall", (A, B, C), [QueryAtom(p, retract=True) for p in patterns]
+        )
+        for window in (planner_window(ds), FULL_VIEW.window(ds)):
+            result = q.evaluate(window, {}, random.Random(seed))
+            assert result.success
+            used = [i.tid for m in result.matches for i in m.retracted]
+            assert len(used) == len(set(used))
+
+
+class TestProgramDifferential:
+    @given(
+        st.integers(1, 3).flatmap(
+            lambda a: st.lists(
+                st.integers(-50, 50), min_size=2**a, max_size=2**a
+            )
+        ),
+        st.integers(0, 99),
+        st.sampled_from(["live", "group"]),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_summation_state_agrees_across_planner_modes(self, values, seed, commit):
+        on = run_sum2(values, seed=seed, commit=commit, plan="on")
+        off = run_sum2(values, seed=seed, commit=commit, plan="off")
+        assert on.total == off.total == sum(values)
+        assert on.engine.dataspace.multiset() == off.engine.dataspace.multiset()
+        assert (off.result.plan_hits, off.result.plan_misses) == (0, 0)
+        assert on.result.plan_misses >= 1
+
+    @given(st.integers(0, 99))
+    @settings(max_examples=8, deadline=None)
+    def test_summation_is_seed_deterministic_with_planner(self, seed):
+        one = run_sum2([3, 1, 4, 1, 5, 9, 2, 6], seed=seed, plan="on")
+        two = run_sum2([3, 1, 4, 1, 5, 9, 2, 6], seed=seed, plan="on")
+        assert one.total == two.total
+        assert one.result.steps == two.result.steps
+        assert one.engine.dataspace.snapshot() == two.engine.dataspace.snapshot()
+        assert (one.result.plan_hits, one.result.plan_misses) == (
+            two.result.plan_hits,
+            two.result.plan_misses,
+        )
+
+    @given(st.integers(0, 9))
+    @settings(max_examples=4, deadline=None)
+    def test_labeling_agrees_across_planner_modes(self, seed):
+        image = stripe_image(3, 3, stripe=1)
+        on = run_worker_labeling(image, seed=seed, plan="on")
+        off = run_worker_labeling(image, seed=seed, plan="off")
+        assert on.labels == off.labels
