@@ -697,6 +697,66 @@ def e16() -> None:
     )
 
 
+def e17() -> None:
+    from repro.core.actions import assert_tuple
+    from repro.core.expressions import Var
+    from repro.core.process import ProcessDefinition
+    from repro.core.transactions import delayed
+    from repro.runtime.engine import Engine
+
+    a = Var("a")
+    workers, depth = 24, 3
+    worker = ProcessDefinition(
+        "W",
+        params=("k",),
+        body=[
+            delayed(exists(a).match(P[Var("k"), a].retract())).then(
+                assert_tuple("done", Var("k"), a)
+            )
+            for __ in range(depth)
+        ],
+    )
+
+    def run(shards, commit="live", obs=None):
+        engine = Engine(
+            definitions=[worker], seed=7, commit=commit, shards=shards, obs=obs
+        )
+        engine.assert_tuples([(k, d) for k in range(workers) for d in range(depth)])
+        for k in range(workers):
+            engine.start("W", (k,))
+        result = engine.run()
+        assert result.completed
+        return engine, result
+
+    rows = []
+    for shards in ("single", 2, 4, 8):
+        __, t_best = min(
+            (timed(run, shards) for __ in range(3)), key=lambda pair: pair[1]
+        )
+        engine, result = run(shards, commit="group", obs=True)
+        skips = result.metrics.get("sdl_shard_disjoint_admits_total", {}).get(
+            "data", 0
+        )
+        sizes = engine.dataspace.shard_sizes()
+        rows.append(
+            [
+                engine.dataspace.shard_spec,
+                f"{t_best*1000:.1f}",
+                result.rounds,
+                result.max_batch,
+                skips,
+                "/".join(str(s) for s in sizes),
+            ]
+        )
+    table(
+        "E17 — sharded storage: routing cost and disjoint-admission bypass "
+        f"({workers} communities x {depth})",
+        ["layout", "live ms (best of 3)", "group rounds", "max batch",
+         "pairwise checks skipped", "shard occupancy"],
+        rows,
+    )
+
+
 def main() -> None:
     print("# Experiment report (regenerated)")
     e1_e2()
@@ -713,6 +773,7 @@ def main() -> None:
     e14()
     e15()
     e16()
+    e17()
 
 
 if __name__ == "__main__":

@@ -130,6 +130,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         faults=args.faults,
         obs=obs,
         plan=args.plan,
+        shards=args.shards,
     )
     if args.data:
         engine.assert_tuples(_load_tuples(args.data))
@@ -205,6 +206,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="cross-check group rounds against a serial replay")
     run.add_argument("--plan", choices=["on", "off"], default=None,
                      help="cost-based query planner (default: SDL_PLAN or on)")
+    run.add_argument("--shards", default=None, metavar="SPEC",
+                     help="dataspace storage layout: 'single', an integer N, "
+                          "or 'head:N' (default: SDL_SHARDS or single)")
     run.add_argument("--faults", default=None, metavar="PLAN",
                      help="fault-injection plan, e.g. "
                           "'seed=7; pre-commit:crash:name=W:at=2' "

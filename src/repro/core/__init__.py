@@ -10,6 +10,13 @@ unit-testable.  The :mod:`repro.runtime` package supplies the interleaving.
 from repro.core.values import Atom, is_value, check_value
 from repro.core.tuples import TupleId, TupleInstance
 from repro.core.dataspace import Dataspace
+from repro.core.storage import (
+    HeadPartitioner,
+    Partitioner,
+    SinglePartitioner,
+    TupleStore,
+    resolve_shards,
+)
 from repro.core.expressions import (
     Bindings,
     Const,
@@ -51,6 +58,11 @@ __all__ = [
     "TupleId",
     "TupleInstance",
     "Dataspace",
+    "TupleStore",
+    "Partitioner",
+    "SinglePartitioner",
+    "HeadPartitioner",
+    "resolve_shards",
     "Bindings",
     "Const",
     "Expr",

@@ -17,25 +17,46 @@ change event is additionally recorded in a bounded **journal** so consumers
 holding a version watermark (notably :class:`~repro.core.views.Window`) can
 pull the *delta* since their last refresh instead of recomputing from
 scratch — the mechanical basis of the delta-driven reactivity pipeline.
+
+Physically, the dataspace is now a **routing facade** over one or more
+:class:`~repro.core.storage.TupleStore` shards selected by a
+:class:`~repro.core.storage.Partitioner` (``Dataspace(shards=...)``).  The
+facade owns every global invariant, and the default ``single`` layout is
+bit-identical to the historical monolith.  Under ``head`` partitioning the
+observable behavior is *still* identical — the properties that make this
+true, each load-bearing for the differential test suite:
+
+* **global numbering** — serials and versions are assigned by the facade,
+  so instance identity and journal versions are layout-independent;
+* **serial-order merges** — within one store, dict insertion order equals
+  ascending-serial order; cross-shard reads k-way-merge by serial, which
+  reproduces a single store's iteration order exactly;
+* **global bucket selection** — :meth:`candidates` picks the narrowest
+  index bucket by *global* size with the same first-wins tie-break as a
+  single store, so seeded-RNG arbitration over the result is unchanged;
+* **journal merge** — per-shard journals hold sub-changes stamped with the
+  global version; :meth:`changes_since` reassembles them by version (and
+  by serial within a change), under the exact availability window
+  (:data:`JOURNAL_DEPTH` events) the monolith had.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from typing import Any, Callable, Iterable, Iterator, Mapping
 
 from repro.core.patterns import Pattern
+from repro.core.storage import (
+    JOURNAL_DEPTH,
+    Partitioner,
+    TupleStore,
+    merge_by_serial,
+    resolve_shards,
+)
 from repro.core.tuples import TupleId, TupleInstance, make_tuple
 from repro.core.values import value_repr
 from repro.errors import SDLError
 
-__all__ = ["Dataspace", "DataspaceChange"]
-
-#: How many change events the delta journal retains.  A consumer whose
-#: watermark has fallen further behind than this must do a full recompute
-#: (``changes_since`` returns ``None``), so the bound only trades memory
-#: for how *stale* a window may get before losing the incremental path.
-JOURNAL_DEPTH = 512
+__all__ = ["Dataspace", "DataspaceChange", "JOURNAL_DEPTH"]
 
 
 class DataspaceChange:
@@ -105,18 +126,37 @@ class Dataspace:
     through :meth:`insert` / :meth:`retract` so the indexes stay consistent.
     """
 
-    def __init__(self, indexed: bool = True) -> None:
+    def __init__(
+        self,
+        indexed: bool = True,
+        shards: "str | int | Partitioner | None" = "single",
+    ) -> None:
         """*indexed=False* disables the field index (arity buckets remain),
         degrading candidate selection to arity scans — exists only for the
-        A1 ablation benchmark quantifying what content addressing buys."""
+        A1 ablation benchmark quantifying what content addressing buys.
+        *shards* selects the physical layout (see
+        :func:`~repro.core.storage.resolve_shards`); every layout is
+        observably identical, so it is a performance/placement knob only."""
         #: Observability hook (``repro.obs.Observability`` or ``None``).
         #: ``None`` keeps :meth:`candidates` on the original path at
         #: original cost; the engine attaches a live instance when
         #: observability is enabled (see ``attach_obs``).
         self._obs = None
-        self._instances: dict[TupleId, TupleInstance] = {}
-        self._by_arity: dict[int, dict[TupleId, TupleInstance]] = {}
-        self._by_field: dict[tuple[int, int, Any], dict[TupleId, TupleInstance]] = {}
+        self.indexed = indexed
+        self.partitioner: Partitioner = resolve_shards(shards)
+        self.stores: tuple[TupleStore, ...] = tuple(
+            TupleStore(i, indexed) for i in range(self.partitioner.shard_count)
+        )
+        #: Fast path: the sole store under ``single`` layout, else ``None``.
+        self._single: TupleStore | None = (
+            self.stores[0] if len(self.stores) == 1 else None
+        )
+        #: Multi-shard only: tid -> home shard, so retract/get need not
+        #: rehash (and never depend on the partitioner being pure — though
+        #: it is).  ``None`` under the single layout.
+        self._tid_shard: dict[TupleId, int] | None = (
+            None if self._single is not None else {}
+        )
         self._serial = 0
         self._version = 0
         #: Listeners keyed by registration token: the same callable may be
@@ -129,20 +169,51 @@ class Dataspace:
         #: subscribe/unsubscribe: steady-state mutation then notifies with
         #: O(1) allocations instead of copying the registry every change.
         self._listener_snapshot: tuple[Callable[[DataspaceChange], None], ...] | None = ()
-        self._journal: deque[DataspaceChange] = deque(maxlen=JOURNAL_DEPTH)
-        self.indexed = indexed
+
+    # ------------------------------------------------------------------
+    # shard layout
+    # ------------------------------------------------------------------
+    @property
+    def shard_count(self) -> int:
+        return len(self.stores)
+
+    @property
+    def shard_spec(self) -> str:
+        """The normalised layout spec (``"single"`` or ``"head:N"``)."""
+        return self.partitioner.spec
+
+    def shard_sizes(self) -> tuple[int, ...]:
+        """Per-shard occupancy (observability gauges, placement tests)."""
+        return tuple(len(store) for store in self.stores)
+
+    def store_of(self, tid: TupleId) -> TupleStore:
+        """The shard holding *tid* (raises like :meth:`get` when absent)."""
+        if self._single is not None:
+            store = self._single
+        else:
+            shard = self._tid_shard.get(tid)
+            if shard is None:
+                raise SDLError(f"tuple {tid!r} is not in the dataspace")
+            store = self.stores[shard]
+        if tid not in store.instances:
+            raise SDLError(f"tuple {tid!r} is not in the dataspace")
+        return store
 
     # ------------------------------------------------------------------
     # basic protocol
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._instances)
+        if self._single is not None:
+            return len(self._single.instances)
+        return len(self._tid_shard)
 
     def __contains__(self, tid: TupleId) -> bool:
-        return tid in self._instances
+        if self._single is not None:
+            return tid in self._single.instances
+        return tid in self._tid_shard
 
     def __iter__(self) -> Iterator[TupleInstance]:
-        return iter(self._instances.values())
+        return self.instances()
 
     @property
     def version(self) -> int:
@@ -160,17 +231,26 @@ class Dataspace:
         return self._serial
 
     def get(self, tid: TupleId) -> TupleInstance:
-        try:
-            return self._instances[tid]
-        except KeyError:
-            raise SDLError(f"tuple {tid!r} is not in the dataspace") from None
+        if self._single is not None:
+            try:
+                return self._single.instances[tid]
+            except KeyError:
+                raise SDLError(f"tuple {tid!r} is not in the dataspace") from None
+        shard = self._tid_shard.get(tid)
+        if shard is None:
+            raise SDLError(f"tuple {tid!r} is not in the dataspace")
+        return self.stores[shard].instances[tid]
 
     def instances(self) -> Iterator[TupleInstance]:
-        """Iterate over all live instances (insertion order)."""
-        return iter(self._instances.values())
+        """Iterate over all live instances (global admission order)."""
+        if self._single is not None:
+            return iter(self._single.instances.values())
+        return iter(merge_by_serial(store.instances for store in self.stores))
 
     def tids(self) -> frozenset[TupleId]:
-        return frozenset(self._instances)
+        if self._single is not None:
+            return frozenset(self._single.instances)
+        return frozenset(self._tid_shard)
 
     # ------------------------------------------------------------------
     # mutation
@@ -196,34 +276,29 @@ class Dataspace:
         return instances
 
     def _admit(self, values: tuple, owner: int) -> TupleInstance:
-        """Index a new instance without emitting a change event."""
+        """Route a new instance to its home shard (no change event)."""
         self._serial += 1
         instance = make_tuple(values, serial=self._serial, owner=owner)
-        self._instances[instance.tid] = instance
-        self._by_arity.setdefault(instance.arity, {})[instance.tid] = instance
-        if self.indexed:
-            for position, value in enumerate(instance.values):
-                key = (instance.arity, position, value)
-                self._by_field.setdefault(key, {})[instance.tid] = instance
+        if self._single is not None:
+            self._single.admit(instance)
+        else:
+            shard = self.partitioner.shard_of_values(instance.values)
+            self._tid_shard[instance.tid] = shard
+            self.stores[shard].admit(instance)
         return instance
 
     def retract(self, tid: TupleId) -> TupleInstance:
         """Retract one instance; other instances with equal values survive."""
-        try:
-            instance = self._instances.pop(tid)
-        except KeyError:
-            raise SDLError(f"cannot retract {tid!r}: not in the dataspace") from None
-        arity_bucket = self._by_arity[instance.arity]
-        del arity_bucket[tid]
-        if not arity_bucket:
-            del self._by_arity[instance.arity]
-        if self.indexed:
-            for position, value in enumerate(instance.values):
-                key = (instance.arity, position, value)
-                field_bucket = self._by_field[key]
-                del field_bucket[tid]
-                if not field_bucket:
-                    del self._by_field[key]
+        if self._single is not None:
+            try:
+                instance = self._single.remove(tid)
+            except KeyError:
+                raise SDLError(f"cannot retract {tid!r}: not in the dataspace") from None
+        else:
+            shard = self._tid_shard.pop(tid, None)
+            if shard is None:
+                raise SDLError(f"cannot retract {tid!r}: not in the dataspace")
+            instance = self.stores[shard].remove(tid)
         self._bump(DataspaceChange.RETRACT, (), (instance,))
         return instance
 
@@ -235,29 +310,101 @@ class Dataspace:
     ) -> None:
         self._version += 1
         change = DataspaceChange(kind, asserted, retracted, self._version)
-        self._journal.append(change)
+        if self._single is not None:
+            self._single.journal.append(change)
+        else:
+            self._journal_split(change)
         listeners = self._listener_snapshot
         if listeners is None:
             listeners = self._listener_snapshot = tuple(self._listeners.values())
         for listener in listeners:
             listener(change)
 
+    def _journal_split(self, change: DataspaceChange) -> None:
+        """File *change* in the journal of every shard it touched.
+
+        A change confined to one shard is filed as-is; one spanning shards
+        (an ``insert_many`` batch) is split into per-shard sub-changes all
+        stamped with the same global version, so :meth:`changes_since` can
+        reassemble the original event exactly.
+        """
+        shard_of = self.partitioner.shard_of_values
+        asserted = change.asserted
+        retracted = change.retracted
+        if len(asserted) + len(retracted) == 1:
+            # Single-instance change — the overwhelmingly common case
+            # (every insert/retract): file as-is, no grouping pass.
+            inst = asserted[0] if asserted else retracted[0]
+            self.stores[shard_of(inst.values)].journal.append(change)
+            return
+        parts: dict[int, tuple[list, list]] = {}
+        for inst in change.asserted:
+            parts.setdefault(shard_of(inst.values), ([], []))[0].append(inst)
+        for inst in change.retracted:
+            parts.setdefault(shard_of(inst.values), ([], []))[1].append(inst)
+        if len(parts) == 1:
+            (shard,) = parts
+            self.stores[shard].journal.append(change)
+            return
+        for shard, (asserted, retracted) in parts.items():
+            self.stores[shard].journal.append(
+                DataspaceChange(
+                    change.kind, tuple(asserted), tuple(retracted), change.version
+                )
+            )
+
     def changes_since(self, version: int) -> list[DataspaceChange] | None:
         """The change events after *version*, oldest first.
 
         Returns ``None`` when the journal no longer reaches back to
         *version* (the consumer fell more than :data:`JOURNAL_DEPTH` events
-        behind) — the caller must then recompute from scratch.
+        behind) — the caller must then recompute from scratch.  Under a
+        sharded layout the per-shard journals are merged by global version
+        (the merged WAL), with sub-changes of one version recombined in
+        ascending-serial order; the availability window is identical to a
+        single store's.
         """
         if version >= self._version:
             return []
-        journal = self._journal
-        if not journal or journal[0].version > version + 1:
+        if self._single is not None:
+            journal = self._single.journal
+            if not journal or journal[0].version > version + 1:
+                return None
+            # Versions advance by exactly 1 per journal entry, so the slice
+            # starts at a computable offset rather than a scan.
+            start = len(journal) - (self._version - version)
+            return [journal[i] for i in range(start, len(journal))]
+        expected = self._version - version
+        if expected > JOURNAL_DEPTH:
             return None
-        # Versions advance by exactly 1 per journal entry, so the slice
-        # starts at a computable offset rather than a scan.
-        start = len(journal) - (self._version - version)
-        return [journal[i] for i in range(start, len(journal))]
+        by_version: dict[int, list[DataspaceChange]] = {}
+        for store in self.stores:
+            for entry in reversed(store.journal):
+                if entry.version <= version:
+                    break
+                by_version.setdefault(entry.version, []).append(entry)
+        if len(by_version) != expected:
+            return None  # a shard journal evicted part of the window
+        out: list[DataspaceChange] = []
+        for v in sorted(by_version):
+            entries = by_version[v]
+            if len(entries) == 1:
+                out.append(entries[0])
+                continue
+            asserted = tuple(
+                sorted(
+                    (inst for entry in entries for inst in entry.asserted),
+                    key=lambda inst: inst.tid.serial,
+                )
+            )
+            retracted = tuple(
+                sorted(
+                    (inst for entry in entries for inst in entry.retracted),
+                    key=lambda inst: inst.tid.serial,
+                )
+            )
+            out.append(DataspaceChange(entries[0].kind, asserted, retracted, v))
+        return out
 
     @property
     def listener_count(self) -> int:
@@ -286,12 +433,54 @@ class Dataspace:
     # content addressing
     # ------------------------------------------------------------------
     def by_arity(self, arity: int) -> Mapping[TupleId, TupleInstance]:
-        """All instances with the given arity (live view; do not mutate)."""
-        return self._by_arity.get(arity, {})
+        """All instances with the given arity (live view; do not mutate).
+
+        Sharded layouts return a *fresh* serial-ordered merge instead of a
+        live view; prefer :meth:`arity_size` when only the count matters.
+        """
+        if self._single is not None:
+            return self._single.by_arity.get(arity, {})
+        buckets = [s.by_arity[arity] for s in self.stores if arity in s.by_arity]
+        if not buckets:
+            return {}
+        if len(buckets) == 1:
+            return buckets[0]
+        return {inst.tid: inst for inst in merge_by_serial(buckets)}
 
     def by_field(self, arity: int, position: int, value: Any) -> Mapping[TupleId, TupleInstance]:
-        """All instances of *arity* with *value* at *position* (live view)."""
-        return self._by_field.get((arity, position, value), {})
+        """All instances of *arity* with *value* at *position* (live view).
+
+        Same sharded-layout caveat as :meth:`by_arity`; a position-0 key
+        lives entirely in its home shard, so that case stays a live view.
+        """
+        key = (arity, position, value)
+        if self._single is not None:
+            return self._single.by_field.get(key, {})
+        if position == 0 and self.indexed:
+            home = self.stores[self.partitioner.shard_of(arity, value)]
+            return home.by_field.get(key, {})
+        buckets = [s.by_field[key] for s in self.stores if key in s.by_field]
+        if not buckets:
+            return {}
+        if len(buckets) == 1:
+            return buckets[0]
+        return {inst.tid: inst for inst in merge_by_serial(buckets)}
+
+    def arity_size(self, arity: int) -> int:
+        """Global size of one arity bucket without materialising a merge."""
+        if self._single is not None:
+            return len(self._single.by_arity.get(arity, ()))
+        return sum(len(store.by_arity.get(arity, ())) for store in self.stores)
+
+    def field_size(self, arity: int, position: int, value: Any) -> int:
+        """Global size of one field bucket without materialising a merge."""
+        key = (arity, position, value)
+        if self._single is not None:
+            return len(self._single.by_field.get(key, ()))
+        if position == 0 and self.indexed:
+            home = self.stores[self.partitioner.shard_of(arity, value)]
+            return len(home.by_field.get(key, ()))
+        return sum(len(store.by_field.get(key, ())) for store in self.stores)
 
     def candidates(
         self,
@@ -304,24 +493,34 @@ class Dataspace:
         constants is consulted; the result is a snapshot list so the caller
         may mutate the dataspace while iterating.  Candidates are *not*
         guaranteed to match — callers must still run :meth:`Pattern.match`.
+
+        Layout-independence: bucket choice uses *global* bucket sizes with
+        the single store's first-wins tie-break, and cross-shard buckets
+        are merged in serial order — so the returned list (contents *and*
+        order, which feeds the seeded arbitration RNG) is identical under
+        every shard layout.
         """
         obs = self._obs
         start = obs.spans.now() if obs is not None else 0
         bound = bound or {}
-        best: Mapping[TupleId, TupleInstance] | None = None
+        single = self._single
         out: list[TupleInstance] | None = None
-        if self.indexed:
-            for position, value in pat.index_constants(bound):
-                bucket = self._by_field.get((pat.arity, position, value))
-                if bucket is None:
-                    out = []
-                    break
-                if best is None or len(bucket) < len(best):
-                    best = bucket
-        if out is None:
-            if best is None:
-                best = self._by_arity.get(pat.arity, {})
-            out = list(best.values())
+        if single is not None:
+            best: Mapping[TupleId, TupleInstance] | None = None
+            if self.indexed:
+                for position, value in pat.index_constants(bound):
+                    bucket = single.by_field.get((pat.arity, position, value))
+                    if bucket is None:
+                        out = []
+                        break
+                    if best is None or len(bucket) < len(best):
+                        best = bucket
+                if out is None and best is not None:
+                    out = list(best.values())
+            if out is None:
+                out = list(single.by_arity.get(pat.arity, {}).values())
+        else:
+            out = self._candidates_sharded(pat, bound, obs)
         if obs is not None:
             obs.observe_ns(
                 "match",
@@ -330,6 +529,39 @@ class Dataspace:
                 {"arity": pat.arity, "n": len(out)},
             )
         return out
+
+    def _candidates_sharded(
+        self, pat: Pattern, bound: Mapping[str, Any], obs
+    ) -> list[TupleInstance]:
+        """:meth:`candidates` over a partitioned layout (global bucket sizes)."""
+        arity = pat.arity
+        best_key: tuple[int, int, Any] | None = None
+        best_size = -1
+        best_shard = -1
+        if self.indexed:
+            for position, value in pat.index_constants(bound):
+                key = (arity, position, value)
+                if position == 0:
+                    shard = self.partitioner.shard_of(arity, value)
+                    size = len(self.stores[shard].by_field.get(key, ()))
+                else:
+                    shard = -1
+                    size = sum(len(s.by_field.get(key, ())) for s in self.stores)
+                if size == 0:
+                    return []  # absent bucket: same short-circuit as one store
+                if best_key is None or size < best_size:
+                    best_key, best_size, best_shard = key, size, shard
+        if best_key is None:
+            if obs is not None:
+                obs.count("sdl_shard_queries_total", route="cross")
+            return merge_by_serial(s.by_arity.get(arity) for s in self.stores)
+        if best_shard >= 0:
+            if obs is not None:
+                obs.count("sdl_shard_queries_total", route="local")
+            return list(self.stores[best_shard].by_field[best_key].values())
+        if obs is not None:
+            obs.count("sdl_shard_queries_total", route="cross")
+        return merge_by_serial(s.by_field.get(best_key) for s in self.stores)
 
     def candidates_probed(
         self,
@@ -345,36 +577,40 @@ class Dataspace:
         bucket and leaves the rest to per-candidate pattern matching.  An
         empty probe bucket short-circuits to ``[]``.  Probes must name
         distinct positions (true of any single pattern's fields).
+
+        A probe pinning position 0 confines the whole query to the home
+        shard of ``(arity, value)`` — the routed fast path; otherwise the
+        per-shard intersections are merged by serial.  Either way the
+        output is the full intersection in ascending-serial order, which a
+        single store produces too, so layouts are indistinguishable.
         """
         obs = self._obs
         start = obs.spans.now() if obs is not None else 0
-        best: Mapping[TupleId, TupleInstance] | None = None
-        best_position = -1
         probes = list(probes)
-        out: list[TupleInstance] | None = None
-        if self.indexed and probes:
+        single = self._single
+        if single is not None:
+            out = single.candidates_probed(arity, probes)
+        else:
+            home = -1
             for position, value in probes:
-                bucket = self._by_field.get((arity, position, value))
-                if bucket is None:
-                    out = []
+                if position == 0:
+                    home = self.partitioner.shard_of(arity, value)
                     break
-                if best is None or len(bucket) < len(best):
-                    best = bucket
-                    best_position = position
-        if out is None:
-            if best is None:
-                best = self._by_arity.get(arity, {})
-                rest = probes if not self.indexed else []
+            if home >= 0:
+                if obs is not None:
+                    obs.count("sdl_shard_queries_total", route="local")
+                out = self.stores[home].candidates_probed(arity, probes)
             else:
-                rest = [probe for probe in probes if probe[0] != best_position]
-            if rest:
-                out = [
-                    inst
-                    for inst in best.values()
-                    if all(inst.values[position] == value for position, value in rest)
-                ]
-            else:
-                out = list(best.values())
+                if obs is not None:
+                    obs.count("sdl_shard_queries_total", route="cross")
+                parts = [s.candidates_probed(arity, probes) for s in self.stores]
+                parts = [p for p in parts if p]
+                if len(parts) <= 1:
+                    out = parts[0] if parts else []
+                else:
+                    out = merge_by_serial(
+                        {inst.tid: inst for inst in part} for part in parts
+                    )
         if obs is not None:
             obs.observe_ns(
                 "match",
@@ -440,22 +676,45 @@ class Dataspace:
     def snapshot(self) -> list[tuple]:
         """The current multiset of value tuples, sorted for stable comparison."""
         return sorted(
-            (inst.values for inst in self._instances.values()),
+            (inst.values for inst in self.instances()),
             key=_sort_key,
         )
 
     def multiset(self) -> dict[tuple, int]:
         """Value tuples with multiplicities — handy in tests."""
         counts: dict[tuple, int] = {}
-        for inst in self._instances.values():
-            counts[inst.values] = counts.get(inst.values, 0) + 1
+        for store in self.stores:
+            for inst in store.instances.values():
+                counts[inst.values] = counts.get(inst.values, 0) + 1
         return counts
+
+    # Back-compat debug views of the merged index tables (a structural
+    # property test asserts both drain to empty after a full retract).
+    @property
+    def _by_arity(self) -> dict[int, dict[TupleId, TupleInstance]]:
+        if self._single is not None:
+            return self._single.by_arity
+        merged: dict[int, dict[TupleId, TupleInstance]] = {}
+        for store in self.stores:
+            for arity, bucket in store.by_arity.items():
+                merged.setdefault(arity, {}).update(bucket)
+        return merged
+
+    @property
+    def _by_field(self) -> dict[tuple[int, int, Any], dict[TupleId, TupleInstance]]:
+        if self._single is not None:
+            return self._single.by_field
+        merged: dict[tuple[int, int, Any], dict[TupleId, TupleInstance]] = {}
+        for store in self.stores:
+            for key, bucket in store.by_field.items():
+                merged.setdefault(key, {}).update(bucket)
+        return merged
 
     def __repr__(self) -> str:
         if len(self) <= 8:
             body = ", ".join(
                 "<" + ",".join(value_repr(v) for v in inst.values) + ">"
-                for inst in self._instances.values()
+                for inst in self.instances()
             )
             return f"Dataspace({body})"
         return f"Dataspace(|D|={len(self)}, v={self._version})"

@@ -13,9 +13,10 @@ removes all three costs while preserving the semantics exactly:
   and *variable slots* (bind on first occurrence, probe thereafter);
 
 * a :class:`Plan` **reorders the binding atoms by estimated selectivity**:
-  estimates read the dataspace's live index-bucket sizes (``by_field`` /
-  ``by_arity`` fan-out), preferring atoms whose constants or already-bound
-  variables probe the narrowest buckets.  Atoms whose literal expressions
+  estimates read the dataspace's live index-bucket sizes
+  (``field_size`` / ``arity_size`` fan-out, shard-aware: per-shard sizes
+  summed, position-0 probes read only their home shard), preferring atoms
+  whose constants or already-bound variables probe the narrowest buckets.  Atoms whose literal expressions
   reference variables bound by other atoms are only eligible after their
   producers, so reordering never changes which expressions are evaluable —
   the one hard ordering constraint the naive walk imposes;
@@ -243,20 +244,26 @@ def _estimate(
     bucket wins; probes whose value is only produced by an earlier atom
     (name bound, value unknown at plan time) are credited a square-root
     fan-out of the arity bucket; a probe-less atom scans its arity bucket.
+
+    Sizes come from ``Dataspace.arity_size`` / ``Dataspace.field_size``
+    rather than materialised buckets: under a sharded layout those sum
+    per-shard bucket sizes in O(shards) — and read only the home shard for
+    a position-0 probe — where ``by_field``/``by_arity`` would build a
+    merged dict per estimate.
     """
-    arity_size = len(dataspace.by_arity(compiled.arity))
+    arity_size = dataspace.arity_size(compiled.arity)
     if arity_size == 0:
         return 0.0
     best: float | None = None
     unknown_probes = 0
     if getattr(dataspace, "indexed", False):
         for position, value in compiled.static_probes:
-            size = len(dataspace.by_field(compiled.arity, position, value))
+            size = dataspace.field_size(compiled.arity, position, value)
             if best is None or size < best:
                 best = float(size)
         for position, name in compiled.var_slots:
             if name in bound_values:
-                size = len(dataspace.by_field(compiled.arity, position, bound_values[name]))
+                size = dataspace.field_size(compiled.arity, position, bound_values[name])
                 if best is None or size < best:
                     best = float(size)
             elif name in bound_names:
@@ -268,7 +275,7 @@ def _estimate(
                 except Exception:
                     unknown_probes += 1
                     continue
-                size = len(dataspace.by_field(compiled.arity, position, value))
+                size = dataspace.field_size(compiled.arity, position, value)
                 if best is None or size < best:
                     best = float(size)
             elif free <= bound_names:

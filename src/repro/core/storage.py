@@ -1,0 +1,301 @@
+"""Shard-addressable tuple storage: :class:`TupleStore` + :class:`Partitioner`.
+
+The dataspace of the paper is one logical multiset, but its physical layout
+need not be monolithic: this module splits storage into *shards* — each a
+self-contained :class:`TupleStore` with its own tid table, arity/field
+indexes, and bounded change journal — plus a :class:`Partitioner` strategy
+deciding which shard a tuple lives in.  The
+:class:`~repro.core.dataspace.Dataspace` facade routes every operation and
+is responsible for the *global* invariants (serial/version numbering,
+listener notification, deterministic cross-shard iteration order); a store
+only ever sees operations for tuples it owns.
+
+Two strategies exist today:
+
+* ``single`` — one store holding everything; bit-identical to the
+  pre-shard monolith and the differential baseline for everything else;
+* ``head`` — a tuple's home shard is a stable hash of ``(arity, field 0)``.
+  SDL programs address communities through their leading type-tag field
+  (``<year, n>``, ``<c3, item>``), so head routing sends each community's
+  tuples — and the field-index buckets probing position 0 — to one shard.
+
+The head hash is :func:`zlib.crc32` over the tuple's arity and a
+*canonical key* of its first field, **not** Python's builtin ``hash``:
+``PYTHONHASHSEED`` randomises ``str.__hash__`` per process, and shard
+placement must be stable across runs for checkpoints and differential
+tests to be meaningful.  The canonical key respects Python's value
+equality classes (``Atom("x") == "x"``, ``True == 1 == 1.0``) — equal
+heads are equal dict keys in the single store's indexes, so they must
+land in the same shard for routing to agree with lookup.
+
+The strategy surface is deliberately tiny (``shard_of`` /
+``shard_of_values``) so a view-derived community partitioner — the
+paper's §3 placement, where a process's window determines its community —
+can plug in later without touching the facade.
+"""
+
+from __future__ import annotations
+
+import heapq
+import zlib
+from collections import deque
+from typing import Any, Iterable
+
+from repro.core.tuples import TupleId, TupleInstance
+from repro.core.values import value_repr
+
+__all__ = [
+    "JOURNAL_DEPTH",
+    "TupleStore",
+    "Partitioner",
+    "SinglePartitioner",
+    "HeadPartitioner",
+    "resolve_shards",
+]
+
+#: How many change events each shard's delta journal retains.  The facade
+#: enforces the *global* availability rule (a consumer more than this many
+#: events behind must recompute), so a shard never needs to reach further
+#: back than the global window — within it, a shard holds at most one
+#: entry per global event and its deque cannot have evicted any of them.
+JOURNAL_DEPTH = 512
+
+
+class TupleStore:
+    """One storage shard: tid table, content indexes, and a delta journal.
+
+    A store is a dumb container — it assigns no serials, bumps no
+    versions, and notifies nobody.  The owning facade admits instances
+    that already carry their global serial, and appends journal entries
+    carrying the global version.  Dict insertion order therefore equals
+    ascending-serial order in every table (admissions only append; dict
+    deletion preserves order), which is what lets the facade k-way-merge
+    shards back into the exact iteration order of a single store.
+    """
+
+    __slots__ = ("shard", "indexed", "instances", "by_arity", "by_field", "journal")
+
+    def __init__(self, shard: int, indexed: bool = True) -> None:
+        self.shard = shard
+        self.indexed = indexed
+        self.instances: dict[TupleId, TupleInstance] = {}
+        self.by_arity: dict[int, dict[TupleId, TupleInstance]] = {}
+        self.by_field: dict[tuple[int, int, Any], dict[TupleId, TupleInstance]] = {}
+        self.journal: deque = deque(maxlen=JOURNAL_DEPTH)
+
+    def __len__(self) -> int:
+        return len(self.instances)
+
+    def admit(self, instance: TupleInstance) -> None:
+        """Index an already-built instance (serial assigned by the facade)."""
+        self.instances[instance.tid] = instance
+        self.by_arity.setdefault(instance.arity, {})[instance.tid] = instance
+        if self.indexed:
+            for position, value in enumerate(instance.values):
+                key = (instance.arity, position, value)
+                self.by_field.setdefault(key, {})[instance.tid] = instance
+
+    def remove(self, tid: TupleId) -> TupleInstance:
+        """Unindex and return one instance; raises ``KeyError`` when absent."""
+        instance = self.instances.pop(tid)
+        arity_bucket = self.by_arity[instance.arity]
+        del arity_bucket[tid]
+        if not arity_bucket:
+            del self.by_arity[instance.arity]
+        if self.indexed:
+            for position, value in enumerate(instance.values):
+                key = (instance.arity, position, value)
+                field_bucket = self.by_field[key]
+                del field_bucket[tid]
+                if not field_bucket:
+                    del self.by_field[key]
+        return instance
+
+    def candidates_probed(
+        self, arity: int, probes: list[tuple[int, Any]]
+    ) -> list[TupleInstance]:
+        """This store's instances of *arity* consistent with every probe.
+
+        The store-local half of ``Dataspace.candidates_probed``: narrowest
+        local field bucket enumerated, remaining probes applied as direct
+        value filters.  The output — the full probe intersection in
+        ascending-serial order — is independent of which bucket was
+        enumerated, so per-shard results union to exactly the global
+        intersection.
+        """
+        best: dict[TupleId, TupleInstance] | None = None
+        best_position = -1
+        if self.indexed and probes:
+            for position, value in probes:
+                bucket = self.by_field.get((arity, position, value))
+                if bucket is None:
+                    return []
+                if best is None or len(bucket) < len(best):
+                    best = bucket
+                    best_position = position
+        if best is None:
+            best = self.by_arity.get(arity, {})
+            rest = probes if not self.indexed else []
+        else:
+            rest = [probe for probe in probes if probe[0] != best_position]
+        if rest:
+            return [
+                inst
+                for inst in best.values()
+                if all(inst.values[position] == value for position, value in rest)
+            ]
+        return list(best.values())
+
+    def __repr__(self) -> str:
+        return f"TupleStore(shard={self.shard}, |D|={len(self.instances)})"
+
+
+# ----------------------------------------------------------------------
+# partitioning strategies
+# ----------------------------------------------------------------------
+
+class Partitioner:
+    """Strategy mapping tuples (and position-0 index keys) to shards.
+
+    Invariant relied on throughout the runtime: a tuple's home shard is a
+    pure function of ``(arity, values[0])`` — so any query, watcher, or
+    write footprint that pins position 0 of an arity is confined to one
+    known shard, while constraints on other positions may touch them all.
+    """
+
+    __slots__ = ()
+
+    spec: str = "single"
+    shard_count: int = 1
+
+    def shard_of(self, arity: int, head: Any) -> int:
+        """Home shard of any tuple with this *arity* and first field."""
+        raise NotImplementedError
+
+    def shard_of_values(self, values: tuple) -> int:
+        """Home shard of a concrete value tuple (empty tuples -> shard 0)."""
+        if not values:
+            return 0
+        return self.shard_of(len(values), values[0])
+
+
+class SinglePartitioner(Partitioner):
+    """Everything in shard 0 — today's behavior, the differential baseline."""
+
+    __slots__ = ()
+
+    spec = "single"
+    shard_count = 1
+
+    def shard_of(self, arity: int, head: Any) -> int:
+        return 0
+
+    def __repr__(self) -> str:
+        return "SinglePartitioner()"
+
+
+def _canonical_key(obj: Any) -> str:
+    """A process-stable text key constant across each ``==`` class.
+
+    Values that compare equal are the same index-dict key in a single
+    store, so they must hash to the same shard: atoms equal their bare
+    string (``Atom`` subclasses ``str``), and Python's numeric tower makes
+    ``True == 1 == 1.0``.  Everything else falls back to ``value_repr``,
+    which is deterministic for SDL's value domain.
+    """
+    if isinstance(obj, str):  # Atom included — equal to its bare string
+        return "s:" + str(obj)
+    if isinstance(obj, (bool, int, float)):
+        if isinstance(obj, float) and not obj.is_integer():
+            return "f:" + repr(obj)
+        return "n:" + repr(int(obj))
+    if isinstance(obj, tuple):
+        return "t:(" + ",".join(_canonical_key(item) for item in obj) + ")"
+    return "o:" + value_repr(obj)
+
+
+class HeadPartitioner(Partitioner):
+    """Stable hash of ``(arity, field 0)`` over *n* shards."""
+
+    __slots__ = ("shard_count", "spec", "_cache")
+
+    _CACHE_CAP = 8192
+
+    def __init__(self, shards: int) -> None:
+        if shards < 2:
+            raise ValueError(f"head partitioning needs >= 2 shards, got {shards}")
+        self.shard_count = shards
+        self.spec = f"head:{shards}"
+        # Memo over (arity, head).  dict keys respect the same ``==``
+        # classes the canonical key does (Atom("x") == "x", True == 1),
+        # so a cache hit can never disagree with a fresh computation.
+        self._cache: dict = {}
+
+    def shard_of(self, arity: int, head: Any) -> int:
+        cache = self._cache
+        memo = (arity, head)
+        try:
+            return cache[memo]
+        except KeyError:
+            pass
+        except TypeError:  # unhashable head: compute without caching
+            key = f"{arity}|{_canonical_key(head)}"
+            return zlib.crc32(key.encode("utf-8", "surrogatepass")) % self.shard_count
+        key = f"{arity}|{_canonical_key(head)}"
+        shard = zlib.crc32(key.encode("utf-8", "surrogatepass")) % self.shard_count
+        if len(cache) >= self._CACHE_CAP:
+            cache.clear()
+        cache[memo] = shard
+        return shard
+
+    def __repr__(self) -> str:
+        return f"HeadPartitioner({self.shard_count})"
+
+
+def resolve_shards(spec: "str | int | Partitioner | None") -> Partitioner:
+    """Normalise an ``Engine(shards=)`` / ``SDL_SHARDS`` / ``--shards`` value.
+
+    Accepts ``None``/``"single"``/``1`` (one store), an integer or digit
+    string ``N`` (``head`` routing over N shards), an explicit
+    ``"head:N"`` spec, or an already-built :class:`Partitioner`.
+    """
+    if spec is None:
+        return SinglePartitioner()
+    if isinstance(spec, Partitioner):
+        return spec
+    if isinstance(spec, str):
+        text = spec.strip().lower()
+        if text in ("", "single"):
+            return SinglePartitioner()
+        if text.startswith("head:"):
+            text = text[len("head:"):]
+        if not text.lstrip("-").isdigit():
+            raise ValueError(f"unknown shards spec {spec!r}")
+        spec = int(text)
+    if not isinstance(spec, int) or isinstance(spec, bool):
+        raise ValueError(f"unknown shards spec {spec!r}")
+    if spec < 1:
+        raise ValueError(f"shard count must be >= 1, got {spec}")
+    if spec == 1:
+        return SinglePartitioner()
+    return HeadPartitioner(spec)
+
+
+def merge_by_serial(buckets: Iterable) -> list[TupleInstance]:
+    """K-way merge per-shard instance dicts into global serial order.
+
+    Each bucket iterates in ascending-serial order (see
+    :class:`TupleStore`), so merging by serial reproduces exactly the
+    iteration order a single store would have produced — the facade's
+    determinism guarantee for cross-shard reads.
+    """
+    live = [bucket.values() for bucket in buckets if bucket]
+    if not live:
+        return []
+    if len(live) == 1:
+        return list(live[0])
+    return list(heapq.merge(*live, key=_serial_key))
+
+
+def _serial_key(instance: TupleInstance) -> int:
+    return instance.tid.serial

@@ -156,6 +156,7 @@ class Engine:
         checkpoint_interval: int | None = None,
         obs: "Observability | bool | str | None" = None,
         plan: "str | bool | None" = None,
+        shards: "str | int | None" = None,
     ) -> None:
         if policy not in ("random", "fifo"):
             raise EngineError(f"unknown scheduling policy {policy!r}")
@@ -183,7 +184,26 @@ class Engine:
             raise EngineError(f"unknown commit mode {commit!r}")
         if validate not in (None, "serial"):
             raise EngineError(f"unknown validate mode {validate!r}")
-        self.dataspace = dataspace if dataspace is not None else Dataspace()
+        # Storage sharding (``repro.core.storage``): partition the dataspace
+        # into N head-routed stores (``shards="head:4"`` / ``shards=4``) or
+        # keep the single-store layout (``"single"``, the default; env
+        # SDL_SHARDS supplies a suite-wide default).  An explicitly supplied
+        # dataspace already fixed its own layout, so combining the two is an
+        # error rather than a silent override.
+        if dataspace is not None:
+            if shards is not None:
+                raise EngineError(
+                    "cannot pass both dataspace= and shards=; construct the "
+                    "dataspace with Dataspace(shards=...) instead"
+                )
+            self.dataspace = dataspace
+        else:
+            if shards is None:
+                shards = os.environ.get("SDL_SHARDS") or "single"
+            try:
+                self.dataspace = Dataspace(shards=shards)
+            except ValueError as exc:
+                raise EngineError(str(exc)) from None
         self.society = ProcessSociety(definitions)
         self.rng = random.Random(seed)
         self.trace = trace if trace is not None else Trace()
@@ -230,7 +250,9 @@ class Engine:
         self.scheduler = Scheduler(self.rng, policy)
         if commit == "serial":
             self.scheduler.round_size = 1
-        self.wakeups = WakeupIndex(obs=self.obs)
+        self.wakeups = WakeupIndex(
+            obs=self.obs, partitioner=self.dataspace.partitioner
+        )
         self.executor = Executor(self)
         self.tasks: dict[int, Task] = {}
         self._windows: dict[int, Window] = {}
@@ -378,6 +400,10 @@ class Engine:
         if self.obs is not None:
             o = self.obs
             o.gauge("sdl_dataspace_size", len(self.dataspace))
+            if self.dataspace.shard_count > 1:
+                o.gauge("sdl_shard_count", self.dataspace.shard_count)
+                for store in self.dataspace.stores:
+                    o.gauge(f"sdl_shard_occupancy_{store.shard}", len(store))
             o.gauge("sdl_rounds_total", self.scheduler.round_count)
             o.gauge("sdl_steps_total", self.step_count)
             o.gauge("sdl_commits_total", counters.commits)

@@ -32,18 +32,11 @@ from repro.core.transactions import (
 )
 from repro.core.tuples import TupleInstance
 from repro.errors import EngineError
-from repro.runtime.commit import (
-    first_conflict,
-    footprint_for,
-    validate_serial_equivalence,
-)
 from repro.runtime.events import (
-    ConflictDetected,
     ConsensusFired,
     ProcessCrashed,
     ProcessFinished,
     ReplicaSpawned,
-    RoundCommitted,
     SupervisorEscalated,
     TaskBlocked,
     TaskWoken,
@@ -57,6 +50,11 @@ from repro.runtime.interpreter import (
     TxnRequest,
     interpret_body,
 )
+from repro.runtime import rounds
+
+# Re-exported for back-compat: these lived here before the group-commit
+# round phases moved to ``repro.runtime.rounds``.
+from repro.runtime.rounds import _Crashed, _SnapshotLens  # noqa: F401
 from repro.runtime.scheduler import (
     ParkedSelection,
     ParkedTxn,
@@ -71,17 +69,6 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.runtime.engine import Engine
 
 __all__ = ["Executor"]
-
-
-class _Crashed(Exception):
-    """Unwinds the current step after a crash-stop fault killed its process.
-
-    The crash itself (:meth:`Executor.crash_process`) already released every
-    slot the process held; this exception only prevents the remainder of the
-    in-flight step from acting on behalf of the dead process.  It is caught
-    at the step boundaries (:meth:`Executor.step`, the group-round tail) and
-    never escapes to user code.
-    """
 
 
 class Executor:
@@ -659,257 +646,8 @@ class Executor:
     # group-commit rounds (engine option ``commit="group"``)
     # ------------------------------------------------------------------
     def run_group_round(self, items: list) -> list:
-        """Run one footprint-guarded group-commit round over *items*.
-
-        Phase A classifies every item: transactions surface as *candidates*
-        (in arbitration order — deferred losers lead, this round's shuffle
-        follows); selections, replication pumps, and other control flow go
-        to the *tail*.  Phase B evaluates every candidate against the
-        common round-start snapshot, records footprints, and admits the
-        largest prefix-compatible subsequence (`runtime/commit.py`); losers
-        are returned for the head of the next round.  Phase C applies the
-        admitted batch in order; the tail then steps against the live
-        post-batch state.  The round is serial-equivalent to:
-        admitted order, then tail order, with losers first next round.
-        """
-        engine = self.engine
-        candidates: list[tuple[Task, Transaction, str]] = []
-        tail: list[tuple] = []
-
-        # Phase A — classify, surfacing each task's next transaction.
-        for item in items:
-            if isinstance(item, Pump):
-                if item.state is TaskState.READY:
-                    engine.step_count += 1
-                    tail.append(("pump", item))
-                continue
-            task = item
-            if task.state is not TaskState.READY:
-                continue  # lazily discarded (aborted process, stale entry)
-            engine.step_count += 1
-            if task.pending is not None:
-                candidates.append((task, task.pending, "request"))
-                continue
-            if task.park is not None:
-                park = task.park
-                if isinstance(park, ParkedTxn):
-                    if park.transaction.mode is Mode.CONSENSUS:
-                        continue  # consensus engine owns it; stale entry
-                    candidates.append((task, park.transaction, "park"))
-                else:  # parked selection: live arbitration, tail
-                    tail.append(("task", task))
-                continue
-            value, task.send_value = task.send_value, None
-            try:
-                request = task.gen.send(value)
-            except StopIteration as stop:
-                control = stop.value if isinstance(stop.value, Control) else Control.NONE
-                self._task_finished(task, control)
-                continue
-            if (
-                isinstance(request, TxnRequest)
-                and request.transaction.mode is not Mode.CONSENSUS
-            ):
-                candidates.append((task, request.transaction, "request"))
-            else:
-                tail.append(("request", task, request))
-
-        # Phase B — evaluate against the round-start snapshot and admit.
-        obs = engine.obs
-        admit_start = obs.spans.now() if obs is not None else 0
-        faults = engine.faults
-        watermark = engine.dataspace.serial
-        admitted: list[tuple[Task, Transaction, Any, str]] = []
-        admitted_fps: list = []
-        losers: list[Task] = []
-        conflict_count = 0
-        for position, (task, txn, origin) in enumerate(candidates):
-            if task.state is not TaskState.READY:
-                continue  # its process died during classification
-            process = task.process
-            if faults is not None:
-                action = faults.fire("batch-admit", process.pid, process.name)
-                if action == "crash":
-                    self.crash_process(process, "batch-admit")
-                    continue  # candidate evicted before evaluation
-                if action == "abort-txn":
-                    self._group_failure(task, txn, origin)
-                    continue
-                if action == "kill-round":
-                    # The whole remaining candidate set (this one included)
-                    # defers to the next round, reusing the loser path.
-                    for later_task, later_txn, later_origin in candidates[position:]:
-                        if later_task.state is not TaskState.READY:
-                            continue
-                        if later_origin == "request":
-                            later_task.pending = later_txn
-                        later_task.queued = True
-                        losers.append(later_task)
-                    break
-            window = engine.window(process)
-            lens = _SnapshotLens(window, watermark)
-            scope = process.scope()
-            result = txn.query.evaluate(lens.refresh(), scope, engine.rng)
-            if faults is not None:
-                action = faults.fire("post-match", process.pid, process.name)
-                if action == "crash":
-                    self.crash_process(process, "post-match")
-                    continue
-                if action == "abort-txn":
-                    self._group_failure(task, txn, origin)
-                    continue
-            fp = footprint_for(
-                txn, result if result.success else None, process, scope
-            )
-            winner = first_conflict(admitted_fps, fp)
-            if winner is not None:
-                # Loser: both its success and its failure verdicts are
-                # unreliable after the winner's writes — re-queue, never
-                # abort or park.
-                conflict_count += 1
-                if origin == "request":
-                    task.pending = txn
-                task.queued = True  # deferred outside the scheduler queues
-                losers.append(task)
-                engine.trace.emit(
-                    ConflictDetected(
-                        engine.step_count, engine.round_count,
-                        task.process.pid, winner.pid,
-                    )
-                )
-                continue
-            if not result.success:
-                # Conflict-free failure is decided *now*, before the batch
-                # commits, so a parked task's subscription is registered in
-                # time to see the batch's own writes.
-                self._group_failure(task, txn, origin)
-                continue
-            if faults is not None:
-                # About to commit: admission is decided, effects are not yet
-                # applied.  Firing here (and only here) keeps the site's
-                # per-process occurrence count equal to the commit index, as
-                # in the serial modes.
-                action = faults.fire("pre-commit", process.pid, process.name)
-                if action == "crash":
-                    self.crash_process(process, "pre-commit")
-                    continue  # evicted from the batch; peers are unaffected
-                if action == "abort-txn":
-                    self._group_failure(task, txn, origin)
-                    continue
-            admitted.append((task, txn, result, origin))
-            admitted_fps.append(fp)
-        if obs is not None:
-            obs.observe_ns(
-                "group-admit",
-                admit_start,
-                obs.spans.now() - admit_start,
-                {
-                    "candidates": len(candidates),
-                    "admitted": len(admitted),
-                    "conflicts": conflict_count,
-                },
-            )
-
-        validating = engine.validate == "serial" and admitted
-        if validating:
-            pre_rows = [
-                values
-                for values, count in engine.dataspace.multiset().items()
-                for __ in range(count)
-            ]
-
-        # Phase C — apply the admitted batch in arbitration order.
-        apply_start = obs.spans.now() if obs is not None else 0
-        applied: list[tuple[Task, Transaction, Any]] = []
-        for task, txn, result, origin in admitted:
-            if task.state is not TaskState.READY:
-                continue  # its process crashed after admission (fault injection)
-            outcome = execute(
-                txn,
-                engine.window(task.process),
-                task.process.scope(),
-                owner=task.process.pid,
-                rng=engine.rng,
-                result=result,
-                export_policy=engine.export_policy,
-            )
-            self._deliver_commit(task, txn, outcome, origin)
-            applied.append((task, txn, result))
-        if obs is not None:
-            obs.observe_ns(
-                "group-apply",
-                apply_start,
-                obs.spans.now() - apply_start,
-                {"applied": len(applied)},
-            )
-        engine.trace.emit(
-            RoundCommitted(
-                engine.step_count, engine.round_count,
-                len(candidates), len(applied), conflict_count, len(tail),
-            )
-        )
-        if validating:
-            validate_serial_equivalence(
-                pre_rows,
-                [(task.process, txn, result) for task, txn, result in applied],
-                engine.dataspace.multiset(),
-                engine.round_count,
-                engine.export_policy,
-                obs=obs,
-            )
-
-        # Phase D — the tail steps serially against the live batch state.
-        for entry in tail:
-            try:
-                if entry[0] == "pump":
-                    if entry[1].state is TaskState.READY:
-                        self._step_pump(entry[1])
-                elif entry[0] == "task":
-                    if entry[1].state is TaskState.READY:
-                        self._step_task(entry[1])
-                else:
-                    __, task, request = entry
-                    if task.state is TaskState.READY:
-                        self._handle_request(task, request)
-            except _Crashed:
-                continue  # the tail item's process died mid-step
-        return losers
-
-    def _group_failure(self, task: Task, txn: Transaction, origin: str) -> None:
-        """Dispose of a conflict-free candidate whose snapshot query failed."""
-        engine = self.engine
-        engine.trace.emit(
-            TxnFailed(
-                engine.step_count, engine.round_count, task.process.pid,
-                txn.mode.name, txn.label,
-            )
-        )
-        task.pending = None
-        if txn.mode is Mode.IMMEDIATE:
-            task.send_value = TransactionOutcome.failure()
-            engine.scheduler.make_ready(task)
-            return
-        self._classify_wake(task, spurious=True)
-        if origin == "request":
-            task.park = ParkedTxn(txn)
-        self._block(
-            task,
-            self._subscription_for([txn], task),
-            "delayed",
-            requeue=(origin == "park"),
-        )
-
-    def _deliver_commit(
-        self, task: Task, txn: Transaction, outcome: TransactionOutcome, origin: str
-    ) -> None:
-        """Hand a batch-committed outcome back to its suspended task."""
-        self._after_commit(task.process, txn, outcome)
-        task.pending = None
-        if origin == "park":
-            self._unpark(task)
-        self._classify_wake(task, spurious=False)
-        task.send_value = outcome
-        self.engine.scheduler.make_ready(task)
+        """Run one group-commit round; see :mod:`repro.runtime.rounds`."""
+        return rounds.run_group_round(self, items)
 
     # ------------------------------------------------------------------
     # consensus
@@ -1071,59 +809,3 @@ class Executor:
         if changed:
             self._wake_on_change(changed)
         self._consensus_memo = None
-
-
-class _SnapshotLens:
-    """A window lens hiding tuples asserted after a serial watermark.
-
-    Used by the replication pump to give every firing in one batch a view
-    of the dataspace *as of the start of the round*, which is what a
-    synchronous parallel step of unboundedly many replicas would see.
-    """
-
-    __slots__ = ("window", "max_serial")
-
-    def __init__(self, window, max_serial: int) -> None:
-        self.window = window
-        self.max_serial = max_serial
-
-    def refresh(self) -> "_SnapshotLens":
-        self.window.refresh()
-        return self
-
-    @property
-    def planner(self):
-        """The underlying window's planner, so planned evaluation sees the
-        same snapshot discipline as the naive path."""
-        return getattr(self.window, "planner", None)
-
-    def candidates(self, pat, bound=None) -> list:
-        return [
-            inst
-            for inst in self.window.candidates(pat, bound)
-            if inst.tid.serial <= self.max_serial
-        ]
-
-    def candidates_probed(self, arity, probes) -> list:
-        return [
-            inst
-            for inst in self.window.candidates_probed(arity, probes)
-            if inst.tid.serial <= self.max_serial
-        ]
-
-    def find_matching(self, pat, bound=None) -> list:
-        # Each candidate matches against its own copy of the bindings
-        # (mirroring core/matching.py): the environment handed to one
-        # candidate's ``pat.match`` must never be visible to the next, so
-        # a partially-matching decoy cannot poison later candidates even
-        # for pattern implementations that treat the mapping as scratch
-        # space.
-        bound = dict(bound or {})
-        return [
-            inst
-            for inst in self.candidates(pat, bound)
-            if pat.match(inst.values, dict(bound)) is not None
-        ]
-
-    def count_matching(self, pat, bound=None) -> int:
-        return len(self.find_matching(pat, bound))

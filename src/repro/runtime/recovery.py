@@ -19,6 +19,16 @@ enforced eagerly at construction instead of failing at recovery time.
 Checkpoints are cheap snapshots, not copies: tuple instances are frozen,
 so capturing them is one tuple build over the live table.  The cost knob
 is ``interval`` — benchmark E14 measures rounds-to-recover against it.
+
+Under a sharded dataspace (``shards`` > 1) the checkpoint is captured
+*shard-major*: one contiguous run of instances per store, with
+``shard_counts`` recording the chunk boundaries, so a store can be
+reloaded without re-partitioning.  The journal stays a single **merged
+WAL**: ``changes_since`` recombines per-store journal entries by global
+version (and serial order within a version), so replay is one linear walk
+regardless of the shard count, and the scratch dataspace — built with the
+live partitioner's spec — re-routes every replayed tuple to the shard it
+came from (routing is a pure function of the tuple's value).
 """
 
 from __future__ import annotations
@@ -35,17 +45,25 @@ __all__ = ["Checkpoint", "RecoveryLog"]
 
 @dataclass(frozen=True, slots=True)
 class Checkpoint:
-    """A consistent snapshot: every live instance as of *version*."""
+    """A consistent snapshot: every live instance as of *version*.
+
+    ``shard_counts`` is ``None`` for a single-store dataspace; for a
+    sharded one it holds the per-store instance counts, and ``instances``
+    is laid out shard-major (store 0's chunk, then store 1's, ...) so each
+    chunk reloads into its store without re-partitioning.
+    """
 
     version: int
     instances: tuple[TupleInstance, ...]
+    shard_counts: tuple[int, ...] | None = None
 
     @property
     def size(self) -> int:
         return len(self.instances)
 
     def __repr__(self) -> str:
-        return f"Checkpoint(v={self.version}, |D|={self.size})"
+        shards = "" if self.shard_counts is None else f", shards={self.shard_counts}"
+        return f"Checkpoint(v={self.version}, |D|={self.size}{shards})"
 
 
 class RecoveryLog:
@@ -98,10 +116,19 @@ class RecoveryLog:
     def _capture(self) -> Checkpoint:
         obs = self.obs
         start = obs.spans.now() if obs is not None else 0
-        checkpoint = Checkpoint(
-            version=self.dataspace.version,
-            instances=tuple(self.dataspace.instances()),
-        )
+        space = self.dataspace
+        if space.shard_count > 1:
+            chunks = [tuple(store.instances.values()) for store in space.stores]
+            checkpoint = Checkpoint(
+                version=space.version,
+                instances=tuple(inst for chunk in chunks for inst in chunk),
+                shard_counts=tuple(len(chunk) for chunk in chunks),
+            )
+        else:
+            checkpoint = Checkpoint(
+                version=space.version,
+                instances=tuple(space.instances()),
+            )
         if obs is not None:
             obs.observe_ns(
                 "checkpoint",
@@ -143,7 +170,9 @@ class RecoveryLog:
                 f"journal gap: no delta from checkpoint v{checkpoint.version} "
                 f"to live v{self.dataspace.version}"
             )
-        scratch = Dataspace()
+        scratch = Dataspace(
+            indexed=self.dataspace.indexed, shards=self.dataspace.shard_spec
+        )
         tid_map: dict[TupleId, TupleId] = {}
         for instance in checkpoint.instances:
             rebuilt = scratch.insert(instance.values, owner=instance.tid.owner)

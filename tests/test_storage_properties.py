@@ -1,0 +1,428 @@
+"""Sharded storage: routing units, journal merges, and shards≡single.
+
+The layered store (``repro.core.storage``) claims the partitioned layout
+is *observably identical* to the single-store monolith.  Identity here is
+strong: not just the same match sets but the same candidate **order**
+(which feeds the seeded arbitration RNG), the same journal windows, and —
+at the engine level — the same program state and the same
+shard-independent ``RunResult`` counters, under both live and group
+commit, for random programs and seeds.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.actions import assert_tuple
+from repro.core.dataspace import Dataspace
+from repro.core.expressions import Var
+from repro.core.patterns import P, pattern
+from repro.core.process import ProcessDefinition
+from repro.core.query import exists
+from repro.core.storage import (
+    JOURNAL_DEPTH,
+    HeadPartitioner,
+    SinglePartitioner,
+    TupleStore,
+    resolve_shards,
+)
+from repro.core.transactions import delayed
+from repro.core.values import Atom
+from repro.errors import EngineError, SDLError
+from repro.runtime.engine import Engine
+
+import pytest
+
+a = Var("a")
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+# ---------------------------------------------------------------------------
+# partitioner units
+# ---------------------------------------------------------------------------
+
+class TestResolveShards:
+    def test_defaults_to_single(self):
+        for spec in (None, "single", "", 1, "1", "head:1"):
+            assert isinstance(resolve_shards(spec), SinglePartitioner)
+
+    def test_integer_and_spec_forms(self):
+        for spec in (4, "4", "head:4", " HEAD:4 "):
+            part = resolve_shards(spec)
+            assert isinstance(part, HeadPartitioner)
+            assert part.shard_count == 4
+            assert part.spec == "head:4"
+
+    def test_partitioner_passthrough(self):
+        part = HeadPartitioner(3)
+        assert resolve_shards(part) is part
+
+    def test_spec_round_trips_through_dataspace(self):
+        ds = Dataspace(shards=4)
+        assert Dataspace(shards=ds.shard_spec).shard_count == 4
+
+    def test_rejects_garbage(self):
+        for bad in ("frob", "head:x", 0, -2, "head:0", True, 2.0):
+            with pytest.raises(ValueError):
+                resolve_shards(bad)
+
+
+class TestHeadRouting:
+    def test_stable_and_pure(self):
+        part = HeadPartitioner(8)
+        assert part.shard_of(2, "year") == part.shard_of(2, "year")
+        assert part.shard_of_values(("year", 1)) == part.shard_of(2, "year")
+        assert part.shard_of_values(()) == 0
+
+    def test_equal_values_share_a_shard(self):
+        # Atom("x") == "x" and True == 1 == 1.0: equal heads are the same
+        # index-dict key in a single store, so routing must agree.
+        part = HeadPartitioner(16)
+        assert part.shard_of(2, Atom("year")) == part.shard_of(2, "year")
+        assert part.shard_of(3, True) == part.shard_of(3, 1) == part.shard_of(3, 1.0)
+        assert part.shard_of(3, False) == part.shard_of(3, 0)
+
+    def test_arity_distinguishes(self):
+        # Same head under different arities may land on different shards —
+        # buckets are keyed by (arity, position, value), never mixed.
+        part = HeadPartitioner(4)
+        ds = Dataspace(shards=part)
+        ds.insert(("k", 1))
+        ds.insert(("k", 1, 2))
+        for inst in ds.instances():
+            home = part.shard_of_values(inst.values)
+            assert inst.tid in ds.stores[home].instances
+
+    def test_spread(self):
+        # Sanity: many distinct heads should touch more than one shard.
+        part = HeadPartitioner(4)
+        used = {part.shard_of(2, f"c{i}") for i in range(64)}
+        assert len(used) == 4
+
+
+class TestStoreInvariants:
+    def test_remove_raises_and_cleans_buckets(self):
+        store = TupleStore(0)
+        ds = Dataspace()
+        inst = ds.insert(("x", 1))
+        store.admit(inst)
+        store.remove(inst.tid)
+        assert not store.by_arity and not store.by_field and not store.instances
+        with pytest.raises(KeyError):
+            store.remove(inst.tid)
+
+    def test_facade_retract_raises_sdl_error_in_every_layout(self):
+        for shards in ("single", 4):
+            ds = Dataspace(shards=shards)
+            inst = ds.insert(("x", 1))
+            ds.retract(inst.tid)
+            with pytest.raises(SDLError):
+                ds.retract(inst.tid)
+            with pytest.raises(SDLError):
+                ds.get(inst.tid)
+
+
+# ---------------------------------------------------------------------------
+# journal merge semantics
+# ---------------------------------------------------------------------------
+
+def _mirrored(rows_per_event, shards=4):
+    """Two dataspaces fed the same events: (single, sharded)."""
+    single, multi = Dataspace(), Dataspace(shards=shards)
+    for rows in rows_per_event:
+        single.insert_many(rows)
+        multi.insert_many(rows)
+    return single, multi
+
+
+def _changes_repr(changes):
+    if changes is None:
+        return None
+    return [
+        (c.kind, c.version,
+         [i.tid for i in c.asserted], [i.tid for i in c.retracted])
+        for c in changes
+    ]
+
+
+class TestJournalMerge:
+    def test_batch_recombines_across_shards(self):
+        rows = [(f"c{i}", i) for i in range(16)]
+        single, multi = _mirrored([rows])
+        assert _changes_repr(multi.changes_since(0)) == _changes_repr(
+            single.changes_since(0)
+        )
+
+    def test_every_watermark_agrees(self):
+        events = [[(f"c{i}", i), (f"c{i}", i, i)] for i in range(10)]
+        single, multi = _mirrored(events)
+        for version in range(single.version + 1):
+            assert _changes_repr(multi.changes_since(version)) == _changes_repr(
+                single.changes_since(version)
+            ), f"diverged at watermark {version}"
+
+    def test_overflow_window_matches_single(self):
+        # Push both layouts past the journal depth; availability must flip
+        # to None at exactly the same watermark.
+        single, multi = Dataspace(), Dataspace(shards=4)
+        for i in range(JOURNAL_DEPTH + 40):
+            single.insert((f"c{i % 7}", i))
+            multi.insert((f"c{i % 7}", i))
+        live = single.version
+        for version in (0, live - JOURNAL_DEPTH - 1, live - JOURNAL_DEPTH,
+                        live - JOURNAL_DEPTH + 1, live - 1, live):
+            s = single.changes_since(version)
+            m = multi.changes_since(version)
+            assert _changes_repr(m) == _changes_repr(s), (
+                f"availability diverged at watermark {version}"
+            )
+
+    def test_retractions_merge_in_serial_order(self):
+        single, multi = _mirrored([[(f"c{i}", i) for i in range(12)]])
+        mark = single.version
+        for ds in (single, multi):
+            doomed = [inst.tid for inst in list(ds.instances())[::2]]
+            for tid in doomed:
+                ds.retract(tid)
+        assert _changes_repr(multi.changes_since(mark)) == _changes_repr(
+            single.changes_since(mark)
+        )
+
+
+# ---------------------------------------------------------------------------
+# dataspace-level differential property
+# ---------------------------------------------------------------------------
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "retract", "batch"]),
+        st.integers(min_value=0, max_value=6),  # community
+        st.integers(min_value=0, max_value=9),  # payload
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(script=ops, shards=st.integers(min_value=2, max_value=5))
+def test_sharded_dataspace_is_observably_single(script, shards):
+    single, multi = Dataspace(), Dataspace(shards=shards)
+    for op, c, n in script:
+        if op == "insert":
+            single.insert((f"c{c}", n))
+            multi.insert((f"c{c}", n))
+        elif op == "batch":
+            rows = [(f"c{c}", n), (f"c{(c + 1) % 7}", n, n)]
+            single.insert_many(rows)
+            multi.insert_many(rows)
+        else:  # retract the oldest instance, if any
+            tids = sorted(single.tids(), key=lambda t: t.serial)
+            if tids:
+                single.retract(tids[0])
+                multi.retract(tids[0])
+    assert multi.serial == single.serial
+    assert multi.version == single.version
+    assert multi.tids() == single.tids()
+    assert multi.multiset() == single.multiset()
+    # identical iteration ORDER, not just contents
+    assert [i.tid for i in multi.instances()] == [i.tid for i in single.instances()]
+    for pat in (
+        pattern("c1", Var("a")),
+        pattern(Var("k"), 3),
+        pattern(Var("k"), Var("a")),
+        pattern("c2", 3, Var("a")),
+    ):
+        assert [i.tid for i in multi.candidates(pat)] == [
+            i.tid for i in single.candidates(pat)
+        ]
+        assert [i.tid for i in multi.find_matching(pat)] == [
+            i.tid for i in single.find_matching(pat)
+        ]
+        assert multi.count_matching(pat) == single.count_matching(pat)
+    for probes in ([(0, "c1")], [(1, 3)], [(0, "c2"), (1, 3)], []):
+        assert [i.tid for i in multi.candidates_probed(2, probes)] == [
+            i.tid for i in single.candidates_probed(2, probes)
+        ]
+    assert _changes_repr(multi.changes_since(0)) == _changes_repr(
+        single.changes_since(0)
+    )
+
+
+# ---------------------------------------------------------------------------
+# indexed=False parity (regression: both storage modes, same match sets)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("shards", ["single", 4])
+def test_unindexed_store_matches_indexed(shards):
+    layouts = [
+        Dataspace(indexed=True, shards=shards),
+        Dataspace(indexed=False, shards=shards),
+    ]
+    rows = [(f"c{i % 3}", i % 4) for i in range(24)] + [
+        (f"c{i % 3}", i % 4, i) for i in range(12)
+    ]
+    for ds in layouts:
+        ds.insert_many(rows)
+    indexed, unindexed = layouts
+    for pat in (
+        pattern("c1", Var("a")),
+        pattern(Var("k"), 2),
+        pattern("c0", 1, Var("a")),
+    ):
+        assert [i.values for i in unindexed.find_matching(pat)] == [
+            i.values for i in indexed.find_matching(pat)
+        ]
+        assert unindexed.count_matching(pat) == indexed.count_matching(pat)
+    for probes in ([(0, "c1")], [(1, 2)], [(0, "c0"), (1, 1)]):
+        # candidates_probed promises the full probe intersection in both
+        # storage modes (the unindexed store applies probes as filters).
+        assert [i.tid for i in unindexed.candidates_probed(2, probes)] == [
+            i.tid for i in indexed.candidates_probed(2, probes)
+        ]
+
+
+# ---------------------------------------------------------------------------
+# engine-level differential: shards=N ≡ single, live + group commit
+# ---------------------------------------------------------------------------
+
+b = Var("b")
+
+
+def community_worker() -> ProcessDefinition:
+    return ProcessDefinition(
+        "Worker",
+        params=("c",),
+        body=[
+            delayed(exists(a).match(P[Var("c"), a].retract())).then(
+                assert_tuple("done", Var("c"), a)
+            )
+        ],
+    )
+
+
+def pair_merger() -> ProcessDefinition:
+    return ProcessDefinition(
+        "Merger",
+        params=("c",),
+        body=[
+            delayed(
+                exists(a, b).match(
+                    P[Var("c"), a].retract(), P[Var("c"), b].retract()
+                )
+            ).then(assert_tuple(Var("c"), a + b))
+        ],
+    )
+
+
+def _counters(result):
+    """The RunResult counters that must be layout-independent."""
+    return {
+        "reason": result.reason,
+        "steps": result.steps,
+        "rounds": result.rounds,
+        "commits": result.commits,
+        "wakeups": result.wakeups,
+        "precise": result.precise_wakeups,
+        "spurious": result.spurious_wakeups,
+        "wake_checks": result.wake_checks,
+        "group_rounds": result.group_rounds,
+        "batch_commits": result.batch_commits,
+        "conflicts": result.conflicts,
+        "max_batch": result.max_batch,
+        "plan_hits": result.plan_hits,
+        "plan_misses": result.plan_misses,
+        "dataspace_size": result.dataspace_size,
+    }
+
+
+def _run_workers(shards, n_comm, n_work, seed, commit):
+    engine = Engine(
+        definitions=[community_worker(), pair_merger()],
+        seed=seed,
+        commit=commit,
+        shards=shards,
+    )
+    engine.assert_tuples(
+        [(f"c{c}", i) for c in range(n_comm) for i in range(n_work + 2)]
+    )
+    for c in range(n_comm):
+        for __ in range(n_work):
+            engine.start("Worker", (f"c{c}",))
+        engine.start("Merger", (f"c{c}",))
+    result = engine.run()
+    return engine.dataspace.multiset(), _counters(result)
+
+
+class TestEngineEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n_comm=st.integers(min_value=1, max_value=4),
+        n_work=st.integers(min_value=1, max_value=4),
+        seed=seeds,
+        commit=st.sampled_from(["live", "group"]),
+    )
+    def test_sharded_run_is_bit_identical(self, n_comm, n_work, seed, commit):
+        single_state, single_counters = _run_workers(
+            "single", n_comm, n_work, seed, commit
+        )
+        sharded_state, sharded_counters = _run_workers(
+            4, n_comm, n_work, seed, commit
+        )
+        assert sharded_state == single_state
+        assert sharded_counters == single_counters
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=seeds, commit=st.sampled_from(["live", "group"]))
+    def test_sharded_run_is_deterministic_per_seed(self, seed, commit):
+        first = _run_workers(4, 3, 3, seed, commit)
+        second = _run_workers(4, 3, 3, seed, commit)
+        assert first == second
+
+
+class TestEngineWiring:
+    def test_engine_rejects_dataspace_plus_shards(self):
+        with pytest.raises(EngineError):
+            Engine(dataspace=Dataspace(), shards=4)
+
+    def test_engine_rejects_bad_spec(self):
+        with pytest.raises(EngineError):
+            Engine(shards="frob")
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv("SDL_SHARDS", "head:3")
+        assert Engine().dataspace.shard_count == 3
+        monkeypatch.delenv("SDL_SHARDS")
+        assert Engine().dataspace.shard_count == 1
+
+    def test_explicit_dataspace_keeps_its_layout(self, monkeypatch):
+        monkeypatch.setenv("SDL_SHARDS", "head:3")
+        assert Engine(dataspace=Dataspace()).dataspace.shard_count == 1
+
+    def test_shard_gauges_in_metrics(self):
+        engine = Engine(definitions=[community_worker()], seed=1, shards=4, obs=True)
+        engine.assert_tuples([(f"c{c}", i) for c in range(4) for i in range(2)])
+        for c in range(4):
+            engine.start("Worker", (f"c{c}",))
+        result = engine.run()
+        assert result.completed
+        assert result.metrics["sdl_shard_count"]["data"] == 4
+        total = sum(
+            value["data"]
+            for name, value in result.metrics.items()
+            if name.startswith("sdl_shard_occupancy_")
+        )
+        assert total == result.dataspace_size
+
+    def test_checkpoint_recovery_round_trips_sharded(self):
+        from repro.runtime.recovery import RecoveryLog
+
+        ds = Dataspace(shards=4)
+        log = RecoveryLog(ds, interval=8)
+        ds.insert_many([(f"c{i % 5}", i) for i in range(30)])
+        for tid in sorted(ds.tids(), key=lambda t: t.serial)[::3]:
+            ds.retract(tid)
+        assert log.latest.shard_counts is not None
+        assert sum(log.latest.shard_counts) == log.latest.size
+        scratch = log.verify()
+        assert scratch.shard_count == 4
+        assert scratch.multiset() == ds.multiset()
+        log.close()
