@@ -757,6 +757,75 @@ def e17() -> None:
     )
 
 
+def e18() -> None:
+    import os
+
+    from repro.core.actions import assert_tuple, let
+    from repro.core.expressions import Var, lift
+    from repro.core.process import ProcessDefinition
+    from repro.core.transactions import delayed
+    from repro.runtime.engine import Engine
+    from repro.workloads.compute import spin
+
+    a = Var("a")
+    communities, depth, units = 8, 3, 40_000
+    burn = lift(spin, name="spin")
+    worker = ProcessDefinition(
+        "W",
+        params=("k",),
+        body=[
+            delayed(exists(a).match(P[Var("k"), a].retract())).then(
+                let(Var("n"), burn(a, units)),
+                assert_tuple("done", Var("k"), Var("n")),
+            )
+            for __ in range(depth)
+        ],
+    )
+
+    def run(workers):
+        engine = Engine(
+            definitions=[worker], seed=7, commit="group", shards=8,
+            workers=workers,
+        )
+        engine.assert_tuples(
+            [(k, d) for k in range(communities) for d in range(depth)]
+        )
+        for k in range(communities):
+            engine.start("W", (k,))
+        result = engine.run()
+        assert result.completed
+        return engine, result
+
+    baseline = None
+    rows = []
+    for workers in (None, 1, "thread:4", "process:4"):
+        run(workers)  # warm: pool fork, plan caches
+        (engine, result), t_best = min(
+            (timed(run, workers) for __ in range(3)), key=lambda pair: pair[1]
+        )
+        state = engine.dataspace.multiset()
+        if baseline is None:
+            baseline = (state, t_best)
+        assert state == baseline[0], "parallel run diverged from serial"
+        rows.append(
+            [
+                "serial" if workers is None else workers,
+                f"{t_best*1000:.1f}",
+                f"{baseline[1]/t_best:.2f}x",
+                result.parallel_rounds,
+                result.parallel_groups,
+                result.parallel_fallbacks,
+            ]
+        )
+    table(
+        "E18 — parallel group-round apply: compute-heavy disjoint communities "
+        f"({communities} x {depth}, spin={units}, {os.cpu_count()} CPU(s))",
+        ["workers", "best-of-3 ms", "speedup", "parallel rounds",
+         "groups dispatched", "fallbacks"],
+        rows,
+    )
+
+
 def main() -> None:
     print("# Experiment report (regenerated)")
     e1_e2()
@@ -774,6 +843,7 @@ def main() -> None:
     e15()
     e16()
     e17()
+    e18()
 
 
 if __name__ == "__main__":

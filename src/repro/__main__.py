@@ -131,6 +131,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         obs=obs,
         plan=args.plan,
         shards=args.shards,
+        workers=args.workers,
     )
     if args.data:
         engine.assert_tuples(_load_tuples(args.data))
@@ -209,6 +210,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--shards", default=None, metavar="SPEC",
                      help="dataspace storage layout: 'single', an integer N, "
                           "or 'head:N' (default: SDL_SHARDS or single)")
+    run.add_argument("--workers", default=None, metavar="SPEC",
+                     help="parallel group-round apply: an integer N, "
+                          "'process:N', or 'thread:N' (default: SDL_WORKERS "
+                          "or serial; needs --commit group and --shards N)")
     run.add_argument("--faults", default=None, metavar="PLAN",
                      help="fault-injection plan, e.g. "
                           "'seed=7; pre-commit:crash:name=W:at=2' "

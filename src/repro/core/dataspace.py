@@ -285,6 +285,10 @@ class Dataspace:
             shard = self.partitioner.shard_of_values(instance.values)
             self._tid_shard[instance.tid] = shard
             self.stores[shard].admit(instance)
+            if self._obs is not None:
+                self._obs.gauge(
+                    f"sdl_shard_occupancy_{shard}", len(self.stores[shard])
+                )
         return instance
 
     def retract(self, tid: TupleId) -> TupleInstance:
@@ -299,6 +303,13 @@ class Dataspace:
             if shard is None:
                 raise SDLError(f"cannot retract {tid!r}: not in the dataspace")
             instance = self.stores[shard].remove(tid)
+            if self._obs is not None:
+                # Gauge updated on the retract path too: occupancy must
+                # track live ``len(store)`` at all times, not only after
+                # inserts, or retract-heavy runs leave stale readings.
+                self._obs.gauge(
+                    f"sdl_shard_occupancy_{shard}", len(self.stores[shard])
+                )
         self._bump(DataspaceChange.RETRACT, (), (instance,))
         return instance
 
@@ -311,7 +322,7 @@ class Dataspace:
         self._version += 1
         change = DataspaceChange(kind, asserted, retracted, self._version)
         if self._single is not None:
-            self._single.journal.append(change)
+            self._single.record(change)
         else:
             self._journal_split(change)
         listeners = self._listener_snapshot
@@ -335,7 +346,7 @@ class Dataspace:
             # Single-instance change — the overwhelmingly common case
             # (every insert/retract): file as-is, no grouping pass.
             inst = asserted[0] if asserted else retracted[0]
-            self.stores[shard_of(inst.values)].journal.append(change)
+            self.stores[shard_of(inst.values)].record(change)
             return
         parts: dict[int, tuple[list, list]] = {}
         for inst in change.asserted:
@@ -344,10 +355,10 @@ class Dataspace:
             parts.setdefault(shard_of(inst.values), ([], []))[1].append(inst)
         if len(parts) == 1:
             (shard,) = parts
-            self.stores[shard].journal.append(change)
+            self.stores[shard].record(change)
             return
         for shard, (asserted, retracted) in parts.items():
-            self.stores[shard].journal.append(
+            self.stores[shard].record(
                 DataspaceChange(
                     change.kind, tuple(asserted), tuple(retracted), change.version
                 )
@@ -379,6 +390,12 @@ class Dataspace:
             return None
         by_version: dict[int, list[DataspaceChange]] = {}
         for store in self.stores:
+            if store.evicted_version > version:
+                # This shard dropped an entry *inside* the requested
+                # window: whatever the siblings still hold would be a
+                # partial delta, and replaying it would corrupt the
+                # consumer.  Full-rescan signal instead.
+                return None
             for entry in reversed(store.journal):
                 if entry.version <= version:
                     break

@@ -73,7 +73,10 @@ class TupleStore:
     shards back into the exact iteration order of a single store.
     """
 
-    __slots__ = ("shard", "indexed", "instances", "by_arity", "by_field", "journal")
+    __slots__ = (
+        "shard", "indexed", "instances", "by_arity", "by_field", "journal",
+        "evicted_version",
+    )
 
     def __init__(self, shard: int, indexed: bool = True) -> None:
         self.shard = shard
@@ -82,9 +85,49 @@ class TupleStore:
         self.by_arity: dict[int, dict[TupleId, TupleInstance]] = {}
         self.by_field: dict[tuple[int, int, Any], dict[TupleId, TupleInstance]] = {}
         self.journal: deque = deque(maxlen=JOURNAL_DEPTH)
+        #: Highest global version this shard's journal has *evicted* (0 when
+        #: nothing was ever dropped).  ``Dataspace.changes_since`` refuses to
+        #: recombine a window any shard has partially forgotten — without
+        #: this stamp, one overflowing shard could silently return a partial
+        #: delta while its siblings still cover the window.
+        self.evicted_version = 0
 
     def __len__(self) -> int:
         return len(self.instances)
+
+    def record(self, change: Any) -> None:
+        """File a change event, tracking the version of anything evicted.
+
+        All journal writes go through here so the eviction watermark can
+        never miss a drop: ``deque.append`` at ``maxlen`` silently
+        discards the oldest entry.
+        """
+        journal = self.journal
+        if len(journal) == JOURNAL_DEPTH:
+            self.evicted_version = journal[0].version
+        journal.append(change)
+
+    def __getstate__(self):
+        # Shards cross process boundaries (parallel apply, detach/reattach):
+        # ship the instances and journal, rebuild the derived indexes on the
+        # far side — dict insertion order (== ascending-serial order) is
+        # preserved by pickling a list, so a round-tripped store is
+        # indistinguishable from the original.
+        return (
+            self.shard,
+            self.indexed,
+            list(self.instances.values()),
+            list(self.journal),
+            self.evicted_version,
+        )
+
+    def __setstate__(self, state) -> None:
+        shard, indexed, instances, journal, evicted_version = state
+        self.__init__(shard, indexed)
+        for instance in instances:
+            self.admit(instance)
+        self.journal.extend(journal)
+        self.evicted_version = evicted_version
 
     def admit(self, instance: TupleInstance) -> None:
         """Index an already-built instance (serial assigned by the facade)."""

@@ -39,6 +39,7 @@ from repro.runtime.events import CheckpointTaken, ProcessCreated, ProcessRestart
 from repro.runtime.executor import Executor
 from repro.runtime.faults import FaultInjector, FaultPlan, resolve_plan
 from repro.runtime.interpreter import interpret
+from repro.runtime.parallel import WorkerPool, resolve_workers
 from repro.runtime.recovery import Checkpoint, RecoveryLog
 from repro.runtime.scheduler import Scheduler, Task, TaskKind, TaskState
 from repro.runtime.supervision import RestartPolicy, Supervisor
@@ -81,6 +82,14 @@ class RunResult:
     batch_commits: int = 0
     conflicts: int = 0
     max_batch: int = 0
+    # Parallel-apply counters (populated under ``workers=N`` with a
+    # sharded layout): rounds that dispatched at least one group to the
+    # worker pool, groups and candidates evaluated on workers, and
+    # groups that fell back to serial apply.
+    parallel_rounds: int = 0
+    parallel_groups: int = 0
+    parallel_candidates: int = 0
+    parallel_fallbacks: int = 0
     # Crash-stop failure counters (populated under fault injection).
     crashes: int = 0
     restarts: int = 0
@@ -157,6 +166,7 @@ class Engine:
         obs: "Observability | bool | str | None" = None,
         plan: "str | bool | None" = None,
         shards: "str | int | None" = None,
+        workers: "str | int | None" = None,
     ) -> None:
         if policy not in ("random", "fifo"):
             raise EngineError(f"unknown scheduling policy {policy!r}")
@@ -204,6 +214,22 @@ class Engine:
                 self.dataspace = Dataspace(shards=shards)
             except ValueError as exc:
                 raise EngineError(str(exc)) from None
+        # Parallel group-round apply (``repro.runtime.parallel``): a pool
+        # of workers evaluating shard-disjoint admitted groups off the
+        # main process.  ``workers=N`` / ``"process:N"`` / ``"thread:N"``
+        # (env SDL_WORKERS supplies a suite-wide default); ``None``/1 is
+        # serial apply.  Dispatch additionally requires a sharded layout
+        # and ``commit="group"`` — without them the pool simply never
+        # fires, keeping the knobs orthogonal.
+        if workers is None:
+            workers = os.environ.get("SDL_WORKERS") or None
+        try:
+            worker_spec = resolve_workers(workers)
+        except ValueError as exc:
+            raise EngineError(str(exc)) from None
+        self.pool: WorkerPool | None = (
+            WorkerPool(*worker_spec) if worker_spec is not None else None
+        )
         self.society = ProcessSociety(definitions)
         self.rng = random.Random(seed)
         self.trace = trace if trace is not None else Trace()
@@ -407,6 +433,9 @@ class Engine:
             o.gauge("sdl_rounds_total", self.scheduler.round_count)
             o.gauge("sdl_steps_total", self.step_count)
             o.gauge("sdl_commits_total", counters.commits)
+            if self.pool is not None:
+                o.gauge("sdl_worker_pool_size", self.pool.size)
+                o.gauge("sdl_worker_pool_peak_inflight", self.pool.peak_inflight)
             if planner is not None:
                 o.gauge("sdl_plan_cache_size", planner.cache_size)
                 o.gauge("sdl_plan_hit_rate", planner.hit_rate)
@@ -433,6 +462,10 @@ class Engine:
             batch_commits=counters.batch_commits,
             conflicts=counters.conflicts,
             max_batch=counters.max_batch,
+            parallel_rounds=self.pool.rounds if self.pool is not None else 0,
+            parallel_groups=self.pool.groups if self.pool is not None else 0,
+            parallel_candidates=self.pool.candidates if self.pool is not None else 0,
+            parallel_fallbacks=self.pool.fallbacks if self.pool is not None else 0,
             crashes=counters.crashes,
             restarts=counters.restarts,
             recoveries=self.supervisor.recoveries,

@@ -1,0 +1,480 @@
+"""Parallel apply for group-commit rounds (engine option ``workers=``).
+
+The paper's §3 community model promises that processes in disjoint
+communities "proceed with full parallelism".  Group commit (PR 2) proves
+an admitted batch conflict-free, and sharded storage (PR 6) labels every
+footprint with the shards it touches — this module cashes both in: when
+an admitted batch partitions into **shard-disjoint groups**, the pure
+*evaluation* half of each group's apply phase runs on a worker, and only
+the *mutation* half is replayed on the main process, in admitted order.
+
+The split is what makes determinism cheap instead of heroic:
+
+* a worker receives only picklable, dataspace-free inputs — the action
+  list, the once-environment, and the per-match binding dicts — and
+  returns an :class:`ActionPlan`: the ordered ``assert``/``spawn`` ops,
+  ``let`` values, control effect, and any exception the evaluation
+  raised, exactly as serial :func:`~repro.core.transactions.execute`
+  would have produced them;
+* the main process then **replays** every plan in admitted order against
+  the live dataspace (:func:`replay_plan`): serials, versions, journal
+  entries, wakeups, spawn pids, and checkpoint contents are assigned by
+  the same code on the same process as ``workers=1``, so they are
+  bit-identical by construction rather than by reconciliation;
+* the engine RNG is never shipped to a worker.  Eligibility
+  (:func:`worker_eligible`) admits only *pure* action lists — no
+  ``CallPython``, no window-reading ``Membership`` sub-queries — which
+  by definition never consume the RNG, so the main-process RNG stream is
+  untouched by where evaluation ran.
+
+Anything outside the eligible fragment — impure actions, unpicklable
+values, a broken pool, cross-shard footprints that collapse the batch
+into one group — falls back to the serial apply path, the correctness
+anchor.  Fallbacks are counted, never errors.
+
+Workers are shared process- (or thread-) pool executors kept in a
+module-level registry: engines borrow them per round and the pool
+outlives any single engine, so the fork cost is paid once per process,
+not once per run.  ``shutdown_workers`` tears everything down (also
+registered via ``atexit``).
+"""
+
+from __future__ import annotations
+
+import atexit
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import TYPE_CHECKING, Any, NamedTuple, Sequence
+
+from repro.core.actions import (
+    Abort,
+    AssertTuple,
+    CallPython,
+    Exit,
+    Let,
+    Skip,
+    Spawn,
+)
+from repro.core.expressions import BinOp, Bindings, Call, Const, EvalContext, UnOp, Var
+from repro.core.query import Membership
+from repro.core.transactions import Control, Transaction, TransactionOutcome
+from repro.errors import ExportViolation, TransactionError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.query import QueryResult
+    from repro.core.views import Window
+
+__all__ = [
+    "WorkerSpec",
+    "resolve_workers",
+    "worker_eligible",
+    "partition_disjoint",
+    "ActionPlan",
+    "evaluate_candidates",
+    "replay_plan",
+    "WorkerPool",
+    "shutdown_workers",
+]
+
+
+class WorkerSpec(NamedTuple):
+    """A normalised worker-pool request: execution mode and pool size."""
+
+    mode: str  # "process" | "thread"
+    count: int
+
+
+def resolve_workers(spec: "str | int | None") -> WorkerSpec | None:
+    """Normalise an ``Engine(workers=)`` / ``SDL_WORKERS`` / ``--workers`` value.
+
+    ``None``/``""``/``"off"``/``1`` mean serial apply (no pool).  An
+    integer or digit string ``N >= 2`` requests N process workers; the
+    explicit forms ``"process:N"`` and ``"thread:N"`` select the mode
+    (threads evaluate the same plans without pickling — no speedup under
+    the GIL, but a fallback for unpicklable workloads and the cheap way
+    to exercise the parallel path in tests).
+    """
+    if spec is None:
+        return None
+    mode = "process"
+    if isinstance(spec, str):
+        text = spec.strip().lower()
+        if text in ("", "off", "none", "serial"):
+            return None
+        if ":" in text:
+            mode, __, text = text.partition(":")
+            if mode in ("threads", "thread"):
+                mode = "thread"
+            elif mode == "process":
+                pass
+            else:
+                raise ValueError(f"unknown workers spec {spec!r}")
+        if not text.lstrip("-").isdigit():
+            raise ValueError(f"unknown workers spec {spec!r}")
+        spec = int(text)
+    if not isinstance(spec, int) or isinstance(spec, bool):
+        raise ValueError(f"unknown workers spec {spec!r}")
+    if spec < 1:
+        raise ValueError(f"worker count must be >= 1, got {spec}")
+    if spec == 1:
+        return None
+    return WorkerSpec(mode, spec)
+
+
+# ----------------------------------------------------------------------
+# eligibility: the pure-action fragment
+# ----------------------------------------------------------------------
+
+def _pure_expr(expr: Any) -> bool:
+    """Is *expr* evaluable without a window, an RNG, or host effects?
+
+    ``Membership`` reads the process window (and may consume the RNG for
+    arbitration), so it pins evaluation to the main process.  Unknown
+    expression kinds are conservatively impure.
+    """
+    if isinstance(expr, (Var, Const)):
+        return True
+    if isinstance(expr, BinOp):
+        return _pure_expr(expr.left) and _pure_expr(expr.right)
+    if isinstance(expr, UnOp):
+        return _pure_expr(expr.operand)
+    if isinstance(expr, Membership):
+        return False
+    if isinstance(expr, Call):
+        return all(_pure_expr(arg) for arg in expr.args)
+    return False
+
+
+def worker_eligible(txn: Transaction) -> bool:
+    """Can *txn*'s action list be evaluated off the main process?
+
+    True iff every action is in the pure fragment: ``let`` bodies, assert
+    templates, and spawn arguments built from window-free expressions,
+    plus the control actions.  ``CallPython`` is a host effect and always
+    ineligible.  Queries are *not* examined — they were already evaluated
+    on the main process during admission.
+    """
+    for action in txn.actions:
+        if isinstance(action, (Exit, Abort, Skip)):
+            continue
+        if isinstance(action, Let):
+            if not _pure_expr(action.expr):
+                return False
+        elif isinstance(action, AssertTuple):
+            for element in action.pattern.elements:
+                expr = getattr(element, "expr", None)
+                if expr is not None and not _pure_expr(expr):
+                    return False
+        elif isinstance(action, Spawn):
+            if not all(_pure_expr(arg) for arg in action.args):
+                return False
+        elif isinstance(action, CallPython):
+            return False
+        else:  # pragma: no cover - future action kinds
+            return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# group partitioning
+# ----------------------------------------------------------------------
+
+def partition_disjoint(
+    labelled: Sequence[tuple[int, frozenset[int]]]
+) -> list[list[int]]:
+    """Partition candidates into shard-disjoint groups (union-find).
+
+    *labelled* pairs each candidate's batch position with the union of
+    its footprint shard-sets; two candidates sharing any shard land in
+    the same group.  Groups (and members within a group) come back in
+    ascending batch position, so dispatch order is deterministic.
+    """
+    parent: dict[int, int] = {}
+
+    def find(pos: int) -> int:
+        root = pos
+        while parent[root] != root:
+            root = parent[root]
+        while parent[pos] != root:
+            parent[pos], pos = root, parent[pos]
+        return root
+
+    shard_owner: dict[int, int] = {}
+    for pos, shards in labelled:
+        parent[pos] = pos
+        for shard in shards:
+            owner = shard_owner.get(shard)
+            if owner is None:
+                shard_owner[shard] = pos
+            else:
+                parent[find(pos)] = find(owner)
+    groups: dict[int, list[int]] = {}
+    for pos, __ in labelled:
+        groups.setdefault(find(pos), []).append(pos)
+    return [groups[root] for root in sorted(groups, key=lambda r: groups[r][0])]
+
+
+# ----------------------------------------------------------------------
+# the worker side: pure action evaluation
+# ----------------------------------------------------------------------
+
+class ActionPlan:
+    """The effect list of one candidate's evaluated actions.
+
+    ``ops`` is the ordered mutation script — ``("assert", values)`` and
+    ``("spawn", name, args)`` entries exactly as serial ``execute`` would
+    have performed them; ``error`` carries the exception (if any) the
+    evaluation raised after the recorded ops, so replay can reproduce a
+    partial serial failure bit-for-bit.
+    """
+
+    __slots__ = ("ops", "lets", "control", "error")
+
+    def __init__(self) -> None:
+        self.ops: list[tuple] = []
+        self.lets: dict[str, Any] = {}
+        self.control = Control.NONE
+        self.error: BaseException | None = None
+
+    def __repr__(self) -> str:
+        err = f", error={self.error!r}" if self.error is not None else ""
+        return f"ActionPlan(ops={len(self.ops)}, control={self.control.name}{err})"
+
+
+def _evaluate_one(
+    actions: tuple, once_env: dict[str, Any], match_bindings: list[dict[str, Any]]
+) -> ActionPlan:
+    """Evaluate one candidate's pure action list into an :class:`ActionPlan`.
+
+    Mirrors the action half of :func:`repro.core.transactions.execute`
+    statement for statement — same env threading, same per-match loops —
+    with mutations recorded instead of performed.  Exceptions are caught
+    into ``plan.error`` after the ops already recorded, matching the
+    partial effects a serial failure would have applied.
+    """
+    plan = ActionPlan()
+    env_for_once = dict(once_env)
+    try:
+        for action in actions:
+            if isinstance(action, Let):
+                ctx = EvalContext(Bindings(env_for_once))
+                value = action.expr.evaluate(ctx)
+                plan.lets[action.name] = value
+                env_for_once[action.name] = value
+            elif isinstance(action, (Exit, Abort, Skip)):
+                if isinstance(action, Exit):
+                    plan.control = Control.EXIT
+                elif isinstance(action, Abort):
+                    plan.control = Control.ABORT
+            elif isinstance(action, (AssertTuple, Spawn)):
+                match_envs = (
+                    [{**bindings, **plan.lets} for bindings in match_bindings]
+                    if match_bindings
+                    else [env_for_once]
+                )
+                for env in match_envs:
+                    ctx = EvalContext(Bindings(env))
+                    if isinstance(action, AssertTuple):
+                        plan.ops.append(("assert", action.pattern.instantiate(ctx)))
+                    else:
+                        args = tuple(a.evaluate(ctx) for a in action.args)
+                        plan.ops.append(("spawn", action.process_name, args))
+            else:  # pragma: no cover - guarded by worker_eligible
+                raise TransactionError(f"unknown action {action!r}")
+    except Exception as exc:
+        plan.error = exc
+    return plan
+
+
+def evaluate_candidates(
+    candidates: list[tuple[tuple, dict[str, Any], list[dict[str, Any]]]]
+) -> tuple[list[ActionPlan], int]:
+    """Worker entry point: evaluate one shard-disjoint group of candidates.
+
+    Returns the plans (one per candidate, in group order) and the
+    wall-clock nanoseconds the evaluation took — the per-worker apply
+    histogram's sample.  Must stay a module-level function: process
+    pools pickle it by reference.
+    """
+    start = time.perf_counter_ns()
+    plans = [
+        _evaluate_one(actions, once_env, match_bindings)
+        for actions, once_env, match_bindings in candidates
+    ]
+    return plans, time.perf_counter_ns() - start
+
+
+# ----------------------------------------------------------------------
+# the main-process side: plan replay
+# ----------------------------------------------------------------------
+
+def replay_plan(
+    plan: ActionPlan,
+    result: "QueryResult",
+    window: "Window",
+    owner: int,
+    export_policy: str = "error",
+) -> TransactionOutcome:
+    """Apply a worker-evaluated plan to the live dataspace, in admitted order.
+
+    This is the mutation half of :func:`~repro.core.transactions.execute`:
+    retract the query's selected instances, then perform the recorded ops
+    against the dataspace through the owner's window (export checks
+    included — views are main-process state and never ship to workers).
+    Serial numbers, journal versions, and listener notifications are all
+    assigned here, so the outcome is indistinguishable from serial apply.
+    """
+    dataspace = window.dataspace
+    outcome = TransactionOutcome(success=True, match_count=len(result.matches))
+    outcome.reads = sum(len(m.instances) for m in result.matches)
+    for match in result.matches:
+        for inst in match.retracted:
+            dataspace.retract(inst.tid)
+            outcome.retracted.append(inst)
+    for op in plan.ops:
+        if op[0] == "assert":
+            values = op[1]
+            if not window.exports_value(values):
+                if export_policy == "drop":
+                    continue
+                raise ExportViolation(str(owner), values)
+            outcome.asserted.append(dataspace.insert(values, owner))
+        else:  # spawn
+            outcome.spawned.append((op[1], op[2]))
+    outcome.lets = dict(plan.lets)
+    outcome.control = plan.control
+    if plan.error is not None:
+        # The serial path would have raised here, after the ops above
+        # were already applied — reproduce the same partial failure.
+        raise plan.error
+    return outcome
+
+
+# ----------------------------------------------------------------------
+# the shared worker pools
+# ----------------------------------------------------------------------
+
+#: Live executors keyed by (mode, count) — shared across engines so the
+#: process-fork cost is paid once per interpreter, not once per run.
+_EXECUTORS: dict[tuple[str, int], Any] = {}
+
+
+def _executor_for(mode: str, count: int):
+    key = (mode, count)
+    executor = _EXECUTORS.get(key)
+    if executor is None:
+        if mode == "thread":
+            executor = ThreadPoolExecutor(
+                max_workers=count, thread_name_prefix="sdl-worker"
+            )
+        else:
+            executor = ProcessPoolExecutor(max_workers=count)
+        _EXECUTORS[key] = executor
+    return executor
+
+
+def _discard_executor(mode: str, count: int) -> None:
+    executor = _EXECUTORS.pop((mode, count), None)
+    if executor is not None:
+        executor.shutdown(wait=False, cancel_futures=True)
+
+
+def shutdown_workers() -> None:
+    """Tear down every shared worker pool (idempotent; atexit-registered)."""
+    while _EXECUTORS:
+        __, executor = _EXECUTORS.popitem()
+        executor.shutdown(wait=False, cancel_futures=True)
+
+
+atexit.register(shutdown_workers)
+
+
+class WorkerPool:
+    """An engine's handle on the shared worker pool, plus its run counters.
+
+    The handle owns no executor — it borrows the shared one lazily at
+    first dispatch — so constructing an engine with ``workers=`` is free
+    until a round actually has disjoint groups to ship.
+    """
+
+    __slots__ = (
+        "mode", "size",
+        "rounds", "groups", "candidates", "fallbacks", "peak_inflight",
+    )
+
+    def __init__(self, mode: str, size: int) -> None:
+        self.mode = mode
+        self.size = size
+        #: Rounds in which at least one group was dispatched to a worker.
+        self.rounds = 0
+        #: Shard-disjoint groups evaluated on workers.
+        self.groups = 0
+        #: Candidates whose plans came back from a worker.
+        self.candidates = 0
+        #: Groups that fell back to serial apply (unpicklable payloads or
+        #: results, broken pool) — counted, never errors.
+        self.fallbacks = 0
+        #: Most groups simultaneously in flight (pool occupancy gauge).
+        self.peak_inflight = 0
+
+    def dispatch(
+        self,
+        payloads: list[list[tuple[tuple, dict[str, Any], list[dict[str, Any]]]]],
+    ) -> list[tuple[list[ActionPlan], int] | None]:
+        """Evaluate one round's groups on the shared pool.
+
+        Returns one ``(plans, elapsed_ns)`` entry per payload, or ``None``
+        for a group that must fall back to serial apply.  Submission and
+        joining both degrade per-group: a failure in one group never
+        poisons its siblings.
+        """
+        try:
+            executor = _executor_for(self.mode, self.size)
+        except Exception:
+            self.fallbacks += len(payloads)
+            return [None] * len(payloads)
+        futures: list[Any] = []
+        for payload in payloads:
+            try:
+                futures.append(executor.submit(evaluate_candidates, payload))
+            except Exception:
+                futures.append(None)
+        inflight = sum(1 for f in futures if f is not None)
+        if inflight > self.peak_inflight:
+            self.peak_inflight = inflight
+        results: list[tuple[list[ActionPlan], int] | None] = []
+        broken = False
+        for payload, future in zip(payloads, futures):
+            if future is None:
+                self.fallbacks += 1
+                results.append(None)
+                continue
+            try:
+                plans, elapsed = future.result()
+            except Exception as exc:
+                # Unpicklable payload/result, or a dead worker: this
+                # group re-runs serially (pure actions, so re-evaluation
+                # is effect-free and deterministic).
+                self.fallbacks += 1
+                results.append(None)
+                if isinstance(exc, BrokenExecutor):
+                    broken = True
+                continue
+            if len(plans) != len(payload):  # pragma: no cover - defensive
+                self.fallbacks += 1
+                results.append(None)
+                continue
+            self.groups += 1
+            self.candidates += len(plans)
+            results.append((plans, elapsed))
+        if any(r is not None for r in results):
+            self.rounds += 1
+        if broken:
+            _discard_executor(self.mode, self.size)
+        return results
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkerPool({self.mode}:{self.size}, rounds={self.rounds}, "
+            f"groups={self.groups}, fallbacks={self.fallbacks})"
+        )

@@ -177,6 +177,21 @@ class RecoveryLog:
         for instance in checkpoint.instances:
             rebuilt = scratch.insert(instance.values, owner=instance.tid.owner)
             tid_map[instance.tid] = rebuilt.tid
+        if (
+            checkpoint.shard_counts is not None
+            and scratch.shard_count == len(checkpoint.shard_counts)
+        ):
+            # Routing is a pure function of the tuple's value, so the
+            # re-routed placement must reproduce the captured chunk sizes
+            # exactly; a mismatch means the checkpoint's shard_counts
+            # drifted from the instances it claims to describe.
+            sizes = scratch.shard_sizes()
+            if sizes != checkpoint.shard_counts:
+                raise RecoveryError(
+                    f"checkpoint v{checkpoint.version} shard counts "
+                    f"{checkpoint.shard_counts} disagree with re-routed "
+                    f"placement {sizes}"
+                )
         for change in changes:
             for instance in change.asserted:
                 rebuilt = scratch.insert(instance.values, owner=instance.tid.owner)

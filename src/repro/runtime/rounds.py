@@ -43,6 +43,12 @@ from repro.runtime.commit import (
 )
 from repro.runtime.events import ConflictDetected, RoundCommitted, TxnFailed
 from repro.runtime.interpreter import TxnRequest
+from repro.runtime.parallel import (
+    ActionPlan,
+    partition_disjoint,
+    replay_plan,
+    worker_eligible,
+)
 from repro.runtime.scheduler import ParkedTxn, Pump, Task, TaskState
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -251,21 +257,39 @@ def run_group_round(executor: "Executor", items: list) -> list:
             for __ in range(count)
         ]
 
-    # Phase C — apply the admitted batch in arbitration order.
+    # Phase C — apply the admitted batch in arbitration order.  When the
+    # batch splits into shard-disjoint groups of worker-eligible
+    # candidates, their pure action evaluation is dispatched to the
+    # worker pool (plan), joined, and the resulting plans *replayed* here
+    # in admitted order (merge) — every dataspace mutation, serial,
+    # journal entry, and wakeup still happens on this process, in this
+    # loop, so results are bit-identical to serial apply (see
+    # `repro.runtime.parallel`).  Everything else executes inline.
     apply_start = obs.spans.now() if obs is not None else 0
+    plans = _parallel_plans(engine, admitted, admitted_fps, sharded, apply_start)
     applied: list[tuple[Task, Transaction, Any]] = []
-    for task, txn, result, origin in admitted:
+    for position, (task, txn, result, origin) in enumerate(admitted):
         if task.state is not TaskState.READY:
             continue  # its process crashed after admission (fault injection)
-        outcome = execute(
-            txn,
-            engine.window(task.process),
-            task.process.scope(),
-            owner=task.process.pid,
-            rng=engine.rng,
-            result=result,
-            export_policy=engine.export_policy,
-        )
+        plan = plans.get(position)
+        if plan is not None:
+            outcome = replay_plan(
+                plan,
+                result,
+                engine.window(task.process),
+                owner=task.process.pid,
+                export_policy=engine.export_policy,
+            )
+        else:
+            outcome = execute(
+                txn,
+                engine.window(task.process),
+                task.process.scope(),
+                owner=task.process.pid,
+                rng=engine.rng,
+                result=result,
+                export_policy=engine.export_policy,
+            )
         _deliver_commit(executor, task, txn, outcome, origin)
         applied.append((task, txn, result))
     if obs is not None:
@@ -273,7 +297,7 @@ def run_group_round(executor: "Executor", items: list) -> list:
             "group-apply",
             apply_start,
             obs.spans.now() - apply_start,
-            {"applied": len(applied)},
+            {"applied": len(applied), "parallel": len(plans)},
         )
     engine.trace.emit(
         RoundCommitted(
@@ -307,6 +331,82 @@ def run_group_round(executor: "Executor", items: list) -> list:
         except _Crashed:
             continue  # the tail item's process died mid-step
     return losers
+
+
+def _parallel_plans(
+    engine,
+    admitted: list,
+    admitted_fps: list,
+    sharded: bool,
+    apply_start: int,
+) -> dict[int, ActionPlan]:
+    """Phase C plan/dispatch/join: worker plans keyed by batch position.
+
+    The dispatch rule: a candidate ships to a worker iff its read side is
+    shard-bounded and its action list is pure
+    (:func:`~repro.runtime.parallel.worker_eligible`), and the eligible
+    candidates split into at least two groups disjoint on
+    ``read_shards | retract_shards`` — the shards a candidate's verdict
+    depends on and contends in.  The write side is deliberately *not* a
+    grouping key: assert/assert commutes (the same asymmetry the
+    admission fast path exploits), so a shared assert sink — every
+    community logging to one ``done`` shard — must not collapse the
+    batch into a single group.  One group means no parallelism to
+    exploit, so serial apply keeps its zero-overhead path.  Candidates
+    without a plan (ineligible, cross-shard, or fallen back) execute
+    inline in the merge loop.
+    """
+    pool = engine.pool
+    if pool is None or not sharded or len(admitted) < 2:
+        return {}
+    labelled: list[tuple[int, frozenset[int]]] = []
+    for position, (task, txn, result, __) in enumerate(admitted):
+        if task.state is not TaskState.READY:
+            continue
+        fp = admitted_fps[position]
+        if fp.read_shards is None:
+            continue
+        if not worker_eligible(txn):
+            continue
+        labelled.append((position, fp.read_shards | fp.retract_shards))
+    if len(labelled) < 2:
+        return {}
+    groups = partition_disjoint(labelled)
+    if len(groups) < 2:
+        return {}
+    payloads = []
+    for group in groups:
+        payload = []
+        for position in group:
+            task, txn, result, __ = admitted[position]
+            once_env = (
+                dict(result.bindings) if result.matches else dict(task.process.scope())
+            )
+            match_bindings = [dict(m.bindings) for m in result.matches]
+            payload.append((txn.actions, once_env, match_bindings))
+        payloads.append(payload)
+    results = pool.dispatch(payloads)
+    plans: dict[int, ActionPlan] = {}
+    obs = engine.obs
+    dispatched = fallbacks = 0
+    for group, outcome in zip(groups, results):
+        if outcome is None:
+            fallbacks += 1
+            continue
+        group_plans, elapsed_ns = outcome
+        dispatched += 1
+        for position, plan in zip(group, group_plans):
+            plans[position] = plan
+        if obs is not None:
+            obs.observe_ns(
+                "parallel-apply", apply_start, elapsed_ns, {"group": len(group)}
+            )
+    if obs is not None:
+        if dispatched:
+            obs.count("sdl_parallel_batches_total", amount=dispatched)
+        if fallbacks:
+            obs.count("sdl_parallel_fallbacks_total", amount=fallbacks)
+    return plans
 
 
 def _group_failure(executor: "Executor", task: Task, txn: Transaction, origin: str) -> None:

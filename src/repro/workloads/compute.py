@@ -1,0 +1,22 @@
+"""CPU-bound kernels for the parallel-apply experiment (E18).
+
+The parallel tier ships pure action evaluation to worker processes, so a
+speedup is only measurable when evaluation actually costs something.
+:func:`spin` is that cost: a deterministic LCG burn whose result depends
+on its input (so constant folding can't elide it) and whose runtime
+scales linearly with ``units``.  It lives at module level so process
+pools can pickle it by reference — a lambda would force the serial
+fallback, which is exactly what the fallback benchmark variant exploits.
+"""
+
+from __future__ import annotations
+
+__all__ = ["spin"]
+
+
+def spin(x: int, units: int = 20_000) -> int:
+    """Burn ~*units* multiply-adds and return a value derived from *x*."""
+    acc = (int(x) * 2654435761 + 1) & 0xFFFFFFFF
+    for __ in range(units):
+        acc = (acc * 1103515245 + 12345) & 0x7FFFFFFF
+    return acc % 1000

@@ -1,0 +1,159 @@
+"""Property-based differential: ``workers=N`` ≡ ``workers=1``.
+
+Random community programs under random seeds, run serial and then with a
+worker pool, must agree on everything an SDL program can observe —
+program state down to instance serials and owners, and every
+shard-independent ``RunResult`` counter — under both commit disciplines
+and with fault injection switched on.  Thread pools drive the hypothesis
+loop (same dispatch/replay code as process pools, without per-example
+fork cost); the process mode has its own deterministic differential in
+``tests/test_parallel.py``.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.actions import assert_tuple, let
+from repro.core.expressions import Var
+from repro.core.patterns import P
+from repro.core.process import ProcessDefinition
+from repro.core.query import exists
+from repro.core.transactions import delayed
+from repro.runtime.engine import Engine
+
+a = Var("a")
+b = Var("b")
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def community_worker() -> ProcessDefinition:
+    return ProcessDefinition(
+        "Worker",
+        params=("c",),
+        body=[
+            delayed(exists(a).match(P[Var("c"), a].retract())).then(
+                let(Var("n"), a * 2 + 1),
+                assert_tuple("done", Var("c"), Var("n")),
+            )
+        ],
+    )
+
+
+def pair_merger() -> ProcessDefinition:
+    return ProcessDefinition(
+        "Merger",
+        params=("c",),
+        body=[
+            delayed(
+                exists(a, b).match(
+                    P[Var("c"), a].retract(), P[Var("c"), b].retract()
+                )
+            ).then(assert_tuple(Var("c"), a + b))
+        ],
+    )
+
+
+def _counters(result):
+    """Counters that must not depend on where apply evaluation ran."""
+    return {
+        "reason": result.reason,
+        "steps": result.steps,
+        "rounds": result.rounds,
+        "commits": result.commits,
+        "wakeups": result.wakeups,
+        "precise": result.precise_wakeups,
+        "spurious": result.spurious_wakeups,
+        "wake_checks": result.wake_checks,
+        "group_rounds": result.group_rounds,
+        "batch_commits": result.batch_commits,
+        "conflicts": result.conflicts,
+        "max_batch": result.max_batch,
+        "crashes": result.crashes,
+        "plan_hits": result.plan_hits,
+        "plan_misses": result.plan_misses,
+        "dataspace_size": result.dataspace_size,
+    }
+
+
+def _signature(engine):
+    return sorted(
+        (inst.tid.serial, inst.tid.owner, inst.values)
+        for inst in engine.dataspace.instances()
+    )
+
+
+def _run(workers, n_comm, n_work, seed, commit, faults=None):
+    engine = Engine(
+        definitions=[community_worker(), pair_merger()],
+        seed=seed,
+        commit=commit,
+        shards=4,
+        workers=workers,
+        faults=faults,
+        on_deadlock="return",
+    )
+    engine.assert_tuples(
+        [(f"c{c}", i) for c in range(n_comm) for i in range(n_work + 2)]
+    )
+    for c in range(n_comm):
+        for __ in range(n_work):
+            engine.start("Worker", (f"c{c}",))
+        engine.start("Merger", (f"c{c}",))
+    result = engine.run()
+    return _signature(engine), _counters(result), result
+
+
+class TestParallelEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n_comm=st.integers(min_value=1, max_value=4),
+        n_work=st.integers(min_value=1, max_value=4),
+        seed=seeds,
+        commit=st.sampled_from(["live", "group"]),
+    )
+    def test_worker_pool_is_bit_identical(self, n_comm, n_work, seed, commit):
+        serial_sig, serial_counters, __ = _run(None, n_comm, n_work, seed, commit)
+        par_sig, par_counters, __ = _run("thread:3", n_comm, n_work, seed, commit)
+        assert par_sig == serial_sig
+        assert par_counters == serial_counters
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        n_comm=st.integers(min_value=1, max_value=3),
+        seed=seeds,
+        fault_seed=st.integers(min_value=0, max_value=99),
+        site=st.sampled_from(
+            ["pre-commit:crash:prob=0.2", "batch-admit:kill-round:prob=0.3",
+             "post-match:abort:prob=0.2"]
+        ),
+    )
+    def test_equivalence_holds_under_faults(self, n_comm, seed, fault_seed, site):
+        plan = f"seed={fault_seed}; {site}"
+        serial_sig, serial_counters, __ = _run(
+            None, n_comm, 3, seed, "group", faults=plan
+        )
+        par_sig, par_counters, __ = _run(
+            "thread:3", n_comm, 3, seed, "group", faults=plan
+        )
+        assert par_sig == serial_sig
+        assert par_counters == serial_counters
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=seeds)
+    def test_parallel_run_is_deterministic_per_seed(self, seed):
+        first = _run("thread:3", 3, 3, seed, "group")
+        second = _run("thread:3", 3, 3, seed, "group")
+        assert first[:2] == second[:2]
+        # Dispatch bookkeeping is deterministic too, not just state.
+        assert (
+            first[2].parallel_rounds,
+            first[2].parallel_groups,
+            first[2].parallel_candidates,
+            first[2].parallel_fallbacks,
+        ) == (
+            second[2].parallel_rounds,
+            second[2].parallel_groups,
+            second[2].parallel_candidates,
+            second[2].parallel_fallbacks,
+        )

@@ -109,6 +109,27 @@ class TestReplay:
         with pytest.raises(RecoveryError, match="journal gap"):
             log.recover(stale)
 
+    def test_drifted_shard_counts_raise(self):
+        # shard_counts claims chunk boundaries for the shard-major
+        # instance layout; recovery re-routes every tuple, so a count
+        # vector that disagrees with the actual placement means the
+        # checkpoint is internally inconsistent and must be rejected.
+        space = Dataspace(shards=4)
+        log = RecoveryLog(space, interval=4)
+        space.insert_many([(f"c{i % 5}", i) for i in range(24)])
+        good = log.latest
+        assert log.recover(good).multiset() == space.multiset()
+        counts = list(good.shard_counts)
+        counts[0], counts[1] = counts[1] + 1, counts[0] - 1
+        bad = Checkpoint(
+            version=good.version,
+            instances=good.instances,
+            shard_counts=tuple(counts),
+        )
+        with pytest.raises(RecoveryError, match="shard counts"):
+            log.recover(bad)
+        log.close()
+
 
 class TestEngineIntegration:
     def _labeling_engine(self, **kw):

@@ -187,6 +187,67 @@ class TestJournalMerge:
         )
 
 
+class TestJournalOverflowGuard:
+    """One shard forgetting part of a window must invalidate the whole
+    recombined delta — ``changes_since`` may return ``None``, never a
+    partial list.  The defense is the per-store eviction watermark
+    (:attr:`TupleStore.evicted_version`), maintained by ``record()``.
+    """
+
+    def _stamps(self, versions):
+        from repro.core.dataspace import DataspaceChange
+
+        return [DataspaceChange("assert", (), (), v) for v in versions]
+
+    def test_record_tracks_eviction_watermark(self):
+        store = TupleStore(0)
+        for change in self._stamps(range(1, JOURNAL_DEPTH + 1)):
+            store.record(change)
+        assert store.evicted_version == 0  # exactly full, nothing dropped
+        store.record(self._stamps([JOURNAL_DEPTH + 1])[0])
+        assert store.evicted_version == 1  # the oldest entry fell off
+        store.record(self._stamps([JOURNAL_DEPTH + 2])[0])
+        assert store.evicted_version == 2
+
+    def test_partially_forgotten_window_returns_none(self):
+        # Simulate an external journal writer (compaction, a future
+        # store-local producer) evicting inside a window the global
+        # availability rule still believes is reachable: the facade must
+        # refuse the recombination outright.
+        multi = Dataspace(shards=4)
+        multi.insert_many([(f"c{i}", i) for i in range(8)])
+        mark = multi.version
+        multi.insert(("c0", 99))
+        assert multi.changes_since(mark) is not None
+        hot = multi.partitioner.shard_of_values(("c0", 99))
+        multi.stores[hot].evicted_version = mark + 1
+        assert multi.changes_since(mark) is None
+        # Windows that start after the evicted entry are still served.
+        assert multi.changes_since(multi.version) == []
+
+    def test_mixed_fill_overflow_boundary_matches_single(self):
+        # Skewed routing: one community takes most of the traffic, so its
+        # home shard's journal is much fuller than its siblings'.  The
+        # availability flip must still happen at exactly the single-store
+        # watermark — JOURNAL_DEPTH behind live — at the boundary and
+        # one event to either side of it.
+        single, multi = Dataspace(), Dataspace(shards=4)
+        for i in range(JOURNAL_DEPTH + 24):
+            head = "hot" if i % 8 else f"cold{i % 3}"
+            single.insert((head, i))
+            multi.insert((head, i))
+        live = single.version
+        for version in (live - JOURNAL_DEPTH - 1, live - JOURNAL_DEPTH,
+                        live - JOURNAL_DEPTH + 1):
+            s = single.changes_since(version)
+            m = multi.changes_since(version)
+            assert _changes_repr(m) == _changes_repr(s), (
+                f"availability diverged at watermark {version}"
+            )
+        assert multi.changes_since(live - JOURNAL_DEPTH - 1) is None
+        assert multi.changes_since(live - JOURNAL_DEPTH) is not None
+
+
 # ---------------------------------------------------------------------------
 # dataspace-level differential property
 # ---------------------------------------------------------------------------
