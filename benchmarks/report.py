@@ -826,6 +826,116 @@ def e18() -> None:
     )
 
 
+def e19() -> None:
+    import tempfile
+
+    from repro.runtime import DurableLog
+
+    interval = 64
+
+    def build(ops):
+        wal_dir = tempfile.mkdtemp(prefix="sdl-e19-")
+        space = Dataspace(shards=4)
+        log = DurableLog(space, wal_dir, interval=interval, keep=4)
+        tids = []
+        for i in range(ops):
+            tids.append(space.insert(("item", i % 97, i)).tid)
+            if len(tids) > 200:  # bounded live set: recovery cost should stay flat
+                space.retract(tids.pop(0))
+        log.close()
+        return wal_dir, space, log
+
+    rows = []
+    for ops in (500, 2_000, 8_000):
+        wal_dir, space, log = build(ops)
+        (scratch, report), t_best = min(
+            (timed(DurableLog.load, wal_dir) for __ in range(3)),
+            key=lambda pair: pair[1],
+        )
+        assert report.intact
+        assert sorted(i.values for i in scratch.instances()) == sorted(
+            i.values for i in space.instances()
+        ), "durable load diverged from live state"
+        rows.append(
+            [
+                ops,
+                log.wal_frames,
+                f"{log.wal_bytes/1024:.0f}",
+                report.segments_scanned,
+                report.frames_replayed,
+                f"{t_best*1000:.1f}",
+            ]
+        )
+    table(
+        "E19 — durable recovery: load time vs history length "
+        f"(interval={interval}, keep=4, ~200 live instances)",
+        ["operations", "wal frames", "wal KiB", "segments scanned",
+         "frames replayed", "load ms (best of 3)"],
+        rows,
+    )
+
+    from repro.core.actions import assert_tuple
+    from repro.core.expressions import Var
+    from repro.core.process import ProcessDefinition
+    from repro.core.transactions import delayed
+    from repro.runtime.engine import Engine
+
+    a = Var("a")
+    mover = ProcessDefinition(
+        "Mover",
+        params=("k",),
+        body=[
+            delayed(exists(a).match(P[Var("k"), a].retract())).then(
+                assert_tuple("done", Var("k"), a)
+            )
+            for __ in range(4)
+        ],
+    )
+
+    def run(faults=None, workers=None, worker_timeout=None):
+        engine = Engine(
+            definitions=[mover], seed=7, commit="group", shards=4,
+            workers=workers, faults=faults, worker_timeout=worker_timeout,
+        )
+        engine.assert_tuples([(k, d) for k in range(6) for d in range(4)])
+        for k in range(6):
+            engine.start("Mover", (k,))
+        result = engine.run()
+        assert result.completed
+        return engine, result
+
+    base_engine, __ = run()
+    base_state = base_engine.dataspace.multiset()
+    rows = []
+    for label, clause, timeout in (
+        ("clean pool", None, None),
+        ("garbage-plan at=1", "seed=5; worker-exec:garbage-plan:at=1", None),
+        ("worker-crash at=1", "seed=5; worker-exec:worker-crash:at=1", None),
+        ("worker-hang at=1", "seed=5; worker-exec:worker-hang:at=1", 0.05),
+    ):
+        engine, result = run(faults=clause, workers="thread:3", worker_timeout=timeout)
+        identical = engine.dataspace.multiset() == base_state
+        assert identical, f"{label}: worker faults changed observable state"
+        rows.append(
+            [
+                label,
+                result.worker_timeouts,
+                result.worker_retries,
+                result.worker_quarantined,
+                result.worker_plan_rejects,
+                result.parallel_fallbacks,
+                "yes" if identical else "NO",
+            ]
+        )
+    table(
+        "E19 — supervised worker pool: seeded faults absorbed and counted "
+        "(6 communities x 4, thread:3)",
+        ["fault", "timeouts", "retries", "quarantined", "plan rejects",
+         "serial fallbacks", "= serial state"],
+        rows,
+    )
+
+
 def main() -> None:
     print("# Experiment report (regenerated)")
     e1_e2()
@@ -844,6 +954,7 @@ def main() -> None:
     e16()
     e17()
     e18()
+    e19()
 
 
 if __name__ == "__main__":

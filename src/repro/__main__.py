@@ -132,6 +132,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         plan=args.plan,
         shards=args.shards,
         workers=args.workers,
+        wal_dir=args.wal_dir,
+        worker_timeout=args.worker_timeout,
     )
     if args.data:
         engine.assert_tuples(_load_tuples(args.data))
@@ -153,6 +155,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
         summary += (
             f", plan cache {result.plan_hits}/"
             f"{result.plan_hits + result.plan_misses} hits"
+        )
+    if result.wal_frames or result.wal_segments:
+        summary += (
+            f", wal {result.wal_frames} frames / "
+            f"{result.wal_segments} checkpoint segments"
+        )
+    if result.worker_timeouts or result.worker_retries or result.worker_quarantined:
+        summary += (
+            f", workers {result.worker_timeouts} timeouts / "
+            f"{result.worker_retries} retries / "
+            f"{result.worker_quarantined} quarantined"
         )
     print(summary)
     if result.reason == "deadlock":
@@ -218,6 +231,15 @@ def build_parser() -> argparse.ArgumentParser:
                      help="fault-injection plan, e.g. "
                           "'seed=7; pre-commit:crash:name=W:at=2' "
                           "(default: SDL_FAULTS)")
+    run.add_argument("--wal-dir", default=None, metavar="DIR",
+                     help="persist checkpoints and the WAL as checksummed "
+                          "segment files in DIR (default: SDL_WAL_DIR or "
+                          "in-memory only)")
+    run.add_argument("--worker-timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="per-batch worker-pool join deadline; a miss "
+                          "quarantines the group to serial apply (default: "
+                          "SDL_WORKER_TIMEOUT or no deadline)")
     run.add_argument("--metrics-out", default=None, metavar="PATH",
                      help="enable observability and write run metrics here "
                           "(Prometheus text, or JSON if PATH ends in .json)")

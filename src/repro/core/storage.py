@@ -310,10 +310,23 @@ def resolve_shards(spec: "str | int | Partitioner | None") -> Partitioner:
         text = spec.strip().lower()
         if text in ("", "single"):
             return SinglePartitioner()
-        if text.startswith("head:"):
-            text = text[len("head:"):]
+        if ":" in text:
+            scheme, __, text = text.partition(":")
+            if scheme != "head":
+                raise ValueError(
+                    f"unknown shard routing {scheme!r} in shards spec "
+                    f"{spec!r} (schemes: head)"
+                )
+            if ":" in text:
+                raise ValueError(
+                    f"too many ':' in shards spec {spec!r} "
+                    "(expected head:count)"
+                )
         if not text.lstrip("-").isdigit():
-            raise ValueError(f"unknown shards spec {spec!r}")
+            raise ValueError(
+                f"bad shard count {text!r} in shards spec {spec!r} "
+                "(expected an integer, 'single', or head:count)"
+            )
         spec = int(text)
     if not isinstance(spec, int) or isinstance(spec, bool):
         raise ValueError(f"unknown shards spec {spec!r}")

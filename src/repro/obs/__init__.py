@@ -64,6 +64,9 @@ SITE_HISTOGRAMS = {
     "consensus": "sdl_consensus_seconds",
     "checkpoint": "sdl_checkpoint_seconds",
     "replay": "sdl_replay_seconds",
+    "wal-append": "sdl_wal_append_seconds",
+    "checkpoint-write": "sdl_checkpoint_write_seconds",
+    "segment-load": "sdl_segment_load_seconds",
 }
 
 _SITE_HELP = {
@@ -77,6 +80,9 @@ _SITE_HELP = {
     "consensus": "consensus readiness check + firing",
     "checkpoint": "RecoveryLog checkpoint capture",
     "replay": "RecoveryLog journal replay (recover)",
+    "wal-append": "DurableLog WAL frame append (+fsync under sync=always)",
+    "checkpoint-write": "DurableLog checkpoint segment commit (tmp+rename+fsync)",
+    "segment-load": "DurableLog.load: checkpoint scan + WAL chain replay",
 }
 
 

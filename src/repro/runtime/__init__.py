@@ -10,8 +10,12 @@ parallel makespan while step counts give total work.
 The runtime also implements a **crash-stop failure model**: deterministic
 fault injection (:mod:`repro.runtime.faults`), per-definition restart
 supervision with capped exponential backoff (:mod:`repro.runtime.supervision`),
-and checkpoint/replay recovery of the dataspace
-(:mod:`repro.runtime.recovery`).
+checkpoint/replay recovery of the dataspace
+(:mod:`repro.runtime.recovery`), and — below process memory — a durable
+log of checksummed segment files (:class:`~repro.runtime.recovery.DurableLog`)
+that survives real crashes, plus supervised worker pools with deadlines,
+capped-backoff retry, and quarantine-to-serial degradation
+(:mod:`repro.runtime.parallel`).
 """
 
 from repro.runtime.events import (
@@ -30,7 +34,13 @@ from repro.runtime.events import (
 )
 from repro.runtime.engine import Engine, RunResult
 from repro.runtime.faults import FaultInjector, FaultPlan, FaultSpec
-from repro.runtime.recovery import Checkpoint, RecoveryLog
+from repro.runtime.recovery import (
+    Checkpoint,
+    DurableLoadReport,
+    DurableLog,
+    RecoveryLog,
+    RepairEvent,
+)
 from repro.runtime.supervision import RestartPolicy, Supervisor
 
 __all__ = [
@@ -55,4 +65,7 @@ __all__ = [
     "Supervisor",
     "Checkpoint",
     "RecoveryLog",
+    "DurableLog",
+    "DurableLoadReport",
+    "RepairEvent",
 ]

@@ -40,7 +40,7 @@ from repro.runtime.executor import Executor
 from repro.runtime.faults import FaultInjector, FaultPlan, resolve_plan
 from repro.runtime.interpreter import interpret
 from repro.runtime.parallel import WorkerPool, resolve_workers
-from repro.runtime.recovery import Checkpoint, RecoveryLog
+from repro.runtime.recovery import Checkpoint, DurableLog, RecoveryLog
 from repro.runtime.scheduler import Scheduler, Task, TaskKind, TaskState
 from repro.runtime.supervision import RestartPolicy, Supervisor
 from repro.runtime.wakeup import WakeupIndex
@@ -90,11 +90,29 @@ class RunResult:
     parallel_groups: int = 0
     parallel_candidates: int = 0
     parallel_fallbacks: int = 0
+    # Worker-supervision counters (populated under ``workers=N``):
+    # deadline misses, capped-backoff retries, pool respawns after a
+    # break, groups quarantined to serial, and worker plans rejected by
+    # footprint validation before replay.
+    worker_timeouts: int = 0
+    worker_retries: int = 0
+    worker_respawns: int = 0
+    worker_quarantined: int = 0
+    worker_plan_rejects: int = 0
     # Crash-stop failure counters (populated under fault injection).
     crashes: int = 0
     restarts: int = 0
     recoveries: int = 0
     checkpoints: int = 0
+    # Per-definition restart pressure from the supervisor:
+    # ``{name: {crashes, restarts, backoff_rounds, escalations}}`` — a
+    # crash-looping definition shows up here without reading the trace.
+    restart_pressure: dict[str, dict[str, int]] = field(default_factory=dict)
+    # Durable-log counters (populated under ``wal_dir=``): WAL frames and
+    # bytes appended, and checkpoint segments committed to disk.
+    wal_frames: int = 0
+    wal_bytes: int = 0
+    wal_segments: int = 0
     # Query-planner counters (zero under ``plan="off"``): plan-cache
     # lookups that reused a compiled plan vs. built one.
     plan_hits: int = 0
@@ -167,6 +185,8 @@ class Engine:
         plan: "str | bool | None" = None,
         shards: "str | int | None" = None,
         workers: "str | int | None" = None,
+        wal_dir: "str | None" = None,
+        worker_timeout: "float | None" = None,
     ) -> None:
         if policy not in ("random", "fifo"):
             raise EngineError(f"unknown scheduling policy {policy!r}")
@@ -227,8 +247,26 @@ class Engine:
             worker_spec = resolve_workers(workers)
         except ValueError as exc:
             raise EngineError(str(exc)) from None
+        # Per-batch join deadline for the worker pool, in (real) seconds:
+        # a group that misses it is quarantined straight to serial.  Env
+        # SDL_WORKER_TIMEOUT supplies a suite-wide default; None waits
+        # forever (the pre-supervision behavior).
+        if worker_timeout is None:
+            raw = os.environ.get("SDL_WORKER_TIMEOUT")
+            if raw:
+                try:
+                    worker_timeout = float(raw)
+                except ValueError:
+                    raise EngineError(
+                        f"bad SDL_WORKER_TIMEOUT {raw!r} (expected seconds)"
+                    ) from None
+        if worker_timeout is not None and worker_timeout <= 0:
+            raise EngineError(f"worker_timeout must be > 0, got {worker_timeout}")
+        self.worker_timeout = worker_timeout
         self.pool: WorkerPool | None = (
-            WorkerPool(*worker_spec) if worker_spec is not None else None
+            WorkerPool(worker_spec.mode, worker_spec.count, timeout=worker_timeout)
+            if worker_spec is not None
+            else None
         )
         self.society = ProcessSociety(definitions)
         self.rng = random.Random(seed)
@@ -283,14 +321,36 @@ class Engine:
         self.tasks: dict[int, Task] = {}
         self._windows: dict[int, Window] = {}
         self._window_stats = WindowStats()  # absorbed from dropped windows
+        # Recovery: in-memory checkpoints (``checkpoint_interval=``), or —
+        # when a WAL directory is configured (``wal_dir=`` / SDL_WAL_DIR /
+        # ``--wal-dir``) — the durable layer on top of them: checksummed
+        # segment files that DurableLog.load can rebuild state from after
+        # a real crash (see ``repro.runtime.recovery``).
+        if wal_dir is None:
+            wal_dir = os.environ.get("SDL_WAL_DIR") or None
+        self.wal_dir = wal_dir
         self.recovery: RecoveryLog | None = None
-        if checkpoint_interval is not None:
+        if wal_dir is not None:
+            self.recovery = DurableLog(
+                self.dataspace,
+                wal_dir,
+                interval=checkpoint_interval if checkpoint_interval is not None else 64,
+                on_checkpoint=self._emit_checkpoint,
+                obs=self.obs,
+                faults=self.faults,
+            )
+        elif checkpoint_interval is not None:
             self.recovery = RecoveryLog(
                 self.dataspace,
                 interval=checkpoint_interval,
                 on_checkpoint=self._emit_checkpoint,
                 obs=self.obs,
             )
+        if self.pool is not None:
+            # The pool needs the injector (worker-exec faults) and the
+            # metrics hook, both resolved just above.
+            self.pool.faults = self.faults
+            self.pool.obs = self.obs
         if self.obs is not None:
             self.dataspace.attach_obs(self.obs)
             if self.faults is not None:
@@ -439,7 +499,15 @@ class Engine:
             if planner is not None:
                 o.gauge("sdl_plan_cache_size", planner.cache_size)
                 o.gauge("sdl_plan_hit_rate", planner.hit_rate)
+            # The heaviest per-definition restart count: a crash storm is
+            # one glance at the gauge, not a trace read.
+            o.gauge("sdl_restart_storm", self.supervisor.storm)
+            if isinstance(self.recovery, DurableLog):
+                o.gauge("sdl_wal_frames", self.recovery.wal_frames)
+                o.gauge("sdl_wal_bytes", self.recovery.wal_bytes)
             metrics = o.snapshot()
+        pool = self.pool
+        durable = self.recovery if isinstance(self.recovery, DurableLog) else None
         return RunResult(
             reason=reason,
             steps=self.step_count,
@@ -462,14 +530,26 @@ class Engine:
             batch_commits=counters.batch_commits,
             conflicts=counters.conflicts,
             max_batch=counters.max_batch,
-            parallel_rounds=self.pool.rounds if self.pool is not None else 0,
-            parallel_groups=self.pool.groups if self.pool is not None else 0,
-            parallel_candidates=self.pool.candidates if self.pool is not None else 0,
-            parallel_fallbacks=self.pool.fallbacks if self.pool is not None else 0,
+            parallel_rounds=pool.rounds if pool is not None else 0,
+            parallel_groups=pool.groups if pool is not None else 0,
+            parallel_candidates=pool.candidates if pool is not None else 0,
+            parallel_fallbacks=pool.fallbacks if pool is not None else 0,
+            worker_timeouts=pool.timeouts if pool is not None else 0,
+            worker_retries=pool.retried if pool is not None else 0,
+            worker_respawns=pool.respawns if pool is not None else 0,
+            worker_quarantined=pool.quarantined if pool is not None else 0,
+            worker_plan_rejects=pool.plan_rejects if pool is not None else 0,
             crashes=counters.crashes,
             restarts=counters.restarts,
             recoveries=self.supervisor.recoveries,
             checkpoints=counters.checkpoints,
+            restart_pressure={
+                name: dict(entry)
+                for name, entry in self.supervisor.pressure.items()
+            },
+            wal_frames=durable.wal_frames if durable is not None else 0,
+            wal_bytes=durable.wal_bytes if durable is not None else 0,
+            wal_segments=durable.segments_written if durable is not None else 0,
             plan_hits=planner.hits if planner is not None else 0,
             plan_misses=planner.misses if planner is not None else 0,
             metrics=metrics,

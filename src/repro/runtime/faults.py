@@ -23,6 +23,31 @@ Sites (where the runtime asks):
 * ``wakeup-deliver`` — a wake is about to be delivered to a parked item.
 * ``pump-spawn`` — a replication pump is being created.
 
+Storage sites (the durable-log file layer, :mod:`repro.runtime.recovery`;
+no process is involved, so ``pid``/``name`` filters never match):
+
+* ``wal-append`` — a WAL frame is about to be appended to the live
+  segment.  ``torn-write`` persists only a seeded prefix of the frame,
+  ``bit-flip`` corrupts one seeded bit of the payload, ``lost-fsync``
+  models a page-cache loss (the frame's bytes never become durable).
+* ``checkpoint-write`` — a checkpoint segment is about to be committed;
+  the same three actions corrupt it, and a corrupt checkpoint must make
+  :meth:`~repro.runtime.recovery.DurableLog.load` fall back to an older
+  intact one, never load garbage.
+* ``segment-read`` — a segment file is about to be read back.
+  ``short-read`` truncates the returned bytes at a seeded offset,
+  ``bit-flip`` corrupts one seeded bit in flight.
+
+Worker-pool site (:mod:`repro.runtime.parallel`; fired on the main
+process, once per dispatched group, so schedules are deterministic):
+
+* ``worker-exec`` — a shard-disjoint group is about to be shipped to a
+  pool worker.  ``worker-crash`` kills the worker process mid-evaluation
+  (breaking the pool), ``worker-hang`` makes it sleep past the engine's
+  deadline, ``garbage-plan`` returns a corrupted
+  :class:`~repro.runtime.parallel.ActionPlan` that main-side validation
+  must reject before replay.
+
 Determinism: the injector owns a private :class:`random.Random` seeded
 from the plan, so probabilistic faults are reproducible per plan seed and
 the engine's own arbitration stream is **never** consumed — a run with a
@@ -53,8 +78,15 @@ from repro.errors import FaultPlanError
 
 __all__ = ["SITES", "ACTIONS", "FaultSpec", "FaultPlan", "FaultInjector"]
 
-SITES = ("pre-commit", "post-match", "batch-admit", "wakeup-deliver", "pump-spawn")
-ACTIONS = ("crash", "abort-txn", "drop-wake", "delay-wake", "kill-round")
+SITES = (
+    "pre-commit", "post-match", "batch-admit", "wakeup-deliver", "pump-spawn",
+    "wal-append", "checkpoint-write", "segment-read", "worker-exec",
+)
+ACTIONS = (
+    "crash", "abort-txn", "drop-wake", "delay-wake", "kill-round",
+    "torn-write", "bit-flip", "short-read", "lost-fsync",
+    "worker-crash", "worker-hang", "garbage-plan",
+)
 
 #: Which actions make sense at which site (validated at plan build time).
 _SITE_ACTIONS = {
@@ -63,9 +95,17 @@ _SITE_ACTIONS = {
     "batch-admit": ("crash", "abort-txn", "kill-round"),
     "wakeup-deliver": ("drop-wake", "delay-wake"),
     "pump-spawn": ("crash",),
+    "wal-append": ("torn-write", "bit-flip", "lost-fsync"),
+    "checkpoint-write": ("torn-write", "bit-flip", "lost-fsync"),
+    "segment-read": ("short-read", "bit-flip"),
+    "worker-exec": ("worker-crash", "worker-hang", "garbage-plan"),
 }
 
 _ACTION_ALIASES = {"drop": "drop-wake", "delay": "delay-wake", "abort": "abort-txn"}
+
+#: The option keys a fault clause accepts (anything else is an error —
+#: a typoed filter must fail loudly, not silently never fire).
+_CLAUSE_KEYS = ("name", "pid", "at", "prob", "max")
 
 
 @dataclass(frozen=True, slots=True)
@@ -154,24 +194,29 @@ class FaultPlan:
                 key, __, value = option.partition("=")
                 key = key.strip()
                 value = value.strip()
+                # Validate the key *before* converting the value, so an
+                # unknown key reports itself (and is never mistaken for a
+                # bad value — FaultPlanError is a ValueError subclass).
+                if key not in _CLAUSE_KEYS:
+                    raise FaultPlanError(
+                        f"unknown option {key!r} in fault clause {clause!r} "
+                        f"(options: {', '.join(_CLAUSE_KEYS)})"
+                    )
+                field = "max_fires" if key == "max" else key
+                if field in kwargs:
+                    raise FaultPlanError(
+                        f"duplicate option {key}= in fault clause {clause!r}"
+                    )
                 try:
                     if key == "name":
                         kwargs["name"] = value
-                    elif key == "pid":
-                        kwargs["pid"] = int(value)
-                    elif key == "at":
-                        kwargs["at"] = int(value)
                     elif key == "prob":
                         kwargs["prob"] = float(value)
-                    elif key == "max":
-                        kwargs["max_fires"] = int(value)
-                    else:
-                        raise FaultPlanError(
-                            f"unknown option {key!r} in fault clause {clause!r}"
-                        )
+                    else:  # pid / at / max
+                        kwargs[field] = int(value)
                 except ValueError:
                     raise FaultPlanError(
-                        f"bad value {value!r} for {key}= in {clause!r}"
+                        f"bad value {value!r} for {key}= in fault clause {clause!r}"
                     ) from None
             specs.append(FaultSpec(site=site, action=action, **kwargs))
         return cls(tuple(specs), seed)

@@ -35,15 +35,36 @@ anchor.  Fallbacks are counted, never errors.
 Workers are shared process- (or thread-) pool executors kept in a
 module-level registry: engines borrow them per round and the pool
 outlives any single engine, so the fork cost is paid once per process,
-not once per run.  ``shutdown_workers`` tears everything down (also
+not once per run.  A cached executor is health-checked before reuse —
+one that broke or shut down mid-run is evicted and respawned, never
+handed out dead.  ``shutdown_workers`` tears everything down (also
 registered via ``atexit``).
+
+**Supervision** (PR 8): the pool is untrusted.  Every dispatched group
+joins under a per-batch deadline (``Engine(worker_timeout=)``); a miss
+quarantines the group straight to serial — one deadline is the most a
+wedged worker may cost a round.  A broken pool (a worker died
+mid-evaluation) is discarded, respawned, and the group retried with
+capped backoff up to ``retries`` times before quarantining.  Returned
+plans are **validated** against the candidate's admitted footprint
+(:func:`validate_plan`) before replay — op shapes, op counts implied by
+the admitted match multiplicity, and shard containment of every assert —
+so a garbage plan is rejected and re-executed serially rather than
+mutating state the admission proof never covered.  Repeated failure
+(``_QUARANTINE_LIMIT`` quarantines or rejects) disables the pool for the
+rest of the run: full degradation to serial apply.  Seeded worker faults
+(``worker-exec`` site: ``worker-crash``/``worker-hang``/``garbage-plan``)
+are decided on the main process, one draw per dispatched group, so chaos
+schedules are deterministic and the engine RNG is untouched.
 """
 
 from __future__ import annotations
 
 import atexit
+import os
 import time
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from typing import TYPE_CHECKING, Any, NamedTuple, Sequence
 
 from repro.core.actions import (
@@ -72,6 +93,7 @@ __all__ = [
     "ActionPlan",
     "evaluate_candidates",
     "replay_plan",
+    "validate_plan",
     "WorkerPool",
     "shutdown_workers",
 ]
@@ -108,9 +130,20 @@ def resolve_workers(spec: "str | int | None") -> WorkerSpec | None:
             elif mode == "process":
                 pass
             else:
-                raise ValueError(f"unknown workers spec {spec!r}")
+                raise ValueError(
+                    f"unknown worker mode {mode!r} in workers spec {spec!r} "
+                    "(modes: process, thread)"
+                )
+            if ":" in text:
+                raise ValueError(
+                    f"too many ':' in workers spec {spec!r} "
+                    "(expected mode:count)"
+                )
         if not text.lstrip("-").isdigit():
-            raise ValueError(f"unknown workers spec {spec!r}")
+            raise ValueError(
+                f"bad worker count {text!r} in workers spec {spec!r} "
+                "(expected an integer, 'off', or mode:count)"
+            )
         spec = int(text)
     if not isinstance(spec, int) or isinstance(spec, bool):
         raise ValueError(f"unknown workers spec {spec!r}")
@@ -350,6 +383,79 @@ def replay_plan(
     return outcome
 
 
+def validate_plan(
+    plan: "ActionPlan",
+    txn: Transaction,
+    result: "QueryResult",
+    footprint=None,
+    partitioner=None,
+) -> str | None:
+    """Check a worker-returned plan against what admission promised.
+
+    Returns ``None`` when the plan may be replayed, otherwise a short
+    rejection reason.  The checks are exactly the obligations the worker
+    was trusted with and nothing more:
+
+    * **shape** — ``ops``/``lets``/``control``/``error`` carry the types
+      replay consumes, every op is a well-formed ``assert``/``spawn``;
+    * **multiplicity** — the op count equals (emitting actions ×
+      admitted match count), the number a serial execution of this
+      action list over this query result would have produced (a plan
+      whose evaluation raised may stop short, never run long);
+    * **footprint containment** — every asserted value routes to a shard
+      inside the candidate's admitted ``write_shards``.  Admission proved
+      the batch conflict-free *under those footprints*; an op outside
+      them would mutate state the proof never covered.
+
+    A rejected plan is not an error: the candidate re-executes serially
+    (pure actions, so re-evaluation is effect-free), and the reject is
+    counted — garbage must never reach the dataspace silently.
+    """
+    if type(plan) is not ActionPlan:
+        return "not-a-plan"
+    ops = plan.ops
+    if not isinstance(ops, list):
+        return "malformed-ops"
+    if not isinstance(plan.lets, dict):
+        return "malformed-lets"
+    if not isinstance(plan.control, Control):
+        return "malformed-control"
+    if plan.error is not None and not isinstance(plan.error, BaseException):
+        return "malformed-error"
+    emitting = sum(
+        1 for action in txn.actions if isinstance(action, (AssertTuple, Spawn))
+    )
+    expected = emitting * (len(result.matches) or 1)
+    if plan.error is None:
+        if len(ops) != expected:
+            return "op-count"
+    elif len(ops) > expected:
+        return "op-count"
+    write_shards = None if footprint is None else footprint.write_shards
+    for op in ops:
+        if not isinstance(op, tuple) or not op:
+            return "malformed-op"
+        if op[0] == "assert":
+            if len(op) != 2 or not isinstance(op[1], tuple):
+                return "malformed-op"
+            if (
+                partitioner is not None
+                and write_shards is not None
+                and partitioner.shard_of_values(op[1]) not in write_shards
+            ):
+                return "footprint-escape"
+        elif op[0] == "spawn":
+            if (
+                len(op) != 3
+                or not isinstance(op[1], str)
+                or not isinstance(op[2], tuple)
+            ):
+                return "malformed-op"
+        else:
+            return "unknown-op"
+    return None
+
+
 # ----------------------------------------------------------------------
 # the shared worker pools
 # ----------------------------------------------------------------------
@@ -359,9 +465,29 @@ def replay_plan(
 _EXECUTORS: dict[tuple[str, int], Any] = {}
 
 
+def _executor_alive(executor: Any) -> bool:
+    """Is a cached executor still usable?
+
+    A ``ProcessPoolExecutor`` whose worker died marks itself ``_broken``;
+    a shut-down pool sets ``_shutdown_thread`` (process) / ``_shutdown``
+    (thread).  Either way submitting would raise forever — the registry
+    must evict it, not hand it out dead.
+    """
+    return not (
+        getattr(executor, "_broken", False)
+        or getattr(executor, "_shutdown", False)
+        or getattr(executor, "_shutdown_thread", False)
+    )
+
+
 def _executor_for(mode: str, count: int):
     key = (mode, count)
     executor = _EXECUTORS.get(key)
+    if executor is not None and not _executor_alive(executor):
+        # A pool that broke (or was shut down) during a previous run must
+        # be respawned for the next borrower, not reused dead.
+        _discard_executor(mode, count)
+        executor = None
     if executor is None:
         if mode == "thread":
             executor = ThreadPoolExecutor(
@@ -389,22 +515,92 @@ def shutdown_workers() -> None:
 atexit.register(shutdown_workers)
 
 
+# ----------------------------------------------------------------------
+# injected worker faults (site "worker-exec")
+# ----------------------------------------------------------------------
+
+#: How long an injected hang sleeps when the pool has no deadline — long
+#: enough to be a visible stall, short enough for the test suite.
+_HANG_SECONDS = 0.25
+
+#: Capped-backoff retry schedule after a pool break (seconds).
+_BACKOFF_BASE = 0.005
+_BACKOFF_CAP = 0.05
+
+#: Quarantined groups (or rejected plans) before the pool disables itself
+#: for the rest of the run — full degradation to serial apply.
+_QUARANTINE_LIMIT = 3
+
+
+class _WorkerCrash(RuntimeError):
+    """Injected ``worker-crash`` in thread mode (threads can't os._exit)."""
+
+
+def _crash_worker(payload: Any) -> None:
+    """Injected ``worker-crash`` (process mode): die with no cleanup,
+    exactly like an OOM kill — the pool discovers the corpse and breaks."""
+    os._exit(13)
+
+
+def _crash_worker_thread(payload: Any) -> None:
+    raise _WorkerCrash("injected worker-crash")
+
+
+def _hang_worker(payload: Any, seconds: float):
+    """Injected ``worker-hang``: wedge past the deadline, then answer
+    correctly — proving the timeout, not the worker, decided the round."""
+    time.sleep(seconds)
+    return evaluate_candidates(payload)
+
+
+def _garbage_worker(payload: Any):
+    """Injected ``garbage-plan``: evaluate honestly, then corrupt every
+    plan with an op that main-side validation must reject before replay."""
+    plans, elapsed = evaluate_candidates(payload)
+    for plan in plans:
+        plan.ops.append(("assert", "__garbage__"))  # not a values tuple
+    return plans, elapsed
+
+
 class WorkerPool:
-    """An engine's handle on the shared worker pool, plus its run counters.
+    """An engine's supervised handle on the shared worker pool.
 
     The handle owns no executor — it borrows the shared one lazily at
     first dispatch — so constructing an engine with ``workers=`` is free
     until a round actually has disjoint groups to ship.
+
+    Supervision policy (see the module docstring): *timeout* is the
+    per-group join deadline in seconds (``None`` = wait forever); a miss
+    quarantines the group straight to serial — retrying a wedged worker
+    would cost a second full deadline.  A broken pool is discarded,
+    respawned, and the group retried with capped backoff up to *retries*
+    times.  ``_QUARANTINE_LIMIT`` quarantines or plan rejects disable the
+    pool for the rest of the run.
     """
 
     __slots__ = (
-        "mode", "size",
+        "mode", "size", "timeout", "retries", "faults", "obs",
         "rounds", "groups", "candidates", "fallbacks", "peak_inflight",
+        "timeouts", "retried", "respawns", "quarantined", "plan_rejects",
+        "disabled",
     )
 
-    def __init__(self, mode: str, size: int) -> None:
+    def __init__(
+        self,
+        mode: str,
+        size: int,
+        timeout: float | None = None,
+        retries: int = 2,
+        faults=None,
+        obs=None,
+    ) -> None:
         self.mode = mode
         self.size = size
+        self.timeout = timeout
+        self.retries = retries
+        #: The engine's seeded FaultInjector (site ``worker-exec``), or None.
+        self.faults = faults
+        self.obs = obs
         #: Rounds in which at least one group was dispatched to a worker.
         self.rounds = 0
         #: Shard-disjoint groups evaluated on workers.
@@ -416,65 +612,170 @@ class WorkerPool:
         self.fallbacks = 0
         #: Most groups simultaneously in flight (pool occupancy gauge).
         self.peak_inflight = 0
+        #: Groups whose join missed the deadline.
+        self.timeouts = 0
+        #: Re-dispatches after a pool break (capped-backoff retries).
+        self.retried = 0
+        #: Fresh executors spawned to replace a broken one mid-run.
+        self.respawns = 0
+        #: Groups degraded to serial after exhausting their budget.
+        self.quarantined = 0
+        #: Worker plans rejected by main-side validation before replay.
+        self.plan_rejects = 0
+        #: Set once the failure budget is spent: every later dispatch goes
+        #: serial without touching the pool.
+        self.disabled = False
+
+    # -- supervision bookkeeping ---------------------------------------
+    def _quarantine(self) -> None:
+        self.quarantined += 1
+        self.fallbacks += 1
+        if self.obs is not None:
+            self.obs.count("sdl_worker_quarantines_total")
+        if self.quarantined + self.plan_rejects >= _QUARANTINE_LIMIT:
+            self.disabled = True
+
+    def note_reject(self, reason: str) -> None:
+        """Record a validation reject (called from the replay loop)."""
+        self.plan_rejects += 1
+        if self.obs is not None:
+            self.obs.count("sdl_worker_plan_rejects_total", reason=reason)
+        if self.quarantined + self.plan_rejects >= _QUARANTINE_LIMIT:
+            self.disabled = True
+
+    # -- dispatch ------------------------------------------------------
+    def _submit(self, executor, payload, sabotage: str | None):
+        """Submit one group, routing injected faults to saboteur workers."""
+        if sabotage == "worker-crash":
+            fn = _crash_worker if self.mode == "process" else _crash_worker_thread
+            return executor.submit(fn, payload)
+        if sabotage == "worker-hang":
+            seconds = self.timeout * 4 if self.timeout else _HANG_SECONDS
+            return executor.submit(_hang_worker, payload, seconds)
+        if sabotage == "garbage-plan":
+            return executor.submit(_garbage_worker, payload)
+        return executor.submit(evaluate_candidates, payload)
+
+    def _join(self, payload, future):
+        """Join one group's future under the deadline/retry policy.
+
+        Returns ``(plans, elapsed_ns)`` or ``None`` (serial fallback).
+        Retries always resubmit the *clean* ``evaluate_candidates`` —
+        an injected fault fires once per group draw, and pure actions
+        make re-evaluation effect-free and deterministic.
+        """
+        attempt = 0
+        while True:
+            try:
+                plans, elapsed = future.result(timeout=self.timeout)
+            except FuturesTimeoutError:
+                # Deadline miss: the worker may be wedged, and waiting
+                # again costs another full deadline — degrade to serial
+                # now.  The abandoned future is cancelled if still queued;
+                # a running one finishes into the void, harmlessly.
+                future.cancel()
+                self.timeouts += 1
+                if self.obs is not None:
+                    self.obs.count("sdl_worker_timeouts_total")
+                self._quarantine()
+                return None
+            except (BrokenExecutor, _WorkerCrash):
+                if attempt >= self.retries:
+                    self._quarantine()
+                    return None
+                time.sleep(min(_BACKOFF_BASE * (2 ** attempt), _BACKOFF_CAP))
+                attempt += 1
+                self.retried += 1
+                if self.obs is not None:
+                    self.obs.count("sdl_worker_retries_total")
+                try:
+                    # One break fails every sibling group's future; count
+                    # the respawn once — for whichever retrier finds the
+                    # registered pool dead or already discarded (an
+                    # executor existed when this future was created, so a
+                    # missing entry here means the break was noticed at
+                    # dispatch time) — and let _executor_for's health
+                    # check evict and replace it.
+                    cached = _EXECUTORS.get((self.mode, self.size))
+                    if cached is None or not _executor_alive(cached):
+                        self.respawns += 1
+                    executor = _executor_for(self.mode, self.size)
+                    future = executor.submit(evaluate_candidates, payload)
+                except Exception:
+                    self._quarantine()
+                    return None
+                continue
+            except Exception:
+                # Unpicklable payload/result or another evaluation-side
+                # failure: not retryable, plain serial fallback.
+                self.fallbacks += 1
+                return None
+            if len(plans) != len(payload):  # pragma: no cover - defensive
+                self.fallbacks += 1
+                return None
+            return plans, elapsed
 
     def dispatch(
         self,
         payloads: list[list[tuple[tuple, dict[str, Any], list[dict[str, Any]]]]],
     ) -> list[tuple[list[ActionPlan], int] | None]:
-        """Evaluate one round's groups on the shared pool.
+        """Evaluate one round's groups on the shared pool, supervised.
 
         Returns one ``(plans, elapsed_ns)`` entry per payload, or ``None``
         for a group that must fall back to serial apply.  Submission and
         joining both degrade per-group: a failure in one group never
-        poisons its siblings.
+        poisons its siblings (a pool *break* fails every sibling's future,
+        but each retries independently on the respawned pool).
         """
+        if self.disabled:
+            self.fallbacks += len(payloads)
+            return [None] * len(payloads)
         try:
             executor = _executor_for(self.mode, self.size)
         except Exception:
             self.fallbacks += len(payloads)
             return [None] * len(payloads)
+        # Injected worker faults: one seeded draw per dispatched group,
+        # decided here on the main process, so schedules are
+        # deterministic per plan seed (and the engine RNG is untouched).
+        faults = self.faults
+        sabotage = [
+            faults.fire("worker-exec") if faults is not None else None
+            for __ in payloads
+        ]
         futures: list[Any] = []
-        for payload in payloads:
+        for payload, action in zip(payloads, sabotage):
             try:
-                futures.append(executor.submit(evaluate_candidates, payload))
+                futures.append(self._submit(executor, payload, action))
             except Exception:
                 futures.append(None)
+        if not _executor_alive(executor):
+            _discard_executor(self.mode, self.size)
         inflight = sum(1 for f in futures if f is not None)
         if inflight > self.peak_inflight:
             self.peak_inflight = inflight
         results: list[tuple[list[ActionPlan], int] | None] = []
-        broken = False
         for payload, future in zip(payloads, futures):
             if future is None:
                 self.fallbacks += 1
                 results.append(None)
                 continue
-            try:
-                plans, elapsed = future.result()
-            except Exception as exc:
-                # Unpicklable payload/result, or a dead worker: this
-                # group re-runs serially (pure actions, so re-evaluation
-                # is effect-free and deterministic).
-                self.fallbacks += 1
-                results.append(None)
-                if isinstance(exc, BrokenExecutor):
-                    broken = True
-                continue
-            if len(plans) != len(payload):  # pragma: no cover - defensive
-                self.fallbacks += 1
+            outcome = self._join(payload, future)
+            if outcome is None:
                 results.append(None)
                 continue
             self.groups += 1
-            self.candidates += len(plans)
-            results.append((plans, elapsed))
+            self.candidates += len(outcome[0])
+            results.append(outcome)
         if any(r is not None for r in results):
             self.rounds += 1
-        if broken:
-            _discard_executor(self.mode, self.size)
         return results
 
     def __repr__(self) -> str:
+        flags = ", disabled" if self.disabled else ""
         return (
             f"WorkerPool({self.mode}:{self.size}, rounds={self.rounds}, "
-            f"groups={self.groups}, fallbacks={self.fallbacks})"
+            f"groups={self.groups}, fallbacks={self.fallbacks}, "
+            f"timeouts={self.timeouts}, retried={self.retried}, "
+            f"quarantined={self.quarantined}{flags})"
         )

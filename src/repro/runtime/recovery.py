@@ -29,18 +29,43 @@ version (and serial order within a version), so replay is one linear walk
 regardless of the shard count, and the scratch dataspace — built with the
 live partitioner's spec — re-routes every replayed tuple to the shard it
 came from (routing is a pure function of the tuple's value).
+
+:class:`DurableLog` extends the model below process memory: checkpoints
+and the WAL are additionally persisted to a directory of **segment
+files** — length-prefixed, CRC32-checksummed frames behind an 8-byte
+magic — with atomic tmp-file+rename checkpoint commit and explicit fsync
+points.  :meth:`DurableLog.load` rebuilds a dataspace from disk alone:
+it verifies every frame checksum, **truncates at the first torn or
+corrupt frame** (recording a :class:`RepairEvent`, never silently loading
+garbage), falls back to an older checkpoint when the newest one is
+damaged, and replays the surviving WAL prefix into a scratch dataspace.
+Storage faults (`wal-append`/`checkpoint-write`/`segment-read` sites with
+`torn-write`/`bit-flip`/`short-read`/`lost-fsync` actions) are injected
+through the same seeded :class:`~repro.runtime.faults.FaultInjector` the
+executor uses, so chaos tests can prove the detect-and-truncate repair
+rules under deterministic corruption schedules.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable
+import os
+import pickle
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
 
 from repro.core.dataspace import JOURNAL_DEPTH, Dataspace, DataspaceChange, _sort_key
 from repro.core.tuples import TupleId, TupleInstance
 from repro.errors import RecoveryError
 
-__all__ = ["Checkpoint", "RecoveryLog"]
+__all__ = [
+    "Checkpoint",
+    "RecoveryLog",
+    "DurableLog",
+    "DurableLoadReport",
+    "RepairEvent",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -247,3 +272,596 @@ def _state_signature(space: Dataspace) -> list[tuple]:
     return sorted(
         ((_sort_key(inst.values), inst.tid.owner) for inst in space.instances()),
     )
+
+
+# ======================================================================
+# durable segments (DurableLog)
+# ======================================================================
+#
+# Segment format.  Every ``*.seg`` file is an 8-byte magic followed by
+# frames; a frame is ``>I`` payload length, ``>I`` CRC32 of the payload,
+# then the payload (a pickled record tuple).  Torn tails, zeroed pages
+# (a lost fsync), and flipped bits all fail the length/CRC/unpickle
+# checks, and the repair rule is uniform: the valid prefix survives, the
+# first bad frame and everything after it is truncated.
+#
+# Checkpoint segment ``ckpt-<version>.seg``:
+#     ("meta", version, shard_spec, indexed, shard_counts, count)
+#     ("inst", [(serial, owner, values), ...])   # chunks of _CHUNK
+#     ("end", count)                             # commit marker
+# A checkpoint missing its "end" frame (or failing any check before it)
+# is *invalid as a whole* — load falls back to the next older one.
+#
+# WAL segment ``wal-<version>.seg`` (opened when checkpoint <version>
+# commits, so segments chain contiguously):
+#     ("chg", version, [(serial, owner, values), ...], [(serial, owner), ...])
+# Frame versions must be strictly increasing across the chain; replay
+# stops at the first violation as if the frame were corrupt.
+
+_MAGIC = b"SDLSEG1\n"
+_HEADER = struct.Struct(">II")
+_CHUNK = 512          # instances per checkpoint frame
+_MAX_FRAME = 1 << 26  # 64 MiB sanity bound on a single frame
+
+
+def _frame(record: Any) -> bytes:
+    payload = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def _corrupt(data: bytes, action: str, rng, lo: int = 0) -> bytes:
+    """Apply a storage-fault *action* to *data* (seeded by the injector RNG).
+
+    ``torn-write`` keeps a strict prefix, ``bit-flip`` flips one bit at or
+    after byte *lo* (past the magic, so the damage lands in a frame), and
+    ``lost-fsync`` models the page cache never reaching disk: the bytes
+    occupy their offsets but read back as zeros.
+    """
+    if not data:
+        return data
+    if action == "torn-write":
+        return data[: rng.randrange(max(1, len(data)))]
+    if action == "bit-flip":
+        lo = min(lo, len(data) - 1)
+        index = rng.randrange(lo, len(data))
+        return data[:index] + bytes([data[index] ^ (1 << rng.randrange(8))]) + data[index + 1:]
+    if action == "lost-fsync":
+        return b"\x00" * len(data)
+    raise RecoveryError(f"unknown storage fault action {action!r}")  # pragma: no cover
+
+
+@dataclass(frozen=True, slots=True)
+class RepairEvent:
+    """One detect-and-truncate repair performed by :meth:`DurableLog.load`."""
+
+    file: str    # segment file name (not the full path)
+    offset: int  # byte offset of the first unusable frame
+    kind: str    # "torn" | "corrupt" | "invalid-checkpoint" | "broken-chain"
+
+    def __repr__(self) -> str:
+        return f"RepairEvent({self.file}:{self.offset} {self.kind})"
+
+
+@dataclass(slots=True)
+class DurableLoadReport:
+    """What :meth:`DurableLog.load` found on disk and how it repaired it."""
+
+    checkpoint_version: int = -1   # version of the checkpoint actually loaded
+    end_version: int = -1          # version after replaying the surviving WAL prefix
+    frames_replayed: int = 0       # WAL change frames applied
+    segments_scanned: int = 0      # segment files opened (checkpoints + WAL)
+    checkpoints_skipped: int = 0   # damaged checkpoints skipped over
+    repairs: list[RepairEvent] = field(default_factory=list)
+
+    @property
+    def intact(self) -> bool:
+        """True when the whole log loaded without a single repair."""
+        return not self.repairs
+
+
+def _scan_frames(
+    data: bytes, name: str, repairs: list[RepairEvent]
+) -> Iterator[tuple[int, Any]]:
+    """Yield ``(offset, record)`` for the valid frame prefix of *data*.
+
+    Stops at the first torn or corrupt frame, appending one
+    :class:`RepairEvent`; a clean end-of-file stops silently.
+    """
+    size = len(data)
+    offset = len(_MAGIC)
+    while offset < size:
+        if offset + _HEADER.size > size:
+            repairs.append(RepairEvent(name, offset, "torn"))
+            return
+        length, crc = _HEADER.unpack_from(data, offset)
+        if length == 0 or length > _MAX_FRAME:
+            repairs.append(RepairEvent(name, offset, "torn"))
+            return
+        start = offset + _HEADER.size
+        if start + length > size:
+            repairs.append(RepairEvent(name, offset, "torn"))
+            return
+        payload = data[start : start + length]
+        if zlib.crc32(payload) != crc:
+            repairs.append(RepairEvent(name, offset, "corrupt"))
+            return
+        try:
+            record = pickle.loads(payload)
+        except Exception:
+            repairs.append(RepairEvent(name, offset, "corrupt"))
+            return
+        yield offset, record
+        offset = start + length
+
+
+def _fsync_dir(path: str) -> None:
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+class DurableLog(RecoveryLog):
+    """A :class:`RecoveryLog` that also persists checkpoints and the WAL.
+
+    Layered, not replacing: the in-memory journal/checkpoint machinery is
+    inherited unchanged (``recover``/``verify`` still work and stay the
+    differential baseline), while every checkpoint is additionally
+    committed to ``wal_dir`` as an atomic segment file and every journal
+    change appended to the live WAL segment.
+
+    Commit protocol (the explicit fsync points):
+
+    * a checkpoint is built in full as ``.tmp``, fsynced, then
+      ``os.replace``-d into place, then the *directory* is fsynced —
+      readers see either the old file set or the new one, never a partial
+      checkpoint under its final name;
+    * a WAL append writes one frame and (under ``sync="always"``, the
+      default) fsyncs before returning; ``sync="checkpoint"`` defers
+      fsync to rotation, trading the tail of the WAL for throughput;
+    * rotation (at each checkpoint) fsyncs and closes the old segment,
+      then creates and fsyncs the new one.
+
+    Opening a ``DurableLog`` starts a fresh durability epoch: stale
+    ``*.seg`` files in *wal_dir* are removed before the baseline
+    checkpoint commits (version counters restart per run, so mixing
+    epochs in one directory could alias).  Use :meth:`load` *before*
+    constructing a new log to recover a previous epoch's state.
+
+    *faults* is the engine's seeded :class:`~repro.runtime.faults.FaultInjector`
+    (or ``None``); the ``wal-append`` and ``checkpoint-write`` sites fire
+    here, corrupting bytes on their way to disk.
+    """
+
+    def __init__(
+        self,
+        dataspace: Dataspace,
+        wal_dir: str,
+        interval: int = 64,
+        keep: int = 4,
+        sync: str = "always",
+        on_checkpoint: Callable[[Checkpoint], None] | None = None,
+        obs=None,
+        faults=None,
+    ) -> None:
+        if sync not in ("always", "checkpoint"):
+            raise RecoveryError(
+                f"unknown sync mode {sync!r} (choose 'always' or 'checkpoint')"
+            )
+        self.wal_dir = os.fspath(wal_dir)
+        self.sync = sync
+        self.faults = faults
+        self.wal_frames = 0       # WAL frames appended (this epoch)
+        self.wal_bytes = 0        # bytes handed to the WAL segment
+        self.segments_written = 0  # checkpoint segments committed
+        self._wal_handle = None
+        self._wal_path: str | None = None
+        os.makedirs(self.wal_dir, exist_ok=True)
+        for name in os.listdir(self.wal_dir):
+            if name.endswith(".seg") or name.endswith(".tmp"):
+                os.unlink(os.path.join(self.wal_dir, name))
+        # The super constructor takes the baseline checkpoint, which (via
+        # our _capture override) persists it and opens the first WAL
+        # segment — every attribute above must exist by then.
+        super().__init__(
+            dataspace,
+            interval=interval,
+            keep=keep,
+            on_checkpoint=on_checkpoint,
+            obs=obs,
+        )
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+    def _ckpt_path(self, version: int) -> str:
+        return os.path.join(self.wal_dir, f"ckpt-{version:020d}.seg")
+
+    def _wal_path_for(self, version: int) -> str:
+        return os.path.join(self.wal_dir, f"wal-{version:020d}.seg")
+
+    def _capture(self) -> Checkpoint:
+        checkpoint = super()._capture()
+        self._persist_checkpoint(checkpoint)
+        self._rotate_wal(checkpoint.version)
+        self._retire_segments()
+        return checkpoint
+
+    def _persist_checkpoint(self, checkpoint: Checkpoint) -> None:
+        obs = self.obs
+        start = obs.spans.now() if obs is not None else 0
+        meta = (
+            "meta",
+            checkpoint.version,
+            self.dataspace.shard_spec,
+            self.dataspace.indexed,
+            checkpoint.shard_counts,
+            checkpoint.size,
+        )
+        parts = [_MAGIC, _frame(meta)]
+        instances = checkpoint.instances
+        for base in range(0, len(instances), _CHUNK):
+            chunk = [
+                (inst.tid.serial, inst.tid.owner, inst.values)
+                for inst in instances[base : base + _CHUNK]
+            ]
+            parts.append(_frame(("inst", chunk)))
+        parts.append(_frame(("end", checkpoint.size)))
+        data = b"".join(parts)
+        faults = self.faults
+        if faults is not None:
+            action = faults.fire("checkpoint-write")
+            if action is not None:
+                data = _corrupt(data, action, faults.rng, lo=len(_MAGIC))
+        path = self._ckpt_path(checkpoint.version)
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        _fsync_dir(self.wal_dir)
+        self.segments_written += 1
+        if obs is not None:
+            obs.observe_ns(
+                "checkpoint-write",
+                start,
+                obs.spans.now() - start,
+                {"version": checkpoint.version, "bytes": len(data)},
+            )
+
+    def _rotate_wal(self, version: int) -> None:
+        if self._wal_handle is not None:
+            self._wal_handle.flush()
+            os.fsync(self._wal_handle.fileno())
+            self._wal_handle.close()
+        path = self._wal_path_for(version)
+        self._wal_handle = open(path, "wb")
+        self._wal_path = path
+        self._wal_handle.write(_MAGIC)
+        self._wal_handle.flush()
+        os.fsync(self._wal_handle.fileno())
+        _fsync_dir(self.wal_dir)
+
+    def _retire_segments(self) -> None:
+        """Drop checkpoint/WAL segments older than the ``keep`` window."""
+        versions = sorted(
+            v for __, v in _segment_files(self.wal_dir) if __ == "ckpt"
+        )
+        if len(versions) <= self.keep:
+            return
+        cutoff = versions[-self.keep]
+        for kind, version in _segment_files(self.wal_dir):
+            if version < cutoff:
+                name = f"{kind}-{version:020d}.seg"
+                os.unlink(os.path.join(self.wal_dir, name))
+
+    def _on_change(self, change: DataspaceChange) -> None:
+        # WAL first, then the inherited counter/capture step: if the
+        # counter triggers a checkpoint, the triggering change is both in
+        # the old segment and covered by the new checkpoint (replay skips
+        # frames at or below the checkpoint version).
+        record = (
+            "chg",
+            change.version,
+            [(i.tid.serial, i.tid.owner, i.values) for i in change.asserted],
+            [(i.tid.serial, i.tid.owner) for i in change.retracted],
+        )
+        obs = self.obs
+        start = obs.spans.now() if obs is not None else 0
+        data = _frame(record)
+        faults = self.faults
+        if faults is not None:
+            action = faults.fire("wal-append")
+            if action is not None:
+                data = _corrupt(data, action, faults.rng)
+        handle = self._wal_handle
+        handle.write(data)
+        if self.sync == "always":
+            handle.flush()
+            os.fsync(handle.fileno())
+        self.wal_frames += 1
+        self.wal_bytes += len(data)
+        if obs is not None:
+            obs.count("sdl_wal_frames_total")
+            obs.count("sdl_wal_bytes_total", amount=len(data))
+            obs.observe_ns(
+                "wal-append",
+                start,
+                obs.spans.now() - start,
+                {"version": change.version, "bytes": len(data)},
+            )
+        super()._on_change(change)
+
+    def close(self) -> None:
+        """Fsync and close the live WAL segment, stop checkpointing."""
+        super().close()
+        if self._wal_handle is not None:
+            self._wal_handle.flush()
+            os.fsync(self._wal_handle.fileno())
+            self._wal_handle.close()
+            self._wal_handle = None
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(
+        cls, wal_dir: str, faults=None, obs=None
+    ) -> tuple[Dataspace, DurableLoadReport]:
+        """Rebuild a dataspace from segment files alone (no live engine).
+
+        Walks checkpoints newest-first until one passes every frame check
+        (skipping damaged ones as counted repairs), loads it into a
+        scratch dataspace built with the recorded shard spec, then
+        replays the WAL segment chain from that version forward, stopping
+        at the first torn/corrupt frame or version-order violation.  The
+        result is always a *verified prefix* of the persisted history —
+        corrupt state is truncated and reported, never silently loaded.
+
+        Raises :class:`RecoveryError` when no intact checkpoint survives.
+        *faults* drives the ``segment-read`` fault site (short reads and
+        in-flight bit flips) for chaos tests.
+        """
+        start = obs.spans.now() if obs is not None else 0
+        report = DurableLoadReport()
+        ckpts = sorted(
+            (v for kind, v in _segment_files(wal_dir) if kind == "ckpt"),
+            reverse=True,
+        )
+        if not ckpts:
+            raise RecoveryError(f"no checkpoint segments in {wal_dir!r}")
+        scratch: Dataspace | None = None
+        tid_map: dict[tuple[int, int], TupleId] = {}
+        loaded_version = -1
+        for version in ckpts:
+            path = os.path.join(wal_dir, f"ckpt-{version:020d}.seg")
+            candidate = cls._load_checkpoint(path, report, faults)
+            if candidate is None:
+                report.checkpoints_skipped += 1
+                continue
+            scratch, tid_map = candidate
+            loaded_version = version
+            break
+        if scratch is None:
+            raise RecoveryError(
+                f"no intact checkpoint in {wal_dir!r} "
+                f"({report.checkpoints_skipped} damaged candidate(s) skipped)"
+            )
+        report.checkpoint_version = loaded_version
+        report.end_version = loaded_version
+        cls._replay_wal_chain(wal_dir, scratch, tid_map, loaded_version, report, faults)
+        if obs is not None:
+            obs.observe_ns(
+                "segment-load",
+                start,
+                obs.spans.now() - start,
+                {
+                    "checkpoint": report.checkpoint_version,
+                    "replayed": report.frames_replayed,
+                    "repairs": len(report.repairs),
+                },
+            )
+            if report.repairs:
+                for event in report.repairs:
+                    obs.count("sdl_wal_repairs_total", kind=event.kind)
+        return scratch, report
+
+    @staticmethod
+    def _read_segment(path: str, report: DurableLoadReport, faults) -> bytes | None:
+        """Read a segment file, applying ``segment-read`` faults; ``None``
+        when the magic is missing (the file is unusable as a whole)."""
+        report.segments_scanned += 1
+        with open(path, "rb") as handle:
+            data = handle.read()
+        if faults is not None:
+            action = faults.fire("segment-read")
+            if action == "short-read":
+                data = data[: faults.rng.randrange(max(1, len(data)))]
+            elif action == "bit-flip":
+                data = _corrupt(data, "bit-flip", faults.rng, lo=len(_MAGIC))
+        if not data.startswith(_MAGIC):
+            report.repairs.append(
+                RepairEvent(os.path.basename(path), 0, "torn")
+            )
+            return None
+        return data
+
+    @classmethod
+    def _load_checkpoint(
+        cls, path: str, report: DurableLoadReport, faults
+    ) -> tuple[Dataspace, dict[tuple[int, int], TupleId]] | None:
+        """Parse and validate one checkpoint segment; ``None`` if damaged."""
+        name = os.path.basename(path)
+        data = cls._read_segment(path, report, faults)
+        if data is None:
+            return None
+        repairs: list[RepairEvent] = []
+        records = list(_scan_frames(data, name, repairs))
+        report.repairs.extend(repairs)
+        valid = cls._checkpoint_records_valid(records)
+        if valid is None:
+            if not repairs:  # structurally wrong, not just truncated
+                report.repairs.append(RepairEvent(name, 0, "invalid-checkpoint"))
+            return None
+        meta, instances = valid
+        __, version, shard_spec, indexed, shard_counts, __count = meta
+        try:
+            scratch = Dataspace(indexed=indexed, shards=shard_spec)
+        except Exception:
+            report.repairs.append(RepairEvent(name, 0, "invalid-checkpoint"))
+            return None
+        tid_map: dict[tuple[int, int], TupleId] = {}
+        for serial, owner, values in instances:
+            rebuilt = scratch.insert(values, owner=owner)
+            tid_map[(serial, owner)] = rebuilt.tid
+        if (
+            shard_counts is not None
+            and scratch.shard_count == len(shard_counts)
+            and scratch.shard_sizes() != tuple(shard_counts)
+        ):
+            # Same rule as in-memory recovery: routing is pure, so a
+            # drifted count vector means the checkpoint lies about its
+            # own layout — reject it rather than trust its contents.
+            report.repairs.append(RepairEvent(name, 0, "invalid-checkpoint"))
+            return None
+        return scratch, tid_map
+
+    @staticmethod
+    def _checkpoint_records_valid(records) -> tuple[tuple, list] | None:
+        """Structural validation: meta first, instances, committed "end"."""
+        if not records:
+            return None
+        first = records[0][1]
+        if not (isinstance(first, tuple) and len(first) == 6 and first[0] == "meta"):
+            return None
+        instances: list = []
+        committed = False
+        for __, record in records[1:]:
+            if committed:
+                return None  # frames after the commit marker
+            if not isinstance(record, tuple) or not record:
+                return None
+            if record[0] == "inst" and len(record) == 2:
+                instances.extend(record[1])
+            elif record[0] == "end" and len(record) == 2:
+                if record[1] != len(instances) or record[1] != first[5]:
+                    return None
+                committed = True
+            else:
+                return None
+        if not committed:
+            return None
+        return first, instances
+
+    @classmethod
+    def _replay_wal_chain(
+        cls,
+        wal_dir: str,
+        scratch: Dataspace,
+        tid_map: dict[tuple[int, int], TupleId],
+        from_version: int,
+        report: DurableLoadReport,
+        faults,
+    ) -> None:
+        """Replay WAL segments at/after *from_version*, truncating at the
+        first corruption anywhere in the chain (later segments included:
+        a hole in the middle makes everything after it unreliable)."""
+        chain = sorted(
+            v for kind, v in _segment_files(wal_dir) if kind == "wal" and v >= from_version
+        )
+        last_version = from_version
+        for seg_version in chain:
+            path = os.path.join(wal_dir, f"wal-{seg_version:020d}.seg")
+            name = os.path.basename(path)
+            if seg_version != last_version:
+                # Segment wal-V opens exactly when checkpoint V commits, so
+                # a fully-replayed predecessor ends at version V.  A name
+                # that disagrees means a segment vanished (or its tail was
+                # lost): the history has a hole, everything after it is
+                # unreliable.
+                report.repairs.append(RepairEvent(name, 0, "broken-chain"))
+                return
+            data = cls._read_segment(path, report, faults)
+            if data is None:
+                return
+            before = len(report.repairs)
+            for offset, record in _scan_frames(data, name, report.repairs):
+                if (
+                    not isinstance(record, tuple)
+                    or len(record) != 4
+                    or record[0] != "chg"
+                    or not isinstance(record[1], int)
+                ):
+                    report.repairs.append(RepairEvent(name, offset, "corrupt"))
+                    return
+                __, version, asserted, retracted = record
+                if version <= last_version:
+                    report.repairs.append(RepairEvent(name, offset, "broken-chain"))
+                    return
+                for serial, owner, values in asserted:
+                    rebuilt = scratch.insert(values, owner=owner)
+                    tid_map[(serial, owner)] = rebuilt.tid
+                for serial, owner in retracted:
+                    scratch_tid = tid_map.pop((serial, owner), None)
+                    if scratch_tid is None:
+                        report.repairs.append(
+                            RepairEvent(name, offset, "broken-chain")
+                        )
+                        return
+                    scratch.retract(scratch_tid)
+                last_version = version
+                report.frames_replayed += 1
+                report.end_version = version
+            if len(report.repairs) > before:
+                return  # this segment ended in a repair: drop the rest
+
+    # ------------------------------------------------------------------
+    # durable verification
+    # ------------------------------------------------------------------
+    def verify_durable(self) -> DurableLoadReport:
+        """Prove the on-disk log rebuilds the live state, end to end.
+
+        Fsyncs the live segment, loads everything back through
+        :meth:`load` (fault-free), and compares state signatures.  Raises
+        :class:`RecoveryError` on any repair or divergence — an intact
+        log must reproduce the live dataspace exactly.
+        """
+        if self._wal_handle is not None:
+            self._wal_handle.flush()
+            os.fsync(self._wal_handle.fileno())
+        scratch, report = self.load(self.wal_dir, obs=self.obs)
+        if not report.intact:
+            raise RecoveryError(
+                f"durable log required repairs on verify: {report.repairs!r}"
+            )
+        if _state_signature(scratch) != _state_signature(self.dataspace):
+            raise RecoveryError(
+                "durable recovery diverges from live state "
+                f"(disk v{report.end_version}, live v{self.dataspace.version})"
+            )
+        return report
+
+    def __repr__(self) -> str:
+        return (
+            f"DurableLog({self.wal_dir!r}, interval={self.interval}, "
+            f"frames={self.wal_frames}, segments={self.segments_written})"
+        )
+
+
+def _segment_files(wal_dir: str) -> list[tuple[str, int]]:
+    """The ``(kind, version)`` pairs of segment files in *wal_dir*."""
+    out: list[tuple[str, int]] = []
+    try:
+        names = os.listdir(wal_dir)
+    except FileNotFoundError:
+        raise RecoveryError(f"no such WAL directory: {wal_dir!r}") from None
+    for name in names:
+        if not name.endswith(".seg"):
+            continue
+        stem = name[:-4]
+        kind, __, version = stem.partition("-")
+        if kind in ("ckpt", "wal") and version.isdigit():
+            out.append((kind, int(version)))
+    return out

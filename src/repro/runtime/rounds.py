@@ -47,6 +47,7 @@ from repro.runtime.parallel import (
     ActionPlan,
     partition_disjoint,
     replay_plan,
+    validate_plan,
     worker_eligible,
 )
 from repro.runtime.scheduler import ParkedTxn, Pump, Task, TaskState
@@ -272,6 +273,21 @@ def run_group_round(executor: "Executor", items: list) -> list:
         if task.state is not TaskState.READY:
             continue  # its process crashed after admission (fault injection)
         plan = plans.get(position)
+        if plan is not None:
+            # The worker is untrusted: before its plan touches the live
+            # dataspace, prove it stays inside what admission proved —
+            # op shapes, the admitted match multiplicity, and the
+            # footprint's write shards.  A reject re-executes serially.
+            reason = validate_plan(
+                plan,
+                txn,
+                result,
+                admitted_fps[position],
+                partitioner if sharded else None,
+            )
+            if reason is not None:
+                engine.pool.note_reject(reason)
+                plan = None
         if plan is not None:
             outcome = replay_plan(
                 plan,

@@ -112,6 +112,18 @@ class Supervisor:
         self.escalated: str | None = None  # definition name that exhausted its budget
         self._restarts: dict[int, int] = {}    # lineage root pid -> restarts used
         self._lineage_of: dict[int, int] = {}  # replacement pid -> lineage root pid
+        #: Per-definition restart pressure, surfaced on RunResult so a
+        #: crash-looping definition is visible without reading the trace:
+        #: ``{name: {crashes, restarts, backoff_rounds, escalations}}``.
+        self.pressure: dict[str, dict[str, int]] = {}
+
+    def _bump(self, name: str, key: str, amount: int = 1) -> None:
+        entry = self.pressure.get(name)
+        if entry is None:
+            entry = self.pressure[name] = {
+                "crashes": 0, "restarts": 0, "backoff_rounds": 0, "escalations": 0,
+            }
+        entry[key] += amount
 
     def policy_for(self, name: str) -> RestartPolicy | None:
         return self._policies.get(name, self._default)
@@ -125,6 +137,7 @@ class Supervisor:
         On ``"queued"`` a :class:`PendingRestart` is scheduled ``backoff``
         rounds into the future; the engine spawns it via :meth:`take_due`.
         """
+        self._bump(process.name, "crashes")
         policy = self.policy_for(process.name)
         if policy is None or policy.policy == "never":
             return None
@@ -132,13 +145,17 @@ class Supervisor:
         used = self._restarts.get(root, 0)
         if used >= policy.max_restarts:
             self.escalated = process.name
+            self._bump(process.name, "escalations")
             return "escalate"
         self._restarts[root] = used + 1
+        backoff = policy.backoff(used)
+        self._bump(process.name, "restarts")
+        self._bump(process.name, "backoff_rounds", backoff)
         self.pending.append(
             PendingRestart(
                 name=process.name,
                 args=tuple(process.params.values()),
-                due_round=round + policy.backoff(used),
+                due_round=round + backoff,
                 root=root,
                 generation=used + 1,
             )
@@ -177,6 +194,13 @@ class Supervisor:
         """Restarts already consumed by the lineage *pid* belongs to."""
         root = self._lineage_of.get(pid, pid)
         return self._restarts.get(root, 0)
+
+    @property
+    def storm(self) -> int:
+        """The heaviest per-definition restart count (``sdl_restart_storm``)."""
+        return max(
+            (entry["restarts"] for entry in self.pressure.values()), default=0
+        )
 
     def __repr__(self) -> str:
         return (

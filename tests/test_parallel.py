@@ -211,6 +211,7 @@ def _run(
     commit="group",
     faults=None,
     obs=None,
+    worker_timeout=None,
 ):
     engine = Engine(
         definitions=definitions or [community_worker()],
@@ -220,6 +221,7 @@ def _run(
         workers=workers,
         faults=faults,
         obs=obs,
+        worker_timeout=worker_timeout,
     )
     engine.assert_tuples(
         [(f"c{c}", i) for c in range(n_comm) for i in range(depth)]

@@ -83,7 +83,7 @@ def _signature(engine):
     )
 
 
-def _run(workers, n_comm, n_work, seed, commit, faults=None):
+def _run(workers, n_comm, n_work, seed, commit, faults=None, worker_timeout=None):
     engine = Engine(
         definitions=[community_worker(), pair_merger()],
         seed=seed,
@@ -91,6 +91,7 @@ def _run(workers, n_comm, n_work, seed, commit, faults=None):
         shards=4,
         workers=workers,
         faults=faults,
+        worker_timeout=worker_timeout,
         on_deadlock="return",
     )
     engine.assert_tuples(
@@ -138,6 +139,41 @@ class TestParallelEquivalence:
         )
         assert par_sig == serial_sig
         assert par_counters == serial_counters
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        n_comm=st.integers(min_value=1, max_value=3),
+        seed=seeds,
+        fault_seed=st.integers(min_value=0, max_value=99),
+        clause=st.sampled_from(
+            [
+                "worker-exec:worker-crash:at=1",
+                "worker-exec:worker-crash:prob=0.3",
+                "worker-exec:garbage-plan:prob=0.5",
+                "worker-exec:worker-hang:at=1",
+            ]
+        ),
+        commit=st.sampled_from(["live", "group"]),
+    )
+    def test_worker_faults_never_change_results(
+        self, n_comm, seed, fault_seed, clause, commit
+    ):
+        """The supervision acceptance property: seeded worker crash/hang/
+        garbage faults are absorbed by retry/quarantine/validation and the
+        run ends bit-identical to serial apply — same state, same
+        shard-independent counters, per seed, under live and group."""
+        plan = f"seed={fault_seed}; {clause}"
+        serial_sig, serial_counters, __ = _run(None, n_comm, 3, seed, commit)
+        par_sig, par_counters, par = _run(
+            "thread:3", n_comm, 3, seed, commit,
+            faults=plan, worker_timeout=0.05,
+        )
+        assert par_sig == serial_sig
+        assert par_counters == serial_counters
+        if par.worker_plan_rejects or par.worker_quarantined:
+            # Every absorbed fault shows up in the books: a rejected or
+            # quarantined group is also a counted serial fallback.
+            assert par.parallel_fallbacks + par.worker_plan_rejects > 0
 
     @settings(max_examples=10, deadline=None)
     @given(seed=seeds)
