@@ -936,6 +936,74 @@ def e19() -> None:
     )
 
 
+def e20() -> None:
+    from repro.core.expressions import Var
+    from repro.core.patterns import pattern
+
+    a = Var("a")
+    scan_rows = [("reading", i % 50, i % 7, (i * 13) % 50) for i in range(20_000)]
+    batch_rows = [("m", i, i + 1, i * 2, i % 7, i % 13) for i in range(5_000)]
+
+    def build(store):
+        ds = Dataspace(store=store)
+        ds.insert_many(scan_rows)
+        return ds
+
+    spaces = {store: build(store) for store in ("object", "columnar")}
+    rows = []
+    for label, pat in (
+        ("mid probe", pattern("reading", Var("x"), 3, Var("y"))),
+        ("head probe", pattern("reading", 7, Var("x"), Var("y"))),
+        ("repeated var", pattern("reading", a, Var("b"), a)),
+    ):
+        times = {}
+        for store, ds in spaces.items():
+            __, times[store] = min(
+                (timed(ds.count_matching, pat) for __ in range(5)),
+                key=lambda pair: pair[1],
+            )
+        n = spaces["object"].count_matching(pat)
+        assert spaces["columnar"].count_matching(pat) == n
+        rows.append(
+            [
+                label,
+                n,
+                f"{times['object']*1000:.2f}",
+                f"{times['columnar']*1000:.2f}",
+                f"{times['object']/times['columnar']:.1f}x",
+            ]
+        )
+
+    def batch_cycle(store):
+        ds = Dataspace(store=store)
+        for __ in range(4):
+            insts = ds.insert_many(batch_rows)
+            ds.retract_many([i.tid for i in insts[: len(insts) // 2]])
+        return ds
+
+    times = {}
+    for store in ("object", "columnar"):
+        ds, times[store] = min(
+            (timed(batch_cycle, store) for __ in range(3)),
+            key=lambda pair: pair[1],
+        )
+    rows.append(
+        [
+            "batch assert/retract",
+            4 * len(batch_rows),
+            f"{times['object']*1000:.0f}",
+            f"{times['columnar']*1000:.0f}",
+            f"{times['object']/times['columnar']:.1f}x",
+        ]
+    )
+    table(
+        "E20 — columnar storage: hot-arity scans and batched mutation "
+        "(20k rows scan, 4x5k batch cycle, best-of-N)",
+        ["workload", "n", "object ms", "columnar ms", "speedup"],
+        rows,
+    )
+
+
 def main() -> None:
     print("# Experiment report (regenerated)")
     e1_e2()
@@ -955,6 +1023,7 @@ def main() -> None:
     e17()
     e18()
     e19()
+    e20()
 
 
 if __name__ == "__main__":

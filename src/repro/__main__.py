@@ -131,6 +131,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         obs=obs,
         plan=args.plan,
         shards=args.shards,
+        store=args.store,
         workers=args.workers,
         wal_dir=args.wal_dir,
         worker_timeout=args.worker_timeout,
@@ -223,6 +224,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--shards", default=None, metavar="SPEC",
                      help="dataspace storage layout: 'single', an integer N, "
                           "or 'head:N' (default: SDL_SHARDS or single)")
+    run.add_argument("--store", choices=["object", "columnar"], default=None,
+                     help="per-shard storage backend: per-tuple objects or "
+                          "struct-of-arrays columns (default: SDL_STORE or "
+                          "object)")
     run.add_argument("--workers", default=None, metavar="SPEC",
                      help="parallel group-round apply: an integer N, "
                           "'process:N', or 'thread:N' (default: SDL_WORKERS "

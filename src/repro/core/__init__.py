@@ -11,11 +11,13 @@ from repro.core.values import Atom, is_value, check_value
 from repro.core.tuples import TupleId, TupleInstance
 from repro.core.dataspace import Dataspace
 from repro.core.storage import (
+    ColumnarStore,
     HeadPartitioner,
     Partitioner,
     SinglePartitioner,
     TupleStore,
     resolve_shards,
+    resolve_store,
 )
 from repro.core.expressions import (
     Bindings,
@@ -59,10 +61,12 @@ __all__ = [
     "TupleInstance",
     "Dataspace",
     "TupleStore",
+    "ColumnarStore",
     "Partitioner",
     "SinglePartitioner",
     "HeadPartitioner",
     "resolve_shards",
+    "resolve_store",
     "Bindings",
     "Const",
     "Expr",

@@ -45,12 +45,15 @@ from __future__ import annotations
 from typing import Any, Callable, Iterable, Iterator, Mapping
 
 from repro.core.patterns import Pattern
+from repro.core.plan import scan_spec
 from repro.core.storage import (
     JOURNAL_DEPTH,
+    BaseStore,
     Partitioner,
-    TupleStore,
     merge_by_serial,
+    merge_serial_lists,
     resolve_shards,
+    resolve_store,
 )
 from repro.core.tuples import TupleId, TupleInstance, make_tuple
 from repro.core.values import value_repr
@@ -130,13 +133,17 @@ class Dataspace:
         self,
         indexed: bool = True,
         shards: "str | int | Partitioner | None" = "single",
+        store: "str | None" = None,
     ) -> None:
         """*indexed=False* disables the field index (arity buckets remain),
         degrading candidate selection to arity scans — exists only for the
         A1 ablation benchmark quantifying what content addressing buys.
         *shards* selects the physical layout (see
-        :func:`~repro.core.storage.resolve_shards`); every layout is
-        observably identical, so it is a performance/placement knob only."""
+        :func:`~repro.core.storage.resolve_shards`) and *store* the storage
+        backend within each shard (see
+        :func:`~repro.core.storage.resolve_store`); every layout × backend
+        combination is observably identical, so both are performance/
+        placement knobs only."""
         #: Observability hook (``repro.obs.Observability`` or ``None``).
         #: ``None`` keeps :meth:`candidates` on the original path at
         #: original cost; the engine attaches a live instance when
@@ -144,11 +151,15 @@ class Dataspace:
         self._obs = None
         self.indexed = indexed
         self.partitioner: Partitioner = resolve_shards(shards)
-        self.stores: tuple[TupleStore, ...] = tuple(
-            TupleStore(i, indexed) for i in range(self.partitioner.shard_count)
+        #: The storage backend (``"object"`` or ``"columnar"``) shared by
+        #: every shard — layout and backend compose orthogonally.
+        self.store_kind, store_cls = resolve_store(store)
+        self._columnar = self.store_kind == "columnar"
+        self.stores: tuple[BaseStore, ...] = tuple(
+            store_cls(i, indexed) for i in range(self.partitioner.shard_count)
         )
         #: Fast path: the sole store under ``single`` layout, else ``None``.
-        self._single: TupleStore | None = (
+        self._single: BaseStore | None = (
             self.stores[0] if len(self.stores) == 1 else None
         )
         #: Multi-shard only: tid -> home shard, so retract/get need not
@@ -186,7 +197,7 @@ class Dataspace:
         """Per-shard occupancy (observability gauges, placement tests)."""
         return tuple(len(store) for store in self.stores)
 
-    def store_of(self, tid: TupleId) -> TupleStore:
+    def store_of(self, tid: TupleId) -> BaseStore:
         """The shard holding *tid* (raises like :meth:`get` when absent)."""
         if self._single is not None:
             store = self._single
@@ -195,7 +206,7 @@ class Dataspace:
             if shard is None:
                 raise SDLError(f"tuple {tid!r} is not in the dataspace")
             store = self.stores[shard]
-        if tid not in store.instances:
+        if tid not in store:
             raise SDLError(f"tuple {tid!r} is not in the dataspace")
         return store
 
@@ -204,12 +215,12 @@ class Dataspace:
     # ------------------------------------------------------------------
     def __len__(self) -> int:
         if self._single is not None:
-            return len(self._single.instances)
+            return len(self._single)
         return len(self._tid_shard)
 
     def __contains__(self, tid: TupleId) -> bool:
         if self._single is not None:
-            return tid in self._single.instances
+            return tid in self._single
         return tid in self._tid_shard
 
     def __iter__(self) -> Iterator[TupleInstance]:
@@ -233,23 +244,23 @@ class Dataspace:
     def get(self, tid: TupleId) -> TupleInstance:
         if self._single is not None:
             try:
-                return self._single.instances[tid]
+                return self._single.lookup(tid)
             except KeyError:
                 raise SDLError(f"tuple {tid!r} is not in the dataspace") from None
         shard = self._tid_shard.get(tid)
         if shard is None:
             raise SDLError(f"tuple {tid!r} is not in the dataspace")
-        return self.stores[shard].instances[tid]
+        return self.stores[shard].lookup(tid)
 
     def instances(self) -> Iterator[TupleInstance]:
         """Iterate over all live instances (global admission order)."""
         if self._single is not None:
-            return iter(self._single.instances.values())
-        return iter(merge_by_serial(store.instances for store in self.stores))
+            return self._single.iter_serial()
+        return iter(merge_serial_lists(store.iter_serial() for store in self.stores))
 
     def tids(self) -> frozenset[TupleId]:
         if self._single is not None:
-            return frozenset(self._single.instances)
+            return frozenset(self._single.tids())
         return frozenset(self._tid_shard)
 
     # ------------------------------------------------------------------
@@ -267,12 +278,34 @@ class Dataspace:
         Each row still gets its own serial (instance identity is per-row),
         but listeners receive a single batched :class:`DataspaceChange` and
         the version is bumped once, so bulk-loading an initial dataspace
-        costs O(1) notifications instead of an O(n) listener storm.
+        costs O(1) notifications instead of an O(n) listener storm.  The
+        batch reaches each shard as one ``admit_many`` call, which the
+        columnar backend turns into per-field column extends.
         """
-        instances = [self._admit(tuple(row), owner) for row in rows]
-        if instances:
-            kind = DataspaceChange.BATCH if len(instances) > 1 else DataspaceChange.ASSERT
-            self._bump(kind, tuple(instances), ())
+        instances = []
+        for row in rows:
+            self._serial += 1
+            instances.append(make_tuple(tuple(row), serial=self._serial, owner=owner))
+        if not instances:
+            return instances
+        if self._single is not None:
+            self._single.admit_many(instances)
+        else:
+            shard_of = self.partitioner.shard_of_values
+            tid_shard = self._tid_shard
+            parts: dict[int, list[TupleInstance]] = {}
+            for instance in instances:
+                shard = shard_of(instance.values)
+                tid_shard[instance.tid] = shard
+                parts.setdefault(shard, []).append(instance)
+            for shard, batch in parts.items():
+                self.stores[shard].admit_many(batch)
+                if self._obs is not None:
+                    self._obs.gauge(
+                        f"sdl_shard_occupancy_{shard}", len(self.stores[shard])
+                    )
+        kind = DataspaceChange.BATCH if len(instances) > 1 else DataspaceChange.ASSERT
+        self._bump(kind, tuple(instances), ())
         return instances
 
     def _admit(self, values: tuple, owner: int) -> TupleInstance:
@@ -312,6 +345,41 @@ class Dataspace:
                 )
         self._bump(DataspaceChange.RETRACT, (), (instance,))
         return instance
+
+    def retract_many(self, tids: Iterable[TupleId]) -> list[TupleInstance]:
+        """Retract several instances as **one** change event.
+
+        The batched dual of :meth:`insert_many`: one version bump, one
+        listener notification, one (per-shard-split) journal entry.  The
+        batch is validated up front — every tid present, no duplicates —
+        so a bad batch mutates nothing.
+        """
+        tids = list(tids)
+        if not tids:
+            return []
+        if len(set(tids)) != len(tids):
+            raise SDLError("cannot retract batch: duplicate tuple ids")
+        for tid in tids:
+            if tid not in self:
+                raise SDLError(f"cannot retract {tid!r}: not in the dataspace")
+        instances: list[TupleInstance] = []
+        if self._single is not None:
+            for tid in tids:
+                instances.append(self._single.remove(tid))
+        else:
+            touched: set[int] = set()
+            for tid in tids:
+                shard = self._tid_shard.pop(tid)
+                instances.append(self.stores[shard].remove(tid))
+                touched.add(shard)
+            if self._obs is not None:
+                for shard in touched:
+                    self._obs.gauge(
+                        f"sdl_shard_occupancy_{shard}", len(self.stores[shard])
+                    )
+        kind = DataspaceChange.BATCH if len(instances) > 1 else DataspaceChange.RETRACT
+        self._bump(kind, (), tuple(instances))
+        return instances
 
     def _bump(
         self,
@@ -456,8 +524,8 @@ class Dataspace:
         live view; prefer :meth:`arity_size` when only the count matters.
         """
         if self._single is not None:
-            return self._single.by_arity.get(arity, {})
-        buckets = [s.by_arity[arity] for s in self.stores if arity in s.by_arity]
+            return self._single.arity_bucket(arity)
+        buckets = [b for b in (s.arity_bucket(arity) for s in self.stores) if b]
         if not buckets:
             return {}
         if len(buckets) == 1:
@@ -470,13 +538,16 @@ class Dataspace:
         Same sharded-layout caveat as :meth:`by_arity`; a position-0 key
         lives entirely in its home shard, so that case stays a live view.
         """
-        key = (arity, position, value)
         if self._single is not None:
-            return self._single.by_field.get(key, {})
+            return self._single.field_bucket(arity, position, value)
         if position == 0 and self.indexed:
             home = self.stores[self.partitioner.shard_of(arity, value)]
-            return home.by_field.get(key, {})
-        buckets = [s.by_field[key] for s in self.stores if key in s.by_field]
+            return home.field_bucket(arity, position, value)
+        buckets = [
+            b
+            for b in (s.field_bucket(arity, position, value) for s in self.stores)
+            if b
+        ]
         if not buckets:
             return {}
         if len(buckets) == 1:
@@ -486,18 +557,19 @@ class Dataspace:
     def arity_size(self, arity: int) -> int:
         """Global size of one arity bucket without materialising a merge."""
         if self._single is not None:
-            return len(self._single.by_arity.get(arity, ()))
-        return sum(len(store.by_arity.get(arity, ())) for store in self.stores)
+            return self._single.arity_size(arity)
+        return sum(store.arity_size(arity) for store in self.stores)
 
     def field_size(self, arity: int, position: int, value: Any) -> int:
         """Global size of one field bucket without materialising a merge."""
-        key = (arity, position, value)
         if self._single is not None:
-            return len(self._single.by_field.get(key, ()))
+            return self._single.field_size(arity, position, value)
         if position == 0 and self.indexed:
             home = self.stores[self.partitioner.shard_of(arity, value)]
-            return len(home.by_field.get(key, ()))
-        return sum(len(store.by_field.get(key, ())) for store in self.stores)
+            return home.field_size(arity, position, value)
+        return sum(
+            store.field_size(arity, position, value) for store in self.stores
+        )
 
     def candidates(
         self,
@@ -521,21 +593,8 @@ class Dataspace:
         start = obs.spans.now() if obs is not None else 0
         bound = bound or {}
         single = self._single
-        out: list[TupleInstance] | None = None
         if single is not None:
-            best: Mapping[TupleId, TupleInstance] | None = None
-            if self.indexed:
-                for position, value in pat.index_constants(bound):
-                    bucket = single.by_field.get((pat.arity, position, value))
-                    if bucket is None:
-                        out = []
-                        break
-                    if best is None or len(bucket) < len(best):
-                        best = bucket
-                if out is None and best is not None:
-                    out = list(best.values())
-            if out is None:
-                out = list(single.by_arity.get(pat.arity, {}).values())
+            out = single.candidates(pat, bound)
         else:
             out = self._candidates_sharded(pat, bound, obs)
         if obs is not None:
@@ -552,33 +611,39 @@ class Dataspace:
     ) -> list[TupleInstance]:
         """:meth:`candidates` over a partitioned layout (global bucket sizes)."""
         arity = pat.arity
-        best_key: tuple[int, int, Any] | None = None
+        best_probe: tuple[int, Any] | None = None
         best_size = -1
         best_shard = -1
         if self.indexed:
             for position, value in pat.index_constants(bound):
-                key = (arity, position, value)
                 if position == 0:
                     shard = self.partitioner.shard_of(arity, value)
-                    size = len(self.stores[shard].by_field.get(key, ()))
+                    size = self.stores[shard].field_size(arity, position, value)
                 else:
                     shard = -1
-                    size = sum(len(s.by_field.get(key, ())) for s in self.stores)
+                    size = sum(
+                        s.field_size(arity, position, value) for s in self.stores
+                    )
                 if size == 0:
                     return []  # absent bucket: same short-circuit as one store
-                if best_key is None or size < best_size:
-                    best_key, best_size, best_shard = key, size, shard
-        if best_key is None:
+                if best_probe is None or size < best_size:
+                    best_probe, best_size, best_shard = (position, value), size, shard
+        if best_probe is None:
             if obs is not None:
                 obs.count("sdl_shard_queries_total", route="cross")
-            return merge_by_serial(s.by_arity.get(arity) for s in self.stores)
+            return merge_serial_lists(
+                s.arity_candidates(arity) for s in self.stores
+            )
+        position, value = best_probe
         if best_shard >= 0:
             if obs is not None:
                 obs.count("sdl_shard_queries_total", route="local")
-            return list(self.stores[best_shard].by_field[best_key].values())
+            return self.stores[best_shard].field_candidates(arity, position, value)
         if obs is not None:
             obs.count("sdl_shard_queries_total", route="cross")
-        return merge_by_serial(s.by_field.get(best_key) for s in self.stores)
+        return merge_serial_lists(
+            s.field_candidates(arity, position, value) for s in self.stores
+        )
 
     def candidates_probed(
         self,
@@ -620,14 +685,9 @@ class Dataspace:
             else:
                 if obs is not None:
                     obs.count("sdl_shard_queries_total", route="cross")
-                parts = [s.candidates_probed(arity, probes) for s in self.stores]
-                parts = [p for p in parts if p]
-                if len(parts) <= 1:
-                    out = parts[0] if parts else []
-                else:
-                    out = merge_by_serial(
-                        {inst.tid: inst for inst in part} for part in parts
-                    )
+                out = merge_serial_lists(
+                    s.candidates_probed(arity, probes) for s in self.stores
+                )
         if obs is not None:
             obs.observe_ns(
                 "match",
@@ -650,8 +710,17 @@ class Dataspace:
         must never leak bindings from one candidate into the next.  When
         the pattern has no unbound binding variables the mapping cannot be
         written at all, so one shared copy serves every candidate.
+
+        Under the columnar backend, a pattern reducible to pure column
+        probes (:func:`~repro.core.plan.scan_spec`) is counted by the
+        column-scan kernel instead of per-candidate matching; the count is
+        identical by the kernel-equivalence argument documented there.
         """
         bound = dict(bound or {})
+        if self._columnar:
+            spec = scan_spec(pat, bound)
+            if spec is not None:
+                return self._scan_count(pat.arity, spec)
         if _cannot_bind(pat, bound):
             return sum(
                 1
@@ -672,9 +741,15 @@ class Dataspace:
         """All instances matching *pat* under *bound* (snapshot list).
 
         Per-candidate binding isolation as in :meth:`count_matching`, with
-        the same shared-copy fast path for patterns that cannot bind.
+        the same shared-copy fast path for patterns that cannot bind and
+        the same columnar column-scan kernel (result contents *and* serial
+        order are identical to the filtered candidate walk).
         """
         bound = dict(bound or {})
+        if self._columnar:
+            spec = scan_spec(pat, bound)
+            if spec is not None:
+                return self._scan_find(pat.arity, spec)
         if _cannot_bind(pat, bound):
             return [
                 inst
@@ -686,6 +761,71 @@ class Dataspace:
             for inst in self.candidates(pat, bound)
             if pat.match(inst.values, dict(bound)) is not None
         ]
+
+    def _scan_count(
+        self, arity: int, spec: tuple[list[tuple[int, Any]], list[tuple[int, int]]]
+    ) -> int:
+        """Columnar kernel: count rows passing the probes + repeats."""
+        obs = self._obs
+        start = obs.spans.now() if obs is not None else 0
+        probes, repeats = spec
+        single = self._single
+        if single is not None:
+            out = single.scan_count(arity, probes, repeats)
+        else:
+            home = self._scan_home(arity, probes)
+            if home >= 0:
+                out = self.stores[home].scan_count(arity, probes, repeats)
+            else:
+                out = sum(
+                    store.scan_count(arity, probes, repeats)
+                    for store in self.stores
+                )
+        if obs is not None:
+            obs.observe_ns(
+                "match", start, obs.spans.now() - start, {"arity": arity, "n": out}
+            )
+        return out
+
+    def _scan_find(
+        self, arity: int, spec: tuple[list[tuple[int, Any]], list[tuple[int, int]]]
+    ) -> list[TupleInstance]:
+        """Columnar kernel: the rows passing the probes + repeats, by serial."""
+        obs = self._obs
+        start = obs.spans.now() if obs is not None else 0
+        probes, repeats = spec
+        single = self._single
+        if single is not None:
+            out = single.scan(arity, probes, repeats)
+        else:
+            home = self._scan_home(arity, probes)
+            if home >= 0:
+                out = self.stores[home].scan(arity, probes, repeats)
+            else:
+                out = merge_serial_lists(
+                    store.scan(arity, probes, repeats) for store in self.stores
+                )
+        if obs is not None:
+            obs.observe_ns(
+                "match",
+                start,
+                obs.spans.now() - start,
+                {"arity": arity, "n": len(out)},
+            )
+        return out
+
+    def _scan_home(self, arity: int, probes: list[tuple[int, Any]]) -> int:
+        """Home shard of a scan pinning position 0, else -1 (all shards).
+
+        Routing is a pure function of ``(arity, values[0])``, so a
+        position-0 probe confines matches to one shard whether or not the
+        field index exists — same confinement :meth:`candidates_probed`
+        uses.
+        """
+        for position, value in probes:
+            if position == 0:
+                return self.partitioner.shard_of(arity, value)
+        return -1
 
     # ------------------------------------------------------------------
     # inspection
@@ -701,7 +841,7 @@ class Dataspace:
         """Value tuples with multiplicities — handy in tests."""
         counts: dict[tuple, int] = {}
         for store in self.stores:
-            for inst in store.instances.values():
+            for inst in store.iter_serial():
                 counts[inst.values] = counts.get(inst.values, 0) + 1
         return counts
 
@@ -710,20 +850,20 @@ class Dataspace:
     @property
     def _by_arity(self) -> dict[int, dict[TupleId, TupleInstance]]:
         if self._single is not None:
-            return self._single.by_arity
+            return self._single.debug_by_arity()
         merged: dict[int, dict[TupleId, TupleInstance]] = {}
         for store in self.stores:
-            for arity, bucket in store.by_arity.items():
+            for arity, bucket in store.debug_by_arity().items():
                 merged.setdefault(arity, {}).update(bucket)
         return merged
 
     @property
     def _by_field(self) -> dict[tuple[int, int, Any], dict[TupleId, TupleInstance]]:
         if self._single is not None:
-            return self._single.by_field
+            return self._single.debug_by_field()
         merged: dict[tuple[int, int, Any], dict[TupleId, TupleInstance]] = {}
         for store in self.stores:
-            for key, bucket in store.by_field.items():
+            for key, bucket in store.debug_by_field().items():
                 merged.setdefault(key, {}).update(bucket)
         return merged
 

@@ -61,6 +61,7 @@ __all__ = [
     "QueryPlanner",
     "compile_pattern",
     "resolve_plan_mode",
+    "scan_spec",
 ]
 
 #: Estimated candidate count for a probe whose value is only known at run
@@ -144,6 +145,51 @@ def compile_pattern(pattern: Pattern) -> CompiledPattern:
         compiled = CompiledPattern(pattern)
         pattern._compiled = compiled
     return compiled
+
+
+def scan_spec(
+    pattern: Pattern, bound: Mapping[str, Any]
+) -> "tuple[list[tuple[int, Any]], list[tuple[int, int]]] | None":
+    """Reduce matching *pattern* under *bound* to a pure column scan.
+
+    Returns ``(probes, repeats)`` such that ``pattern.match(values,
+    dict(bound)) is not None`` iff every ``(position, value)`` probe holds
+    and every ``(position, first_position)`` repeated-variable pair is
+    equal — the contract of ``ColumnarStore.scan`` / ``scan_count``, which
+    lets ``count_matching`` / ``find_matching`` run over contiguous columns
+    instead of calling ``Pattern.match`` per candidate.  The reduction is
+    complete because an element matches by equality (literal value, bound
+    variable, repeated variable) or unconditionally (wildcard, first
+    occurrence of an unbound variable — a binder always succeeds, and
+    these callers discard the bindings).
+
+    Returns ``None`` — caller falls back to per-candidate matching — when
+    any literal expression references a variable this same pattern binds
+    (its value is per-candidate) or is not evaluable under *bound* alone:
+    the naive walk's behavior there (including *raising only when a
+    candidate exists*) is reproduced exactly by not scanning at all.
+    """
+    compiled = compile_pattern(pattern)
+    probes: list[tuple[int, Any]] = list(compiled.static_probes)
+    repeats: list[tuple[int, int]] = []
+    first_seen: dict[str, int] = {}
+    for position, name in compiled.var_slots:
+        if name in bound:
+            probes.append((position, bound[name]))
+        elif name in first_seen:
+            repeats.append((position, first_seen[name]))
+        else:
+            first_seen[name] = position
+    for position, expr, free in compiled.expr_slots:
+        if free & first_seen.keys():
+            return None  # reads a same-pattern binder: value is per-candidate
+        if not free <= bound.keys():
+            return None  # unbound free variable: let the naive walk raise
+        try:
+            probes.append((position, _eval_expr(expr, bound)))
+        except Exception:
+            return None  # evaluation fails: fall back, raise per-candidate
+    return probes, repeats
 
 
 class PlanStep:

@@ -1,16 +1,15 @@
-"""Shard-addressable tuple storage: :class:`TupleStore` + :class:`Partitioner`.
+"""Shard-addressable tuple storage: stores, partitioners, and layouts.
 
 The dataspace of the paper is one logical multiset, but its physical layout
 need not be monolithic: this module splits storage into *shards* — each a
-self-contained :class:`TupleStore` with its own tid table, arity/field
-indexes, and bounded change journal — plus a :class:`Partitioner` strategy
-deciding which shard a tuple lives in.  The
-:class:`~repro.core.dataspace.Dataspace` facade routes every operation and
-is responsible for the *global* invariants (serial/version numbering,
-listener notification, deterministic cross-shard iteration order); a store
-only ever sees operations for tuples it owns.
+self-contained store with its own tid table, content indexes, and bounded
+change journal — plus a :class:`Partitioner` strategy deciding which shard
+a tuple lives in.  The :class:`~repro.core.dataspace.Dataspace` facade
+routes every operation and is responsible for the *global* invariants
+(serial/version numbering, listener notification, deterministic cross-shard
+iteration order); a store only ever sees operations for tuples it owns.
 
-Two strategies exist today:
+Two shard strategies exist today:
 
 * ``single`` — one store holding everything; bit-identical to the
   pre-shard monolith and the differential baseline for everything else;
@@ -18,6 +17,29 @@ Two strategies exist today:
   SDL programs address communities through their leading type-tag field
   (``<year, n>``, ``<c3, item>``), so head routing sends each community's
   tuples — and the field-index buckets probing position 0 — to one shard.
+
+Orthogonally to the shard layout, two **storage backends** implement the
+same store interface (:func:`resolve_store`):
+
+* :class:`TupleStore` (``"object"``, the default) — the original
+  dict-of-dicts design: every probe dereferences ``TupleInstance`` objects
+  and every admit maintains one ``(arity, position, value)`` bucket per
+  field.  It stays the live differential baseline, exactly as the naive
+  matcher does for the planner;
+* :class:`ColumnarStore` (``"columnar"``) — a struct-of-arrays layout:
+  per-arity **column groups** hold one contiguous value column per field
+  (plain lists, promoted to ``array('q')`` when a column is homogeneous
+  machine ints) plus a serial column and a tombstone'd instance row.
+  Scans (:meth:`ColumnarStore.scan` / :meth:`ColumnarStore.scan_count`,
+  driven by :func:`repro.core.plan.scan_spec`) walk columns instead of
+  chasing per-tuple pointers; batched admits extend columns in one C-level
+  call; retracts tombstone rows and compact when the dead fraction wins.
+  Only position 0 is indexed eagerly (the head index that mirrors shard
+  routing); other positions build their value index lazily on first probe
+  and maintain it incrementally afterwards — so the *exact* bucket sizes
+  the facade's narrowest-bucket selection depends on are always available,
+  keeping candidate order (and therefore seeded arbitration) bit-identical
+  to the object store.
 
 The head hash is :func:`zlib.crc32` over the tuple's arity and a
 *canonical key* of its first field, **not** Python's builtin ``hash``:
@@ -38,19 +60,26 @@ from __future__ import annotations
 
 import heapq
 import zlib
+from array import array
 from collections import deque
-from typing import Any, Iterable
+from itertools import islice
+from typing import Any, Iterable, Iterator
 
 from repro.core.tuples import TupleId, TupleInstance
 from repro.core.values import value_repr
 
 __all__ = [
     "JOURNAL_DEPTH",
+    "BaseStore",
     "TupleStore",
+    "ColumnarStore",
     "Partitioner",
     "SinglePartitioner",
     "HeadPartitioner",
     "resolve_shards",
+    "resolve_store",
+    "merge_by_serial",
+    "merge_serial_lists",
 ]
 
 #: How many change events each shard's delta journal retains.  The facade
@@ -61,29 +90,31 @@ __all__ = [
 JOURNAL_DEPTH = 512
 
 
-class TupleStore:
-    """One storage shard: tid table, content indexes, and a delta journal.
+class BaseStore:
+    """The store half of the shard contract: what a backend must provide.
 
     A store is a dumb container — it assigns no serials, bumps no
     versions, and notifies nobody.  The owning facade admits instances
     that already carry their global serial, and appends journal entries
-    carrying the global version.  Dict insertion order therefore equals
-    ascending-serial order in every table (admissions only append; dict
-    deletion preserves order), which is what lets the facade k-way-merge
-    shards back into the exact iteration order of a single store.
+    carrying the global version.  Admissions only append, so iteration
+    order within a store equals ascending-serial order in every backend,
+    which is what lets the facade k-way-merge shards back into the exact
+    iteration order of a single store.
+
+    Both backends share the journal machinery and the pickle protocol
+    here; everything content-addressable (`admit`/`remove`, bucket sizes,
+    candidate enumeration) is backend-specific.
     """
 
-    __slots__ = (
-        "shard", "indexed", "instances", "by_arity", "by_field", "journal",
-        "evicted_version",
-    )
+    __slots__ = ("shard", "indexed", "journal", "evicted_version")
+
+    #: Backend tag, mirrored by ``Dataspace.store_kind`` and the
+    #: ``Engine(store=)`` / ``SDL_STORE`` / ``--store`` knob.
+    kind = "object"
 
     def __init__(self, shard: int, indexed: bool = True) -> None:
         self.shard = shard
         self.indexed = indexed
-        self.instances: dict[TupleId, TupleInstance] = {}
-        self.by_arity: dict[int, dict[TupleId, TupleInstance]] = {}
-        self.by_field: dict[tuple[int, int, Any], dict[TupleId, TupleInstance]] = {}
         self.journal: deque = deque(maxlen=JOURNAL_DEPTH)
         #: Highest global version this shard's journal has *evicted* (0 when
         #: nothing was ever dropped).  ``Dataspace.changes_since`` refuses to
@@ -92,31 +123,30 @@ class TupleStore:
         #: delta while its siblings still cover the window.
         self.evicted_version = 0
 
-    def __len__(self) -> int:
-        return len(self.instances)
-
+    # -- journal -------------------------------------------------------
     def record(self, change: Any) -> None:
         """File a change event, tracking the version of anything evicted.
 
-        All journal writes go through here so the eviction watermark can
-        never miss a drop: ``deque.append`` at ``maxlen`` silently
-        discards the oldest entry.
+        All journal writes go through here — including the pickle restore
+        path — so the eviction watermark can never miss a drop:
+        ``deque.append`` at ``maxlen`` silently discards the oldest entry.
         """
         journal = self.journal
         if len(journal) == JOURNAL_DEPTH:
             self.evicted_version = journal[0].version
         journal.append(change)
 
+    # -- pickling ------------------------------------------------------
     def __getstate__(self):
-        # Shards cross process boundaries (parallel apply, detach/reattach):
-        # ship the instances and journal, rebuild the derived indexes on the
-        # far side — dict insertion order (== ascending-serial order) is
-        # preserved by pickling a list, so a round-tripped store is
-        # indistinguishable from the original.
+        # Shards cross process boundaries (parallel apply, snapshot
+        # shipping): ship the instances and journal, rebuild the derived
+        # layout on the far side — the instance list is in ascending-serial
+        # order, so a round-tripped store is indistinguishable from the
+        # original, whatever the backend.
         return (
             self.shard,
             self.indexed,
-            list(self.instances.values()),
+            list(self.iter_serial()),
             list(self.journal),
             self.evicted_version,
         )
@@ -124,10 +154,122 @@ class TupleStore:
     def __setstate__(self, state) -> None:
         shard, indexed, instances, journal, evicted_version = state
         self.__init__(shard, indexed)
+        self.admit_many(instances)
+        # Restore the journal through record(), not a raw extend: record()
+        # is the single write path that maintains the eviction watermark,
+        # so further appends after the round trip can never under-report
+        # an eviction (the pickled watermark is re-imposed last — it may
+        # exceed anything record() derived from the restored entries).
+        for change in journal:
+            self.record(change)
+        self.evicted_version = evicted_version
+
+    # -- interface (backend-specific) ----------------------------------
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __contains__(self, tid: TupleId) -> bool:
+        raise NotImplementedError
+
+    def lookup(self, tid: TupleId) -> TupleInstance:
+        """The instance for *tid*; raises ``KeyError`` when absent."""
+        raise NotImplementedError
+
+    def tids(self) -> Iterable[TupleId]:
+        raise NotImplementedError
+
+    def iter_serial(self) -> Iterator[TupleInstance]:
+        """All live instances in ascending-serial order."""
+        raise NotImplementedError
+
+    def admit(self, instance: TupleInstance) -> None:
+        raise NotImplementedError
+
+    def admit_many(self, instances: Iterable[TupleInstance]) -> None:
+        """Admit a serial-ascending batch (backends may vectorise)."""
         for instance in instances:
             self.admit(instance)
-        self.journal.extend(journal)
-        self.evicted_version = evicted_version
+
+    def remove(self, tid: TupleId) -> TupleInstance:
+        raise NotImplementedError
+
+    def arity_size(self, arity: int) -> int:
+        raise NotImplementedError
+
+    def field_size(self, arity: int, position: int, value: Any) -> int:
+        raise NotImplementedError
+
+    def arity_bucket(self, arity: int) -> dict:
+        """``tid -> instance`` for one arity, ascending-serial order."""
+        raise NotImplementedError
+
+    def field_bucket(self, arity: int, position: int, value: Any) -> dict:
+        raise NotImplementedError
+
+    def arity_candidates(self, arity: int) -> list[TupleInstance]:
+        raise NotImplementedError
+
+    def field_candidates(
+        self, arity: int, position: int, value: Any
+    ) -> list[TupleInstance]:
+        raise NotImplementedError
+
+    def candidates(self, pat, bound) -> list[TupleInstance]:
+        """Narrowest-index candidates for a pattern (store-local half of
+        ``Dataspace.candidates``); must reproduce the object store's
+        bucket choice, first-wins tie-break, and serial order exactly."""
+        raise NotImplementedError
+
+    def candidates_probed(
+        self, arity: int, probes: list[tuple[int, Any]]
+    ) -> list[TupleInstance]:
+        raise NotImplementedError
+
+    def debug_by_arity(self) -> dict:
+        raise NotImplementedError
+
+    def debug_by_field(self) -> dict:
+        raise NotImplementedError
+
+    def stats(self) -> dict:
+        """Backend-specific occupancy counters (observability gauges)."""
+        return {}
+
+
+class TupleStore(BaseStore):
+    """One storage shard: tid table, content indexes, and a delta journal.
+
+    The original per-tuple-object backend and the live differential
+    baseline for :class:`ColumnarStore` — every index is a dict of
+    ``TupleInstance`` references, so dict insertion order equals
+    ascending-serial order in every table (admissions only append; dict
+    deletion preserves order).
+    """
+
+    __slots__ = ("instances", "by_arity", "by_field")
+
+    kind = "object"
+
+    def __init__(self, shard: int, indexed: bool = True) -> None:
+        super().__init__(shard, indexed)
+        self.instances: dict[TupleId, TupleInstance] = {}
+        self.by_arity: dict[int, dict[TupleId, TupleInstance]] = {}
+        self.by_field: dict[tuple[int, int, Any], dict[TupleId, TupleInstance]] = {}
+
+    def __len__(self) -> int:
+        return len(self.instances)
+
+    def __contains__(self, tid: TupleId) -> bool:
+        return tid in self.instances
+
+    def lookup(self, tid: TupleId) -> TupleInstance:
+        return self.instances[tid]
+
+    def tids(self) -> Iterable[TupleId]:
+        return self.instances.keys()
+
+    def iter_serial(self) -> Iterator[TupleInstance]:
+        return iter(self.instances.values())
 
     def admit(self, instance: TupleInstance) -> None:
         """Index an already-built instance (serial assigned by the facade)."""
@@ -153,6 +295,44 @@ class TupleStore:
                 if not field_bucket:
                     del self.by_field[key]
         return instance
+
+    # -- sizes and buckets ---------------------------------------------
+    def arity_size(self, arity: int) -> int:
+        return len(self.by_arity.get(arity, ()))
+
+    def field_size(self, arity: int, position: int, value: Any) -> int:
+        return len(self.by_field.get((arity, position, value), ()))
+
+    def arity_bucket(self, arity: int) -> dict:
+        return self.by_arity.get(arity, {})
+
+    def field_bucket(self, arity: int, position: int, value: Any) -> dict:
+        return self.by_field.get((arity, position, value), {})
+
+    def arity_candidates(self, arity: int) -> list[TupleInstance]:
+        bucket = self.by_arity.get(arity)
+        return list(bucket.values()) if bucket else []
+
+    def field_candidates(
+        self, arity: int, position: int, value: Any
+    ) -> list[TupleInstance]:
+        bucket = self.by_field.get((arity, position, value))
+        return list(bucket.values()) if bucket else []
+
+    # -- candidate enumeration -----------------------------------------
+    def candidates(self, pat, bound) -> list[TupleInstance]:
+        """Single-store candidate fetch: narrowest index bucket, first wins."""
+        best: dict[TupleId, TupleInstance] | None = None
+        if self.indexed:
+            for position, value in pat.index_constants(bound):
+                bucket = self.by_field.get((pat.arity, position, value))
+                if bucket is None:
+                    return []
+                if best is None or len(bucket) < len(best):
+                    best = bucket
+            if best is not None:
+                return list(best.values())
+        return list(self.by_arity.get(pat.arity, {}).values())
 
     def candidates_probed(
         self, arity: int, probes: list[tuple[int, Any]]
@@ -189,8 +369,565 @@ class TupleStore:
             ]
         return list(best.values())
 
+    # -- inspection ----------------------------------------------------
+    def debug_by_arity(self) -> dict:
+        return self.by_arity
+
+    def debug_by_field(self) -> dict:
+        return self.by_field
+
+    def stats(self) -> dict:
+        return {"instances": len(self.instances), "field_keys": len(self.by_field)}
+
     def __repr__(self) -> str:
         return f"TupleStore(shard={self.shard}, |D|={len(self.instances)})"
+
+
+# ----------------------------------------------------------------------
+# columnar backend
+# ----------------------------------------------------------------------
+
+#: Tombstones required before a column group is eligible for compaction
+#: (and the dead fraction must reach half the rows) — small groups churn
+#: without ever paying a rebuild.
+_COMPACT_MIN = 64
+
+
+class _ColumnGroup:
+    """The struct-of-arrays rows of one arity: parallel per-field columns.
+
+    ``insts[row]`` is the instance (``None`` = tombstone), ``serials[row]``
+    its global serial, and ``cols[pos][row]`` its field values — columns
+    are plain lists until compaction proves one homogeneous machine-int,
+    when it is promoted to a contiguous ``array('q')`` (and demoted back
+    the moment a non-int value arrives).  Rows only append, so row order
+    is ascending-serial order; compaction drops tombstones wholesale,
+    which preserves it.
+    """
+
+    __slots__ = (
+        "arity", "serials", "insts", "cols", "dead", "head_index", "pos_index",
+    )
+
+    def __init__(self, arity: int) -> None:
+        self.arity = arity
+        self.serials: list[int] = []
+        self.insts: list[TupleInstance | None] = []
+        self.cols: list = [[] for __ in range(arity)]
+        self.dead = 0
+        #: Eager position-0 value index: ``value -> {row: None}`` (an
+        #: ordered row set — rows insert ascending and deletes preserve
+        #: order).  Position 0 is the community/type tag every routed
+        #: query pins, so it always earns its upkeep.
+        self.head_index: dict[Any, dict[int, None]] = {}
+        #: Lazy per-position value indexes for positions >= 1, built on
+        #: first probe of that position and maintained incrementally
+        #: afterwards — exact sizes, paid only for positions queries use.
+        self.pos_index: dict[int, dict[Any, dict[int, None]]] = {}
+
+    def live_count(self) -> int:
+        return len(self.insts) - self.dead
+
+
+def _promote(col: list):
+    """A compacted column's storage: ``array('q')`` iff homogeneous ints."""
+    for v in col:
+        if type(v) is not int:
+            return col
+    try:
+        return array("q", col)
+    except OverflowError:  # ints beyond 64 bits stay in the list
+        return col
+
+
+class ColumnarStore(BaseStore):
+    """Struct-of-arrays backend: per-arity column groups + tombstones.
+
+    Observably identical to :class:`TupleStore` by construction — same
+    admission order, same exact bucket sizes, same candidate contents and
+    serial order — while scans run over contiguous columns and batched
+    admits become column extends.  The extra machinery it carries
+    (:meth:`scan` / :meth:`scan_count`) is the column-scan kernel target
+    of :func:`repro.core.plan.scan_spec`.
+    """
+
+    __slots__ = ("instances", "groups", "rows", "compactions")
+
+    kind = "columnar"
+
+    def __init__(self, shard: int, indexed: bool = True) -> None:
+        super().__init__(shard, indexed)
+        #: tid table in admission (== ascending-serial) order; the columnar
+        #: layout accelerates scans, this dict keeps identity lookups and
+        #: serial iteration O(1) without walking groups.
+        self.instances: dict[TupleId, TupleInstance] = {}
+        self.groups: dict[int, _ColumnGroup] = {}
+        #: tid -> row index within its arity's group (rewritten on compact).
+        self.rows: dict[TupleId, int] = {}
+        self.compactions = 0
+
+    def __len__(self) -> int:
+        return len(self.instances)
+
+    def __contains__(self, tid: TupleId) -> bool:
+        return tid in self.instances
+
+    def lookup(self, tid: TupleId) -> TupleInstance:
+        return self.instances[tid]
+
+    def tids(self) -> Iterable[TupleId]:
+        return self.instances.keys()
+
+    def iter_serial(self) -> Iterator[TupleInstance]:
+        return iter(self.instances.values())
+
+    # -- admission -----------------------------------------------------
+    def _group(self, arity: int) -> _ColumnGroup:
+        group = self.groups.get(arity)
+        if group is None:
+            group = self.groups[arity] = _ColumnGroup(arity)
+        return group
+
+    def admit(self, instance: TupleInstance) -> None:
+        self.instances[instance.tid] = instance
+        group = self._group(instance.arity)
+        row = len(group.insts)
+        group.serials.append(instance.tid.serial)
+        group.insts.append(instance)
+        values = instance.values
+        cols = group.cols
+        for position in range(group.arity):
+            col = cols[position]
+            try:
+                col.append(values[position])
+            except (TypeError, OverflowError):
+                # a promoted array('q') met a non-int: demote to a list
+                col = list(col)
+                col.append(values[position])
+                cols[position] = col
+        self.rows[instance.tid] = row
+        if self.indexed and group.arity:
+            group.head_index.setdefault(values[0], {})[row] = None
+            for position, index in group.pos_index.items():
+                index.setdefault(values[position], {})[row] = None
+
+    def admit_many(self, instances: Iterable[TupleInstance]) -> None:
+        """Vectorised batch admission: one column extend per field.
+
+        The batch is grouped by arity (each sub-batch stays in ascending
+        serial order), then every column takes the whole sub-batch in one
+        C-level ``extend`` instead of a Python-level append per row.
+        """
+        table = self.instances
+        batches: dict[int, list[TupleInstance]] = {}
+        for instance in instances:
+            table[instance.tid] = instance
+            batches.setdefault(instance.arity, []).append(instance)
+        rows = self.rows
+        for arity, batch in batches.items():
+            group = self._group(arity)
+            base = len(group.insts)
+            group.serials.extend(instance.tid.serial for instance in batch)
+            group.insts.extend(batch)
+            cols = group.cols
+            for position in range(arity):
+                col = cols[position]
+                start = len(col)
+                try:
+                    col.extend(inst.values[position] for inst in batch)
+                except (TypeError, OverflowError):
+                    # array.extend appends item-by-item, so a mid-batch
+                    # type miss leaves a partial prefix: roll it back,
+                    # demote the column, and take the batch whole.
+                    del col[start:]
+                    col = list(col)
+                    col.extend(inst.values[position] for inst in batch)
+                    cols[position] = col
+            if self.indexed and arity:
+                head_index = group.head_index
+                pos_index = group.pos_index
+                for offset, instance in enumerate(batch):
+                    row = base + offset
+                    rows[instance.tid] = row
+                    head_index.setdefault(instance.values[0], {})[row] = None
+                    for position, index in pos_index.items():
+                        index.setdefault(instance.values[position], {})[row] = None
+            else:
+                for offset, instance in enumerate(batch):
+                    rows[instance.tid] = base + offset
+
+    # -- removal + compaction ------------------------------------------
+    def remove(self, tid: TupleId) -> TupleInstance:
+        instance = self.instances.pop(tid)  # KeyError contract, as TupleStore
+        row = self.rows.pop(tid)
+        group = self.groups[instance.arity]
+        group.insts[row] = None
+        group.dead += 1
+        if self.indexed and group.arity:
+            values = instance.values
+            bucket = group.head_index[values[0]]
+            del bucket[row]
+            if not bucket:
+                del group.head_index[values[0]]
+            for position, index in group.pos_index.items():
+                bucket = index[values[position]]
+                del bucket[row]
+                if not bucket:
+                    del index[values[position]]
+        if group.dead >= _COMPACT_MIN and group.dead * 2 >= len(group.insts):
+            self._compact(group)
+        return instance
+
+    def _compact(self, group: _ColumnGroup) -> None:
+        """Drop tombstones: rebuild the group's columns from live rows.
+
+        Live rows keep their relative (ascending-serial) order, so every
+        ordering invariant survives; the rebuilt columns are where list ->
+        ``array('q')`` promotion happens.  Previously-built lazy indexes
+        are rebuilt too (their rows renumbered), never discarded — a probe
+        that was cheap before compaction stays cheap after.
+        """
+        live = [inst for inst in group.insts if inst is not None]
+        group.insts = live
+        group.serials = [inst.tid.serial for inst in live]
+        group.cols = [
+            _promote([inst.values[position] for inst in live])
+            for position in range(group.arity)
+        ]
+        group.dead = 0
+        rows = self.rows
+        for row, instance in enumerate(live):
+            rows[instance.tid] = row
+        if self.indexed and group.arity:
+            head_index: dict[Any, dict[int, None]] = {}
+            for row, instance in enumerate(live):
+                head_index.setdefault(instance.values[0], {})[row] = None
+            group.head_index = head_index
+            for position in list(group.pos_index):
+                index: dict[Any, dict[int, None]] = {}
+                for row, instance in enumerate(live):
+                    index.setdefault(instance.values[position], {})[row] = None
+                group.pos_index[position] = index
+        self.compactions += 1
+
+    # -- indexes -------------------------------------------------------
+    def _position_index(
+        self, group: _ColumnGroup, position: int
+    ) -> dict[Any, dict[int, None]]:
+        """The (lazily built) value index of one position >= 1."""
+        index = group.pos_index.get(position)
+        if index is None:
+            index = {}
+            col = group.cols[position]
+            for row, instance in enumerate(group.insts):
+                if instance is not None:
+                    index.setdefault(col[row], {})[row] = None
+            group.pos_index[position] = index
+        return index
+
+    def _bucket_rows(
+        self, group: _ColumnGroup, position: int, value: Any
+    ) -> dict[int, None] | None:
+        """Live rows holding *value* at *position* (``None`` = empty bucket)."""
+        if position == 0:
+            return group.head_index.get(value)
+        return self._position_index(group, position).get(value)
+
+    # -- sizes and buckets ---------------------------------------------
+    def arity_size(self, arity: int) -> int:
+        group = self.groups.get(arity)
+        return group.live_count() if group is not None else 0
+
+    def field_size(self, arity: int, position: int, value: Any) -> int:
+        if not self.indexed:
+            return 0  # mirror TupleStore: no field index, empty buckets
+        group = self.groups.get(arity)
+        if group is None or not group.arity:
+            return 0
+        bucket = self._bucket_rows(group, position, value)
+        return len(bucket) if bucket is not None else 0
+
+    def arity_bucket(self, arity: int) -> dict:
+        group = self.groups.get(arity)
+        if group is None or not group.live_count():
+            return {}
+        return {
+            inst.tid: inst for inst in group.insts if inst is not None
+        }
+
+    def field_bucket(self, arity: int, position: int, value: Any) -> dict:
+        if not self.indexed:
+            return {}
+        group = self.groups.get(arity)
+        if group is None or not group.arity:
+            return {}
+        bucket = self._bucket_rows(group, position, value)
+        if not bucket:
+            return {}
+        insts = group.insts
+        return {insts[row].tid: insts[row] for row in bucket}
+
+    def arity_candidates(self, arity: int) -> list[TupleInstance]:
+        group = self.groups.get(arity)
+        if group is None:
+            return []
+        return self._live(group)
+
+    def field_candidates(
+        self, arity: int, position: int, value: Any
+    ) -> list[TupleInstance]:
+        if not self.indexed:
+            return []
+        group = self.groups.get(arity)
+        if group is None or not group.arity:
+            return []
+        bucket = self._bucket_rows(group, position, value)
+        if not bucket:
+            return []
+        insts = group.insts
+        return [insts[row] for row in bucket]
+
+    def _live(self, group: _ColumnGroup) -> list[TupleInstance]:
+        if group.dead:
+            return [inst for inst in group.insts if inst is not None]
+        return list(group.insts)
+
+    # -- candidate enumeration -----------------------------------------
+    def candidates(self, pat, bound) -> list[TupleInstance]:
+        group = self.groups.get(pat.arity)
+        if group is None:
+            return []
+        best: dict[int, None] | None = None
+        if self.indexed and group.arity:
+            for position, value in pat.index_constants(bound):
+                bucket = self._bucket_rows(group, position, value)
+                if bucket is None:
+                    return []
+                if best is None or len(bucket) < len(best):
+                    best = bucket
+            if best is not None:
+                insts = group.insts
+                return [insts[row] for row in best]
+        return self._live(group)
+
+    def candidates_probed(
+        self, arity: int, probes: list[tuple[int, Any]]
+    ) -> list[TupleInstance]:
+        group = self.groups.get(arity)
+        if group is None:
+            return []
+        best: dict[int, None] | None = None
+        best_position = -1
+        if self.indexed and probes and group.arity:
+            for position, value in probes:
+                bucket = self._bucket_rows(group, position, value)
+                if bucket is None:
+                    return []
+                if best is None or len(bucket) < len(best):
+                    best = bucket
+                    best_position = position
+        insts = group.insts
+        if best is None:
+            rest = probes if not self.indexed else []
+            if rest:
+                return [
+                    inst
+                    for inst in insts
+                    if inst is not None
+                    and all(inst.values[p] == v for p, v in rest)
+                ]
+            return self._live(group)
+        rest = [probe for probe in probes if probe[0] != best_position]
+        if rest:
+            cols = group.cols
+            return [
+                insts[row]
+                for row in best
+                if all(cols[p][row] == v for p, v in rest)
+            ]
+        return [insts[row] for row in best]
+
+    # -- the column-scan kernel ----------------------------------------
+    def scan(
+        self,
+        arity: int,
+        probes: list[tuple[int, Any]],
+        repeats: list[tuple[int, int]],
+    ) -> list[TupleInstance]:
+        """Instances satisfying every probe and repeat, serial-ascending.
+
+        The kernel target of :func:`repro.core.plan.scan_spec`: equality
+        over contiguous columns replaces per-candidate ``Pattern.match``.
+        The result equals ``[inst for inst in candidates_probed(arity,
+        probes) if repeats hold]`` — which is exactly the object store's
+        filtered match set — because a compiled pattern matches iff all
+        its probes pass and all its repeated variables agree.
+        """
+        group = self.groups.get(arity)
+        if group is None:
+            return []
+        insts = group.insts
+        return [insts[row] for row in self._kernel_rows(group, probes, repeats)]
+
+    def scan_count(
+        self,
+        arity: int,
+        probes: list[tuple[int, Any]],
+        repeats: list[tuple[int, int]],
+    ) -> int:
+        group = self.groups.get(arity)
+        if group is None:
+            return 0
+        return len(self._kernel_rows(group, probes, repeats))
+
+    def _kernel_rows(
+        self,
+        group: _ColumnGroup,
+        probes: list[tuple[int, Any]],
+        repeats: list[tuple[int, int]],
+    ) -> list[int]:
+        """Live rows of *group* passing every probe and repeat, ascending."""
+        cols = group.cols
+        if self.indexed and probes and group.arity:
+            best: dict[int, None] | None = None
+            best_position = -1
+            for position, value in probes:
+                bucket = self._bucket_rows(group, position, value)
+                if bucket is None:
+                    return []
+                if best is None or len(bucket) < len(best):
+                    best = bucket
+                    best_position = position
+            rest = [probe for probe in probes if probe[0] != best_position]
+            if not rest and not repeats:
+                return list(best)
+            # the common single-filter shapes, without per-row generators
+            if not rest and len(repeats) == 1:
+                ca, cb = cols[repeats[0][0]], cols[repeats[0][1]]
+                return [row for row in best if ca[row] == cb[row]]
+            if not repeats and len(rest) == 1:
+                (p0, v0) = rest[0]
+                cp = cols[p0]
+                return [row for row in best if cp[row] == v0]
+            return [
+                row
+                for row in best
+                if all(cols[p][row] == v for p, v in rest)
+                and all(cols[a][row] == cols[b][row] for a, b in repeats)
+            ]
+        insts = group.insts
+        if probes:
+            # No index to lean on: walk the first probe's column with the
+            # C-level ``index`` scan, verifying the rest per hit.
+            (p0, v0), rest = probes[0], probes[1:]
+            col0 = cols[p0]
+            out: list[int] = []
+            row = 0
+            while True:
+                try:
+                    row = col0.index(v0, row)
+                except ValueError:
+                    return out
+                if (
+                    insts[row] is not None
+                    and all(cols[p][row] == v for p, v in rest)
+                    and all(cols[a][row] == cols[b][row] for a, b in repeats)
+                ):
+                    out.append(row)
+                row += 1
+        if repeats:
+            (a0, b0), rest = repeats[0], repeats[1:]
+            pairs = zip(cols[a0], cols[b0], insts)
+            if not rest:
+                return [
+                    row
+                    for row, (x, y, inst) in enumerate(pairs)
+                    if x == y and inst is not None
+                ]
+            return [
+                row
+                for row, (x, y, inst) in enumerate(pairs)
+                if x == y
+                and inst is not None
+                and all(cols[a][row] == cols[b][row] for a, b in rest)
+            ]
+        if group.dead:
+            return [row for row, inst in enumerate(insts) if inst is not None]
+        return list(range(len(insts)))
+
+    # -- inspection ----------------------------------------------------
+    def debug_by_arity(self) -> dict:
+        out: dict[int, dict[TupleId, TupleInstance]] = {}
+        for arity, group in self.groups.items():
+            if group.live_count():
+                out[arity] = {
+                    inst.tid: inst for inst in group.insts if inst is not None
+                }
+        return out
+
+    def debug_by_field(self) -> dict:
+        out: dict[tuple[int, int, Any], dict[TupleId, TupleInstance]] = {}
+        if not self.indexed:
+            return out
+        for arity, group in self.groups.items():
+            insts = group.insts
+            for position in range(arity):
+                index = (
+                    group.head_index
+                    if position == 0
+                    else self._position_index(group, position)
+                )
+                for value, rows in index.items():
+                    out[(arity, position, value)] = {
+                        insts[row].tid: insts[row] for row in rows
+                    }
+        return out
+
+    def stats(self) -> dict:
+        rows = sum(len(group.insts) for group in self.groups.values())
+        dead = sum(group.dead for group in self.groups.values())
+        numeric = sum(
+            1
+            for group in self.groups.values()
+            for col in group.cols
+            if isinstance(col, array)
+        )
+        return {
+            "groups": len(self.groups),
+            "rows": rows,
+            "dead_rows": dead,
+            "numeric_columns": numeric,
+            "lazy_indexes": sum(
+                len(group.pos_index) for group in self.groups.values()
+            ),
+            "compactions": self.compactions,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnarStore(shard={self.shard}, |D|={len(self.instances)}, "
+            f"groups={len(self.groups)})"
+        )
+
+
+def resolve_store(spec: "str | None") -> tuple[str, type]:
+    """Normalise an ``Engine(store=)`` / ``SDL_STORE`` / ``--store`` value.
+
+    Returns ``(kind, store_class)``.  Accepts ``None``/``""``/``"object"``
+    (the per-tuple-object baseline) or ``"columnar"`` (the struct-of-arrays
+    backend); anything else raises ``ValueError``.
+    """
+    if spec is None:
+        return "object", TupleStore
+    if isinstance(spec, str):
+        text = spec.strip().lower()
+        if text in ("", "object", "obj"):
+            return "object", TupleStore
+        if text in ("columnar", "column", "col"):
+            return "columnar", ColumnarStore
+    raise ValueError(
+        f"unknown store backend {spec!r} (choose 'object' or 'columnar')"
+    )
 
 
 # ----------------------------------------------------------------------
@@ -263,6 +1000,10 @@ class HeadPartitioner(Partitioner):
     __slots__ = ("shard_count", "spec", "_cache")
 
     _CACHE_CAP = 8192
+    #: Memo entries dropped per eviction — an oldest slice, not the whole
+    #: cache: a routing working set sitting at the cap must not recompute
+    #: every key each round.
+    _EVICT_SLICE = _CACHE_CAP // 8
 
     def __init__(self, shards: int) -> None:
         if shards < 2:
@@ -287,7 +1028,12 @@ class HeadPartitioner(Partitioner):
         key = f"{arity}|{_canonical_key(head)}"
         shard = zlib.crc32(key.encode("utf-8", "surrogatepass")) % self.shard_count
         if len(cache) >= self._CACHE_CAP:
-            cache.clear()
+            # Bounded eviction: drop the oldest slice (dict preserves
+            # insertion order) and keep the rest.  Routing is a pure
+            # function of the memo key, so eviction can only ever cost a
+            # recomputation — it cannot change any key's shard.
+            for stale in list(islice(iter(cache), self._EVICT_SLICE)):
+                del cache[stale]
         cache[memo] = shard
         return shard
 
@@ -300,7 +1046,11 @@ def resolve_shards(spec: "str | int | Partitioner | None") -> Partitioner:
 
     Accepts ``None``/``"single"``/``1`` (one store), an integer or digit
     string ``N`` (``head`` routing over N shards), an explicit
-    ``"head:N"`` spec, or an already-built :class:`Partitioner`.
+    ``"head:N"`` spec with ``N >= 2``, or an already-built
+    :class:`Partitioner`.  An explicit ``head:N`` with ``N < 2`` is an
+    error, not a silent fallback to the single layout —
+    :class:`HeadPartitioner` itself refuses those counts, and a spec that
+    names the scheme must mean it.
     """
     if spec is None:
         return SinglePartitioner()
@@ -310,6 +1060,7 @@ def resolve_shards(spec: "str | int | Partitioner | None") -> Partitioner:
         text = spec.strip().lower()
         if text in ("", "single"):
             return SinglePartitioner()
+        explicit_head = False
         if ":" in text:
             scheme, __, text = text.partition(":")
             if scheme != "head":
@@ -322,12 +1073,18 @@ def resolve_shards(spec: "str | int | Partitioner | None") -> Partitioner:
                     f"too many ':' in shards spec {spec!r} "
                     "(expected head:count)"
                 )
+            explicit_head = True
         if not text.lstrip("-").isdigit():
             raise ValueError(
                 f"bad shard count {text!r} in shards spec {spec!r} "
                 "(expected an integer, 'single', or head:count)"
             )
         spec = int(text)
+        if explicit_head and spec < 2:
+            raise ValueError(
+                f"head routing needs >= 2 shards, got {spec} in shards "
+                f"spec (use 'single' or omit the scheme for one store)"
+            )
     if not isinstance(spec, int) or isinstance(spec, bool):
         raise ValueError(f"unknown shards spec {spec!r}")
     if spec < 1:
@@ -341,11 +1098,25 @@ def merge_by_serial(buckets: Iterable) -> list[TupleInstance]:
     """K-way merge per-shard instance dicts into global serial order.
 
     Each bucket iterates in ascending-serial order (see
-    :class:`TupleStore`), so merging by serial reproduces exactly the
+    :class:`BaseStore`), so merging by serial reproduces exactly the
     iteration order a single store would have produced — the facade's
     determinism guarantee for cross-shard reads.
     """
     live = [bucket.values() for bucket in buckets if bucket]
+    if not live:
+        return []
+    if len(live) == 1:
+        return list(live[0])
+    return list(heapq.merge(*live, key=_serial_key))
+
+
+def merge_serial_lists(parts: Iterable) -> list[TupleInstance]:
+    """K-way merge per-shard instance *sequences* into global serial order.
+
+    The list/iterator counterpart of :func:`merge_by_serial` for store
+    methods that already return serial-ascending sequences.
+    """
+    live = [part for part in parts if part]
     if not live:
         return []
     if len(live) == 1:

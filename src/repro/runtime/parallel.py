@@ -62,6 +62,7 @@ from __future__ import annotations
 
 import atexit
 import os
+import pickle
 import time
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
@@ -94,6 +95,8 @@ __all__ = [
     "evaluate_candidates",
     "replay_plan",
     "validate_plan",
+    "ship_shard",
+    "load_shard",
     "WorkerPool",
     "shutdown_workers",
 ]
@@ -381,6 +384,32 @@ def replay_plan(
         # were already applied — reproduce the same partial failure.
         raise plan.error
     return outcome
+
+
+def ship_shard(store) -> bytes:
+    """Serialise one storage shard for transport to a worker process.
+
+    Both backends pickle to the same wire shape — the serial-ordered
+    instance list plus the journal (``BaseStore.__getstate__``) — so a
+    shipped shard is backend- and layout-portable: the derived structure
+    (indexes, column groups) is rebuilt on the receiving side, which for
+    the columnar backend is one vectorised ``admit_many`` per arity
+    group rather than a per-tuple index walk.  This is the snapshot
+    primitive for moving whole-shard query evaluation onto workers;
+    today's group-round dispatch ships only per-match bindings, so the
+    engine does not call this on any hot path.
+    """
+    return pickle.dumps(store, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def load_shard(data: bytes):
+    """Rebuild a shipped shard (inverse of :func:`ship_shard`).
+
+    The returned store is indistinguishable from the original: same
+    instances in the same serial order, same journal and eviction
+    watermark, same backend kind.
+    """
+    return pickle.loads(data)
 
 
 def validate_plan(

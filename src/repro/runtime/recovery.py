@@ -143,7 +143,7 @@ class RecoveryLog:
         start = obs.spans.now() if obs is not None else 0
         space = self.dataspace
         if space.shard_count > 1:
-            chunks = [tuple(store.instances.values()) for store in space.stores]
+            chunks = [tuple(store.iter_serial()) for store in space.stores]
             checkpoint = Checkpoint(
                 version=space.version,
                 instances=tuple(inst for chunk in chunks for inst in chunk),
@@ -196,7 +196,9 @@ class RecoveryLog:
                 f"to live v{self.dataspace.version}"
             )
         scratch = Dataspace(
-            indexed=self.dataspace.indexed, shards=self.dataspace.shard_spec
+            indexed=self.dataspace.indexed,
+            shards=self.dataspace.shard_spec,
+            store=self.dataspace.store_kind,
         )
         tid_map: dict[TupleId, TupleId] = {}
         for instance in checkpoint.instances:
@@ -608,7 +610,7 @@ class DurableLog(RecoveryLog):
     # ------------------------------------------------------------------
     @classmethod
     def load(
-        cls, wal_dir: str, faults=None, obs=None
+        cls, wal_dir: str, faults=None, obs=None, store: "str | None" = None
     ) -> tuple[Dataspace, DurableLoadReport]:
         """Rebuild a dataspace from segment files alone (no live engine).
 
@@ -622,7 +624,10 @@ class DurableLog(RecoveryLog):
 
         Raises :class:`RecoveryError` when no intact checkpoint survives.
         *faults* drives the ``segment-read`` fault site (short reads and
-        in-flight bit flips) for chaos tests.
+        in-flight bit flips) for chaos tests.  *store* selects the scratch
+        dataspace's storage backend — the segment format is deliberately
+        backend-independent (value rows, not layout), so a log written
+        under either backend loads into either.
         """
         start = obs.spans.now() if obs is not None else 0
         report = DurableLoadReport()
@@ -637,7 +642,7 @@ class DurableLog(RecoveryLog):
         loaded_version = -1
         for version in ckpts:
             path = os.path.join(wal_dir, f"ckpt-{version:020d}.seg")
-            candidate = cls._load_checkpoint(path, report, faults)
+            candidate = cls._load_checkpoint(path, report, faults, store)
             if candidate is None:
                 report.checkpoints_skipped += 1
                 continue
@@ -690,7 +695,7 @@ class DurableLog(RecoveryLog):
 
     @classmethod
     def _load_checkpoint(
-        cls, path: str, report: DurableLoadReport, faults
+        cls, path: str, report: DurableLoadReport, faults, store: "str | None" = None
     ) -> tuple[Dataspace, dict[tuple[int, int], TupleId]] | None:
         """Parse and validate one checkpoint segment; ``None`` if damaged."""
         name = os.path.basename(path)
@@ -708,7 +713,7 @@ class DurableLog(RecoveryLog):
         meta, instances = valid
         __, version, shard_spec, indexed, shard_counts, __count = meta
         try:
-            scratch = Dataspace(indexed=indexed, shards=shard_spec)
+            scratch = Dataspace(indexed=indexed, shards=shard_spec, store=store)
         except Exception:
             report.repairs.append(RepairEvent(name, 0, "invalid-checkpoint"))
             return None
@@ -831,7 +836,9 @@ class DurableLog(RecoveryLog):
         if self._wal_handle is not None:
             self._wal_handle.flush()
             os.fsync(self._wal_handle.fileno())
-        scratch, report = self.load(self.wal_dir, obs=self.obs)
+        scratch, report = self.load(
+            self.wal_dir, obs=self.obs, store=self.dataspace.store_kind
+        )
         if not report.intact:
             raise RecoveryError(
                 f"durable log required repairs on verify: {report.repairs!r}"

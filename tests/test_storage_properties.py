@@ -41,7 +41,7 @@ seeds = st.integers(min_value=0, max_value=2**32 - 1)
 
 class TestResolveShards:
     def test_defaults_to_single(self):
-        for spec in (None, "single", "", 1, "1", "head:1"):
+        for spec in (None, "single", "", 1, "1"):
             assert isinstance(resolve_shards(spec), SinglePartitioner)
 
     def test_integer_and_spec_forms(self):
@@ -63,6 +63,19 @@ class TestResolveShards:
         for bad in ("frob", "head:x", 0, -2, "head:0", True, 2.0):
             with pytest.raises(ValueError):
                 resolve_shards(bad)
+
+    def test_rejects_explicit_head_below_two(self):
+        # An explicit head:N spec with N < 2 used to fall back silently to
+        # SinglePartitioner ("head:1") or a generic count error ("head:0");
+        # a spec that names the scheme must satisfy the scheme's own
+        # validation, with a message that says so.
+        for bad in ("head:1", "head:0", "head:-3", " HEAD:1 "):
+            with pytest.raises(ValueError, match="head routing needs >= 2 shards"):
+                resolve_shards(bad)
+        # The bare-integer forms keep their historical meanings.
+        assert isinstance(resolve_shards(1), SinglePartitioner)
+        with pytest.raises(ValueError, match="shard count must be >= 1"):
+            resolve_shards(0)
 
 
 class TestHeadRouting:

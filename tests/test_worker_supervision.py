@@ -198,6 +198,23 @@ class TestSpecRejections:
             pytest.fail(f"resolve_shards({spec!r}) did not raise")
 
     @pytest.mark.parametrize(
+        "spec, fragment",
+        [
+            ("head:1", "head routing needs >= 2 shards, got 1"),
+            ("head:0", "head routing needs >= 2 shards, got 0"),
+            ("head:-2", "head routing needs >= 2 shards, got -2"),
+            (" HEAD:1 ", "head routing needs >= 2 shards, got 1"),
+        ],
+    )
+    def test_resolve_shards_rejects_explicit_small_head(self, spec, fragment):
+        # An explicit head:N below 2 used to fall through to the single
+        # store silently; it is a spec error now, with a pointer at the fix.
+        with pytest.raises(ValueError) as err:
+            resolve_shards(spec)
+        assert fragment in str(err.value)
+        assert "use 'single'" in str(err.value)
+
+    @pytest.mark.parametrize(
         "plan, fragment",
         [
             ("seed=x", "bad seed clause"),
