@@ -135,6 +135,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         workers=args.workers,
         wal_dir=args.wal_dir,
         worker_timeout=args.worker_timeout,
+        admit=args.admit,
     )
     if args.data:
         engine.assert_tuples(_load_tuples(args.data))
@@ -161,6 +162,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         summary += (
             f", wal {result.wal_frames} frames / "
             f"{result.wal_segments} checkpoint segments"
+        )
+    if result.admit_tasks or result.admit_fallbacks:
+        summary += (
+            f", admit {result.admit_candidates} on workers / "
+            f"{result.admit_fallbacks} serial fallbacks"
         )
     if result.worker_timeouts or result.worker_retries or result.worker_quarantined:
         summary += (
@@ -232,6 +238,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="parallel group-round apply: an integer N, "
                           "'process:N', or 'thread:N' (default: SDL_WORKERS "
                           "or serial; needs --commit group and --shards N)")
+    run.add_argument("--admit", choices=["serial", "parallel"], default=None,
+                     help="group-round admission evaluation: serial on the "
+                          "main process, or match evaluation on the worker "
+                          "pool over cached shard snapshots (default: "
+                          "SDL_ADMIT or serial; needs --commit group, "
+                          "--workers N, and --shards N)")
     run.add_argument("--faults", default=None, metavar="PLAN",
                      help="fault-injection plan, e.g. "
                           "'seed=7; pre-commit:crash:name=W:at=2' "

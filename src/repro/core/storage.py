@@ -136,6 +136,23 @@ class BaseStore:
             self.evicted_version = journal[0].version
         journal.append(change)
 
+    def changes_since(self, floor: int) -> list | None:
+        """The journal suffix of changes with ``version > floor``, oldest
+        first — the per-shard delta a snapshot taken at *floor* needs to
+        catch up (snapshot shipping, ``admit="parallel"``).  ``None`` when
+        the journal has evicted past *floor*: the suffix would be partial,
+        so the caller must re-ship the full shard instead.
+        """
+        if self.evicted_version > floor:
+            return None
+        out: list = []
+        for change in reversed(self.journal):
+            if change.version <= floor:
+                break
+            out.append(change)
+        out.reverse()
+        return out
+
     # -- pickling ------------------------------------------------------
     def __getstate__(self):
         # Shards cross process boundaries (parallel apply, snapshot

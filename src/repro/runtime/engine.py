@@ -39,7 +39,7 @@ from repro.runtime.events import CheckpointTaken, ProcessCreated, ProcessRestart
 from repro.runtime.executor import Executor
 from repro.runtime.faults import FaultInjector, FaultPlan, resolve_plan
 from repro.runtime.interpreter import interpret
-from repro.runtime.parallel import WorkerPool, resolve_workers
+from repro.runtime.parallel import SnapshotShipper, WorkerPool, resolve_workers
 from repro.runtime.recovery import Checkpoint, DurableLog, RecoveryLog
 from repro.runtime.scheduler import Scheduler, Task, TaskKind, TaskState
 from repro.runtime.supervision import RestartPolicy, Supervisor
@@ -90,6 +90,20 @@ class RunResult:
     parallel_groups: int = 0
     parallel_candidates: int = 0
     parallel_fallbacks: int = 0
+    # Parallel-admission counters (populated under ``admit="parallel"``
+    # with a pool and a sharded layout): rounds that shipped at least one
+    # admission task, tasks and candidates whose match verdicts came from
+    # workers, and candidates that fell back to serial evaluation.
+    admit_rounds: int = 0
+    admit_tasks: int = 0
+    admit_candidates: int = 0
+    admit_fallbacks: int = 0
+    # Snapshot-shipping counters (the admission workers' cache): total
+    # blob+delta bytes handed to the pool, and worker-reported refreshes
+    # by kind (journal delta suffix vs full blob re-ship).
+    snapshot_ship_bytes: int = 0
+    snapshot_refreshes_delta: int = 0
+    snapshot_refreshes_full: int = 0
     # Worker-supervision counters (populated under ``workers=N``):
     # deadline misses, capped-backoff retries, pool respawns after a
     # break, groups quarantined to serial, and worker plans rejected by
@@ -190,6 +204,7 @@ class Engine:
         workers: "str | int | None" = None,
         wal_dir: "str | None" = None,
         worker_timeout: "float | None" = None,
+        admit: "str | None" = None,
     ) -> None:
         if policy not in ("random", "fifo"):
             raise EngineError(f"unknown scheduling policy {policy!r}")
@@ -281,6 +296,18 @@ class Engine:
             if worker_spec is not None
             else None
         )
+        # Parallel admission (the Phase B analogue of parallel apply):
+        # ``admit="parallel"`` ships match evaluation for group-round
+        # candidates to the pool over cached per-shard snapshots, while the
+        # main process keeps the sequential arbitration-order walk — runs
+        # stay bit-identical to serial per seed.  Requires the pool, a
+        # sharded layout, and the planner; without them the knob is inert.
+        # Env SDL_ADMIT supplies a suite-wide default.
+        if admit is None:
+            admit = os.environ.get("SDL_ADMIT") or "serial"
+        if admit not in ("serial", "parallel"):
+            raise EngineError(f"unknown admit mode {admit!r}")
+        self.admit = admit
         self.society = ProcessSociety(definitions)
         self.rng = random.Random(seed)
         self.trace = trace if trace is not None else Trace()
@@ -364,6 +391,13 @@ class Engine:
             # metrics hook, both resolved just above.
             self.pool.faults = self.faults
             self.pool.obs = self.obs
+        # The snapshot shipper (parallel admission's worker-cache feeder)
+        # exists only when the knob and the pool are both on.
+        self.snapshots: SnapshotShipper | None = (
+            SnapshotShipper(self.dataspace, obs=self.obs)
+            if self.pool is not None and self.admit == "parallel"
+            else None
+        )
         if self.obs is not None:
             self.dataspace.attach_obs(self.obs)
             if self.faults is not None:
@@ -509,6 +543,15 @@ class Engine:
             if self.pool is not None:
                 o.gauge("sdl_worker_pool_size", self.pool.size)
                 o.gauge("sdl_worker_pool_peak_inflight", self.pool.peak_inflight)
+            if self.snapshots is not None:
+                o.gauge("sdl_snapshot_ship_bytes", self.snapshots.ship_bytes)
+                # Per-worker snapshot freshness: sorted idents get compact
+                # slot-numbered gauges (obs gauges are unlabeled).
+                for slot, ident in enumerate(sorted(self.snapshots.worker_versions)):
+                    o.gauge(
+                        f"sdl_snapshot_worker_version_{slot}",
+                        self.snapshots.worker_versions[ident],
+                    )
             if planner is not None:
                 o.gauge("sdl_plan_cache_size", planner.cache_size)
                 o.gauge("sdl_plan_hit_rate", planner.hit_rate)
@@ -557,6 +600,19 @@ class Engine:
             parallel_groups=pool.groups if pool is not None else 0,
             parallel_candidates=pool.candidates if pool is not None else 0,
             parallel_fallbacks=pool.fallbacks if pool is not None else 0,
+            admit_rounds=pool.admit_rounds if pool is not None else 0,
+            admit_tasks=pool.admit_tasks if pool is not None else 0,
+            admit_candidates=pool.admit_candidates if pool is not None else 0,
+            admit_fallbacks=pool.admit_fallbacks if pool is not None else 0,
+            snapshot_ship_bytes=(
+                self.snapshots.ship_bytes if self.snapshots is not None else 0
+            ),
+            snapshot_refreshes_delta=(
+                self.snapshots.refreshes["delta"] if self.snapshots is not None else 0
+            ),
+            snapshot_refreshes_full=(
+                self.snapshots.refreshes["full"] if self.snapshots is not None else 0
+            ),
             worker_timeouts=pool.timeouts if pool is not None else 0,
             worker_retries=pool.retried if pool is not None else 0,
             worker_respawns=pool.respawns if pool is not None else 0,

@@ -47,6 +47,14 @@ process, once per dispatched group, so schedules are deterministic):
   deadline, ``garbage-plan`` returns a corrupted
   :class:`~repro.runtime.parallel.ActionPlan` that main-side validation
   must reject before replay.
+* ``admit-dispatch`` — an admission task (one shard's batch of match
+  candidates, ``admit="parallel"``) is about to be shipped to a pool
+  worker.  ``worker-crash`` is the apply-phase crash at admission time;
+  ``stale-snapshot`` makes the worker report a snapshot one version
+  behind the round target, which the walk's version check must reject to
+  serial; ``garbage-footprint`` corrupts the reported match rows' tuple
+  serials, which per-row validation against the live candidate list must
+  reject before any RNG draw.
 
 Determinism: the injector owns a private :class:`random.Random` seeded
 from the plan, so probabilistic faults are reproducible per plan seed and
@@ -81,11 +89,13 @@ __all__ = ["SITES", "ACTIONS", "FaultSpec", "FaultPlan", "FaultInjector"]
 SITES = (
     "pre-commit", "post-match", "batch-admit", "wakeup-deliver", "pump-spawn",
     "wal-append", "checkpoint-write", "segment-read", "worker-exec",
+    "admit-dispatch",
 )
 ACTIONS = (
     "crash", "abort-txn", "drop-wake", "delay-wake", "kill-round",
     "torn-write", "bit-flip", "short-read", "lost-fsync",
     "worker-crash", "worker-hang", "garbage-plan",
+    "stale-snapshot", "garbage-footprint",
 )
 
 #: Which actions make sense at which site (validated at plan build time).
@@ -99,6 +109,7 @@ _SITE_ACTIONS = {
     "checkpoint-write": ("torn-write", "bit-flip", "lost-fsync"),
     "segment-read": ("short-read", "bit-flip"),
     "worker-exec": ("worker-crash", "worker-hang", "garbage-plan"),
+    "admit-dispatch": ("worker-crash", "stale-snapshot", "garbage-footprint"),
 }
 
 _ACTION_ALIASES = {"drop": "drop-wake", "delay": "delay-wake", "abort": "abort-txn"}

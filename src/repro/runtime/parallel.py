@@ -56,13 +56,42 @@ rest of the run: full degradation to serial apply.  Seeded worker faults
 (``worker-exec`` site: ``worker-crash``/``worker-hang``/``garbage-plan``)
 are decided on the main process, one draw per dispatched group, so chaos
 schedules are deterministic and the engine RNG is untouched.
+
+**Parallel admission** (engine option ``admit="parallel"``): the same
+pool can also run Phase B — candidate match/query evaluation — ahead of
+the sequential admission walk.  Workers keep **cached per-shard
+snapshots**: the main-side :class:`SnapshotShipper` sends each shard
+once as columnar ``ship_shard`` bytes and thereafter only the shard's
+journal suffix (per-shard ``DataspaceChange`` deltas), falling back to a
+full re-ship when the shard's eviction watermark has passed the cached
+blob.  A worker that lacks the snapshot replies ``need-full`` and the
+task is re-sent with the blob.  Each worker evaluates its batch of
+candidates against its snapshot — candidate row count ``n``, the rows
+whose (pure) test passed, and their tuple serials — and the main process
+keeps the admission walk in arbitration order: at each dispatched
+candidate's position it re-fetches the same watermark-filtered candidate
+list through the snapshot lens, **validates** the worker's verdict
+(version, row count, row serials), consults the planner for cache
+parity, draws the single arbitration rotation from the engine RNG, and
+reconstructs the exact :class:`~repro.core.query.QueryResult` serial
+evaluation would have produced — so runs stay bit-identical to serial
+per seed.  Ineligible candidates (multi-atom or trivial queries, impure
+tests — ``Membership``, impure ``Call`` — restricted views, naive-path
+engines, probeless/cross-shard patterns, unpicklable payloads) and any
+validation failure fall back to main-process evaluation, counted never
+raised.  Injected admission faults (site ``admit-dispatch``:
+``worker-crash``/``stale-snapshot``/``garbage-footprint``) exercise the
+validation and quarantine paths the same way ``worker-exec`` does for
+apply.
 """
 
 from __future__ import annotations
 
 import atexit
+import itertools
 import os
 import pickle
+import threading
 import time
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
@@ -78,12 +107,13 @@ from repro.core.actions import (
     Spawn,
 )
 from repro.core.expressions import BinOp, Bindings, Call, Const, EvalContext, UnOp, Var
+from repro.core.plan import PlanStep, compile_pattern
 from repro.core.query import Membership
 from repro.core.transactions import Control, Transaction, TransactionOutcome
 from repro.errors import ExportViolation, TransactionError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.core.query import QueryResult
+    from repro.core.query import Query, QueryResult
     from repro.core.views import Window
 
 __all__ = [
@@ -97,6 +127,10 @@ __all__ = [
     "validate_plan",
     "ship_shard",
     "load_shard",
+    "MatchProbe",
+    "prepare_match",
+    "evaluate_matches",
+    "SnapshotShipper",
     "WorkerPool",
     "shutdown_workers",
 ]
@@ -389,17 +423,22 @@ def replay_plan(
 def ship_shard(store) -> bytes:
     """Serialise one storage shard for transport to a worker process.
 
-    Both backends pickle to the same wire shape — the serial-ordered
-    instance list plus the journal (``BaseStore.__getstate__``) — so a
-    shipped shard is backend- and layout-portable: the derived structure
-    (indexes, column groups) is rebuilt on the receiving side, which for
-    the columnar backend is one vectorised ``admit_many`` per arity
-    group rather than a per-tuple index walk.  This is the snapshot
-    primitive for moving whole-shard query evaluation onto workers;
-    today's group-round dispatch ships only per-match bindings, so the
-    engine does not call this on any hot path.
+    Both backends ship the same wire shape — the store class plus the
+    ``__getstate__`` tuple (shard id, index flag, serial-ordered instance
+    list, journal, eviction watermark) — taken *explicitly* rather than
+    by pickling the live store object wholesale: the wire bytes can never
+    capture derived structure (lazy position indexes, column groups,
+    tombstones), so a shipped shard is backend- and layout-portable and
+    the receiving side rebuilds indexes on demand, which for the columnar
+    backend is one vectorised ``admit_many`` per arity group rather than
+    a per-tuple index walk.  This is the snapshot primitive behind
+    parallel admission (``admit="parallel"``): the
+    :class:`SnapshotShipper` sends these bytes once per shard and
+    journal deltas thereafter.
     """
-    return pickle.dumps(store, protocol=pickle.HIGHEST_PROTOCOL)
+    return pickle.dumps(
+        (type(store), store.__getstate__()), protocol=pickle.HIGHEST_PROTOCOL
+    )
 
 
 def load_shard(data: bytes):
@@ -407,9 +446,305 @@ def load_shard(data: bytes):
 
     The returned store is indistinguishable from the original: same
     instances in the same serial order, same journal and eviction
-    watermark, same backend kind.
+    watermark, same backend kind — with derived structure (lazy indexes,
+    column groups) rebuilt fresh on this side of the wire.
     """
-    return pickle.loads(data)
+    cls, state = pickle.loads(data)
+    store = cls.__new__(cls)
+    store.__setstate__(state)
+    return store
+
+
+# ----------------------------------------------------------------------
+# parallel admission: snapshot shipping (main side)
+# ----------------------------------------------------------------------
+
+#: Engine-unique snapshot epochs.  Pools are shared across engines, so a
+#: worker's cached snapshot must never leak between runs: every shipper
+#: namespaces its cache keys by (pid, counter).
+_EPOCHS = itertools.count()
+
+#: Index of the candidate-entry list inside an admission task tuple
+#: ``(epoch, shard, target, floor, watermark, deltas, blob, entries)``.
+_TASK_ENTRIES = 7
+
+
+class SnapshotShipper:
+    """Per-engine distributor of shard snapshots to admission workers.
+
+    The shipper keeps, per shard, the last full blob it built
+    (:func:`ship_shard` bytes) and the version (*floor*) that blob
+    captured.  A dispatched task carries the journal delta suffix
+    ``(floor, target]`` — pre-pickled, so the shipped byte count is
+    exact — and includes the blob itself only when this shard has never
+    been sent (or the blob was just rebuilt).  When the shard store's
+    eviction watermark passes the floor the journal can no longer bridge
+    the gap for any worker, so the blob is rebuilt at the current
+    version: the full re-ship path.  A worker that turns out not to hold
+    the snapshot answers ``need-full`` and the pool re-sends the same
+    task with the blob attached (one retry).
+    """
+
+    __slots__ = (
+        "dataspace", "obs", "epoch", "ship_bytes", "refreshes",
+        "worker_versions", "_floors", "_blobs", "_sent",
+    )
+
+    def __init__(self, dataspace, obs=None) -> None:
+        self.dataspace = dataspace
+        self.obs = obs
+        self.epoch = f"{os.getpid()}-{next(_EPOCHS)}"
+        #: Total snapshot bytes (blobs + deltas) handed to the pool.
+        self.ship_bytes = 0
+        #: Worker-reported refresh outcomes by kind ("delta" | "full").
+        self.refreshes = {"delta": 0, "full": 0}
+        #: Last snapshot version each worker reported (gauge source).
+        self.worker_versions: dict[str, int] = {}
+        self._floors: dict[int, int] = {}
+        self._blobs: dict[int, bytes] = {}
+        self._sent: set[int] = set()
+
+    def bundle(
+        self, shard: int, target: int, watermark: int, entries: tuple,
+        with_blob: bool = False,
+    ) -> tuple:
+        """Build one shard's admission task for dispatch at *target* version."""
+        store = self.dataspace.stores[shard]
+        floor = self._floors.get(shard, -1)
+        blob = self._blobs.get(shard)
+        deltas = store.changes_since(floor) if blob is not None else None
+        if deltas is None:
+            # First ship, or the journal has evicted entries the cached
+            # blob would need: rebuild at the current version (full
+            # re-ship) and force the blob onto the wire again.
+            blob = ship_shard(store)
+            floor = target
+            deltas = []
+            self._blobs[shard] = blob
+            self._floors[shard] = floor
+            self._sent.discard(shard)
+        deltas_bytes = pickle.dumps(deltas, protocol=pickle.HIGHEST_PROTOCOL)
+        include = with_blob or shard not in self._sent
+        wire_blob = blob if include else None
+        sent = len(deltas_bytes) + (len(wire_blob) if wire_blob is not None else 0)
+        self.ship_bytes += sent
+        if self.obs is not None:
+            self.obs.count("sdl_snapshot_ship_bytes_total", amount=sent)
+        if include:
+            self._sent.add(shard)
+        return (self.epoch, shard, target, floor, watermark, deltas_bytes,
+                wire_blob, entries)
+
+    def note_reply(self, kind: str, ident: str, version: int) -> None:
+        """Record one worker's refresh outcome from an ``ok`` reply."""
+        if kind in self.refreshes:
+            self.refreshes[kind] += 1
+        self.worker_versions[ident] = version
+        if self.obs is not None:
+            self.obs.count("sdl_snapshot_refresh_total", kind=kind)
+
+
+# ----------------------------------------------------------------------
+# parallel admission: the worker side
+# ----------------------------------------------------------------------
+
+#: Worker-resident snapshot cache: (epoch, shard) -> [version, store].
+#: Module-level so it survives across tasks in the same worker process
+#: (threads share one cache — entries are rebuilt copies, never aliases
+#: of the live stores).  Bounded LRU: oldest entry evicted past the cap.
+_SNAPSHOTS: dict[tuple[str, int], list] = {}
+_SNAPSHOT_CAP = 32
+
+
+def _worker_ident() -> str:
+    return f"{os.getpid()}:{threading.get_ident()}"
+
+
+def _eval_match_entry(store, watermark: int, entry: tuple) -> tuple:
+    """Evaluate one candidate's single-atom query against a shard snapshot.
+
+    Returns ``(n, passes, errors)``: *n* is the watermark-filtered
+    candidate row count — exactly the list the main-process snapshot
+    lens would fetch, so the arbitration rotation draw is reconstructible
+    — *passes* lists ``(row_index, tuple_serial)`` for rows that cleared
+    the repeat checks and the (pure) test, and *errors* counts rows whose
+    test raised (any error forces the candidate back to serial
+    evaluation so the exception is reproduced bit-exactly on main).
+    """
+    arity, probes, scope, binders, repeat_checks, test = entry
+    rows = [
+        inst
+        for inst in store.candidates_probed(arity, list(probes))
+        if inst.tid.serial <= watermark
+    ]
+    passes: list[tuple[int, int]] = []
+    errors = 0
+    for index, inst in enumerate(rows):
+        values = inst.values
+        ok = True
+        for position, first in repeat_checks:
+            if values[position] != values[first]:
+                ok = False
+                break
+        if not ok:
+            continue
+        if test is not None:
+            env = dict(scope)
+            for position, name in binders:
+                env[name] = values[position]
+            try:
+                if not test.evaluate(EvalContext(Bindings(env))):
+                    continue
+            except Exception:
+                errors += 1
+                continue
+        passes.append((index, inst.tid.serial))
+    return (len(rows), passes, errors)
+
+
+def evaluate_matches(task: tuple):
+    """Worker entry point: evaluate one shard's admission candidates.
+
+    Refreshes (or installs) the cached shard snapshot first: a cached
+    store at or above the task's *floor* catches up by applying the
+    journal delta suffix (kind ``"delta"``); a cold cache loads the
+    attached blob and then the deltas (kind ``"full"``); a cold cache
+    with no blob attached answers ``("need-full", shard)`` so the main
+    process re-sends the task with the blob.  Must stay a module-level
+    function: process pools pickle it by reference.
+    """
+    epoch, shard, target, floor, watermark, deltas_bytes, blob, entries = task
+    start = time.perf_counter_ns()
+    key = (epoch, shard)
+    cached = _SNAPSHOTS.get(key)
+    if cached is not None and floor <= cached[0] <= target:
+        version, store = cached
+        kind = "delta"
+    elif blob is not None:
+        store = load_shard(blob)
+        version = floor
+        kind = "full"
+    else:
+        return ("need-full", shard)
+    if version < target:
+        for change in pickle.loads(deltas_bytes):
+            if change.version <= version:
+                continue
+            for inst in change.retracted:
+                store.remove(inst.tid)
+            if change.asserted:
+                store.admit_many(change.asserted)
+            version = change.version
+        # Versions between the last shard-local change and the global
+        # target touched other shards only — this snapshot is current.
+        version = target
+    _SNAPSHOTS.pop(key, None)
+    _SNAPSHOTS[key] = [version, store]
+    while len(_SNAPSHOTS) > _SNAPSHOT_CAP:
+        _SNAPSHOTS.pop(next(iter(_SNAPSHOTS)))
+    results = [_eval_match_entry(store, watermark, entry) for entry in entries]
+    return ("ok", _worker_ident(), kind, version, results,
+            time.perf_counter_ns() - start)
+
+
+# ----------------------------------------------------------------------
+# parallel admission: eligibility and the dispatch prepass (main side)
+# ----------------------------------------------------------------------
+
+#: Sentinel for "pattern has no position-0 probe" (None is a legal probe).
+_NO_HEAD = object()
+
+
+class MatchProbe:
+    """Everything the prepass learned about one dispatchable candidate.
+
+    Built before the admission walk without touching the engine RNG or
+    any planner/obs counter: the compiled pattern's probes come from
+    :func:`compile_pattern` (memoised, counter-free) and a directly
+    constructed :class:`~repro.core.plan.PlanStep` — the identical step
+    ``plan_for`` would build for a single-atom query — so the walk can
+    later consult the real planner exactly once, as serial evaluation
+    does.  ``reads`` optionally carries the precomputed footprint read
+    side (see :func:`repro.runtime.commit.read_side`).
+    """
+
+    __slots__ = (
+        "pattern", "arity", "probes", "binders", "repeat_checks",
+        "test", "shard", "reads",
+    )
+
+    def __init__(self, pattern, arity, probes, binders, repeat_checks,
+                 test, shard) -> None:
+        self.pattern = pattern
+        self.arity = arity
+        self.probes = probes
+        self.binders = binders
+        self.repeat_checks = repeat_checks
+        self.test = test
+        self.shard = shard
+        self.reads = None
+
+    def entry(self, scope: dict) -> tuple:
+        """The picklable worker-side evaluation entry for this candidate."""
+        return (self.arity, self.probes, scope, self.binders,
+                self.repeat_checks, self.test)
+
+
+def prepare_match(query: "Query", process, partitioner) -> MatchProbe | None:
+    """Is this candidate's query evaluable on a worker?  If so, how?
+
+    Returns ``None`` for the ineligible (serial fallback) cases:
+
+    * multi-atom or trivial queries — the arbitration rotation for a
+      join consumes one RNG draw *per depth*, and a trivial query none;
+      only the single-atom shape has the one-draw protocol the walk can
+      replay from a row count;
+    * an impure test (``Membership`` reads the window, an impure ``Call``
+      may touch host state) — workers evaluate tests without a window;
+    * impure pattern element expressions — probes must be recomputable;
+    * a restricted view — import filtering is main-process state, and an
+      unrestricted window refresh is counter-free, which keeps window
+      stats bit-identical;
+    * no position-0 probe — the live path would merge candidates across
+      every shard, which a single resident snapshot cannot reproduce.
+
+    Probe evaluation failures (the serial path would raise inside
+    ``iter_matches``) also return ``None`` so the exception surfaces from
+    the serial evaluation at the candidate's walk position.
+    """
+    atoms = query.atoms
+    if len(atoms) != 1 or query.is_trivial():
+        return None
+    test = query.test
+    if test is not None and not _pure_expr(test):
+        return None
+    if not process.view.unrestricted:
+        return None
+    pattern = atoms[0].pattern
+    compiled = compile_pattern(pattern)
+    for slot in compiled.expr_slots:
+        if not _pure_expr(slot[1]):
+            return None
+    scope = process.scope()
+    bound_key = frozenset(
+        name for name in scope if name in compiled.free_names
+    )
+    step = PlanStep(0, compiled, bound_key)
+    try:
+        probes = step.probes_for(scope)
+    except Exception:
+        return None
+    head = next((value for pos, value in probes if pos == 0), _NO_HEAD)
+    if head is _NO_HEAD:
+        return None
+    try:
+        shard = partitioner.shard_of(compiled.arity, head)
+    except Exception:
+        return None
+    return MatchProbe(
+        pattern, compiled.arity, tuple(probes), step.binders,
+        step.repeat_checks, test, shard,
+    )
 
 
 def validate_plan(
@@ -591,6 +926,54 @@ def _garbage_worker(payload: Any):
     return plans, elapsed
 
 
+def _stale_snapshot_worker(task: Any):
+    """Injected ``stale-snapshot`` (site ``admit-dispatch``): evaluate
+    honestly, then claim the snapshot stopped one version short — the
+    walk's version check must reject the whole task to serial."""
+    reply = evaluate_matches(task)
+    if reply[0] != "ok":
+        return reply
+    status, ident, kind, version, results, elapsed = reply
+    return (status, ident, kind, version - 1, results, elapsed)
+
+
+def _garbage_match_worker(task: Any):
+    """Injected ``garbage-footprint`` (site ``admit-dispatch``): evaluate
+    honestly, then corrupt every passing row's tuple serial — per-row
+    validation against the live candidate list must reject each
+    candidate to serial before any RNG draw."""
+    reply = evaluate_matches(task)
+    if reply[0] != "ok":
+        return reply
+    status, ident, kind, version, results, elapsed = reply
+    corrupted = [
+        (n, [(row, -1) for row, __ in passes], errors)
+        for n, passes, errors in results
+    ]
+    return (status, ident, kind, version, corrupted, elapsed)
+
+
+def _check_plan_reply(payload: Any, reply: Any) -> bool:
+    """Shape check for an apply-phase reply: one plan per candidate."""
+    try:
+        plans, __ = reply
+    except Exception:
+        return False
+    return isinstance(plans, list) and len(plans) == len(payload)
+
+
+def _check_match_reply(task: Any, reply: Any) -> bool:
+    """Shape check for an admission-phase reply (``ok`` or ``need-full``)."""
+    if not isinstance(reply, tuple) or not reply:
+        return False
+    if reply[0] == "need-full":
+        return True
+    if reply[0] != "ok" or len(reply) != 6:
+        return False
+    results = reply[4]
+    return isinstance(results, list) and len(results) == len(task[_TASK_ENTRIES])
+
+
 class WorkerPool:
     """An engine's supervised handle on the shared worker pool.
 
@@ -611,6 +994,7 @@ class WorkerPool:
         "mode", "size", "timeout", "retries", "faults", "obs",
         "rounds", "groups", "candidates", "fallbacks", "peak_inflight",
         "timeouts", "retried", "respawns", "quarantined", "plan_rejects",
+        "admit_rounds", "admit_tasks", "admit_candidates", "admit_fallbacks",
         "disabled",
     )
 
@@ -651,6 +1035,15 @@ class WorkerPool:
         self.quarantined = 0
         #: Worker plans rejected by main-side validation before replay.
         self.plan_rejects = 0
+        #: Rounds in which at least one admission task ran on a worker.
+        self.admit_rounds = 0
+        #: Admission tasks (one per home shard) answered by workers.
+        self.admit_tasks = 0
+        #: Candidates whose match verdicts came back from a worker.
+        self.admit_candidates = 0
+        #: Candidates that fell back to serial admission evaluation
+        #: (ineligible, task failure, stale snapshot, validation reject).
+        self.admit_fallbacks = 0
         #: Set once the failure budget is spent: every later dispatch goes
         #: serial without touching the pool.
         self.disabled = False
@@ -672,6 +1065,14 @@ class WorkerPool:
         if self.quarantined + self.plan_rejects >= _QUARANTINE_LIMIT:
             self.disabled = True
 
+    def note_admit_fallback(self, reason: str, count: int = 1) -> None:
+        """Record *count* candidates degraded to serial admission evaluation."""
+        self.admit_fallbacks += count
+        if self.obs is not None:
+            self.obs.count(
+                "sdl_parallel_admit_fallbacks_total", amount=count, reason=reason
+            )
+
     # -- dispatch ------------------------------------------------------
     def _submit(self, executor, payload, sabotage: str | None):
         """Submit one group, routing injected faults to saboteur workers."""
@@ -685,18 +1086,21 @@ class WorkerPool:
             return executor.submit(_garbage_worker, payload)
         return executor.submit(evaluate_candidates, payload)
 
-    def _join(self, payload, future):
-        """Join one group's future under the deadline/retry policy.
+    def _join(self, payload, future, fn=evaluate_candidates,
+              check=_check_plan_reply):
+        """Join one dispatched future under the deadline/retry policy.
 
-        Returns ``(plans, elapsed_ns)`` or ``None`` (serial fallback).
-        Retries always resubmit the *clean* ``evaluate_candidates`` —
-        an injected fault fires once per group draw, and pure actions
-        make re-evaluation effect-free and deterministic.
+        Returns the worker reply — ``(plans, elapsed_ns)`` for apply
+        groups, the admission reply tuple for match tasks — or ``None``
+        (serial fallback).  Retries always resubmit the *clean* *fn* —
+        an injected fault fires once per dispatch draw, and pure
+        evaluation makes re-running effect-free and deterministic.
+        A reply failing *check* falls back rather than being trusted.
         """
         attempt = 0
         while True:
             try:
-                plans, elapsed = future.result(timeout=self.timeout)
+                reply = future.result(timeout=self.timeout)
             except FuturesTimeoutError:
                 # Deadline miss: the worker may be wedged, and waiting
                 # again costs another full deadline — degrade to serial
@@ -729,7 +1133,7 @@ class WorkerPool:
                     if cached is None or not _executor_alive(cached):
                         self.respawns += 1
                     executor = _executor_for(self.mode, self.size)
-                    future = executor.submit(evaluate_candidates, payload)
+                    future = executor.submit(fn, payload)
                 except Exception:
                     self._quarantine()
                     return None
@@ -739,10 +1143,10 @@ class WorkerPool:
                 # failure: not retryable, plain serial fallback.
                 self.fallbacks += 1
                 return None
-            if len(plans) != len(payload):  # pragma: no cover - defensive
+            if not check(payload, reply):  # pragma: no cover - defensive
                 self.fallbacks += 1
                 return None
-            return plans, elapsed
+            return reply
 
     def dispatch(
         self,
@@ -799,6 +1203,86 @@ class WorkerPool:
         if any(r is not None for r in results):
             self.rounds += 1
         return results
+
+    # -- parallel admission dispatch -----------------------------------
+    def _submit_match(self, executor, task, sabotage: str | None):
+        """Submit one admission task, routing injected faults to saboteurs."""
+        if sabotage == "worker-crash":
+            fn = _crash_worker if self.mode == "process" else _crash_worker_thread
+            return executor.submit(fn, task)
+        if sabotage == "stale-snapshot":
+            return executor.submit(_stale_snapshot_worker, task)
+        if sabotage == "garbage-footprint":
+            return executor.submit(_garbage_match_worker, task)
+        return executor.submit(evaluate_matches, task)
+
+    def dispatch_matches(self, tasks: list[tuple], rebuild=None):
+        """Evaluate one round's admission tasks (one per home shard).
+
+        Returns one ``("ok", ident, kind, version, results, elapsed_ns)``
+        reply per task, or ``None`` for a task whose candidates must fall
+        back to serial admission evaluation.  Supervision is the apply
+        path's: per-task deadline, capped-backoff retry on a pool break,
+        shared quarantine budget.  A ``need-full`` reply — the executing
+        worker had no cached snapshot and the task carried no blob — is
+        re-sent once through *rebuild(task)*, which re-bundles the same
+        shard and candidates with the blob attached.
+        """
+        if self.disabled:
+            return [None] * len(tasks)
+        try:
+            executor = _executor_for(self.mode, self.size)
+        except Exception:
+            return [None] * len(tasks)
+        # One seeded draw per dispatched task, decided on the main
+        # process — same discipline as apply-phase worker-exec faults.
+        faults = self.faults
+        sabotage = [
+            faults.fire("admit-dispatch") if faults is not None else None
+            for __ in tasks
+        ]
+        futures: list[Any] = []
+        for task, action in zip(tasks, sabotage):
+            try:
+                futures.append(self._submit_match(executor, task, action))
+            except Exception:
+                futures.append(None)
+        if not _executor_alive(executor):
+            _discard_executor(self.mode, self.size)
+        inflight = sum(1 for f in futures if f is not None)
+        if inflight > self.peak_inflight:
+            self.peak_inflight = inflight
+        replies: list[tuple | None] = []
+        for task, future in zip(tasks, futures):
+            if future is None:
+                replies.append(None)
+                continue
+            reply = self._join(
+                task, future, fn=evaluate_matches, check=_check_match_reply
+            )
+            if reply is not None and reply[0] == "need-full":
+                if rebuild is None:
+                    reply = None
+                else:
+                    try:
+                        full = rebuild(task)
+                        future = executor.submit(evaluate_matches, full)
+                    except Exception:
+                        reply = None
+                    else:
+                        reply = self._join(
+                            full, future,
+                            fn=evaluate_matches, check=_check_match_reply,
+                        )
+                        if reply is not None and reply[0] == "need-full":
+                            reply = None  # pragma: no cover - defensive
+            if reply is not None:
+                self.admit_tasks += 1
+                self.admit_candidates += len(task[_TASK_ENTRIES])
+            replies.append(reply)
+        if any(r is not None for r in replies):
+            self.admit_rounds += 1
+        return replies
 
     def __repr__(self) -> str:
         flags = ", disabled" if self.disabled else ""

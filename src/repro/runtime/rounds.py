@@ -21,7 +21,13 @@ One round runs four phases over the items ready at its start:
   pairwise ``first_conflict`` walk is skipped after two O(1) set
   intersections (counted as ``sdl_shard_disjoint_admits_total``).  The
   skip elides only checks that would provably return "no conflict", so
-  admission decisions are identical with and without it;
+  admission decisions are identical with and without it.  Under
+  ``admit="parallel"`` the *match evaluation* half of this phase runs on
+  the worker pool over cached shard snapshots
+  (:func:`_dispatch_admission`) while the walk itself — validation,
+  plan-cache touch, the arbitration rotation draw, footprint admission —
+  stays sequential on the main process (:func:`_resolve_admit`), keeping
+  runs bit-identical to serial;
 * **Phase C — apply**: the admitted batch commits in arbitration order
   (optionally re-validated by serial replay);
 * **Phase D — tail**: the non-transaction items step against the live
@@ -35,17 +41,21 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any
 
+from repro.core.query import Match, QueryResult
 from repro.core.transactions import Control, Mode, Transaction, TransactionOutcome, execute
 from repro.runtime.commit import (
     first_conflict,
     footprint_for,
+    read_side,
     validate_serial_equivalence,
 )
 from repro.runtime.events import ConflictDetected, RoundCommitted, TxnFailed
 from repro.runtime.interpreter import TxnRequest
 from repro.runtime.parallel import (
+    _TASK_ENTRIES,
     ActionPlan,
     partition_disjoint,
+    prepare_match,
     replay_plan,
     validate_plan,
     worker_eligible,
@@ -125,6 +135,19 @@ def run_group_round(executor: "Executor", items: list) -> list:
     watermark = engine.dataspace.serial
     partitioner = engine.dataspace.partitioner
     sharded = partitioner.shard_count > 1
+    # Parallel admission (``admit="parallel"``): ship each dispatchable
+    # candidate's match evaluation to a worker holding its home shard's
+    # cached snapshot, *before* the sequential walk below.  The walk then
+    # consumes the returned verdicts in arbitration order — validating
+    # each against the live candidate list and drawing the rotation from
+    # the engine RNG itself — so admission decisions, counters, and RNG
+    # stream stay bit-identical to serial evaluation (see
+    # :func:`_resolve_admit`).  ``{}`` when the knob is off or inert.
+    admit_verdicts = (
+        _dispatch_admission(engine, candidates, watermark)
+        if engine.admit == "parallel"
+        else {}
+    )
     admitted: list[tuple[Task, Transaction, Any, str]] = []
     admitted_fps: list = []
     # Union of the admitted batch's shard-sets, one per conflict rule:
@@ -162,7 +185,11 @@ def run_group_round(executor: "Executor", items: list) -> list:
         window = engine.window(process)
         lens = _SnapshotLens(window, watermark)
         scope = process.scope()
-        result = txn.query.evaluate(lens.refresh(), scope, engine.rng)
+        verdict = admit_verdicts.get(position)
+        if verdict is not None:
+            result = _resolve_admit(engine, verdict, txn, lens, scope)
+        else:
+            result = txn.query.evaluate(lens.refresh(), scope, engine.rng)
         if faults is not None:
             action = faults.fire("post-match", process.pid, process.name)
             if action == "crash":
@@ -177,6 +204,7 @@ def run_group_round(executor: "Executor", items: list) -> list:
             process,
             scope,
             partitioner if sharded else None,
+            reads=verdict[0].reads if verdict is not None else None,
         )
         if (
             admitted_fps
@@ -423,6 +451,196 @@ def _parallel_plans(
         if fallbacks:
             obs.count("sdl_parallel_fallbacks_total", amount=fallbacks)
     return plans
+
+
+def _dispatch_admission(engine, candidates: list, watermark: int) -> dict[int, tuple]:
+    """Phase B prepass: ship dispatchable candidates' match evaluation.
+
+    Groups worker-eligible candidates (:func:`prepare_match`) by the home
+    shard their position-0 probe routes to, bundles one snapshot task per
+    shard through the engine's :class:`SnapshotShipper`, and joins the
+    replies.  Returns ``{position: (meta, n, passes, errors)}`` verdicts
+    for the walk to validate and consume at each candidate's arbitration
+    position; everything not in the dict evaluates serially.
+
+    The prepass is **counter- and RNG-free**: eligibility probing uses the
+    memoised pattern compiler (never the planner's cache), the footprint
+    read side is precomputed because subscription derivation is pure, and
+    injected ``admit-dispatch`` faults draw from the injector's RNG only.
+    Requires ≥2 home-shard groups — one group means the walk would wait on
+    a single worker with no overlap to exploit, so serial evaluation keeps
+    its zero-overhead path.  A task that cannot be bundled or answered
+    (unpicklable entries, pool failure, a stale reply version) degrades
+    its whole group to serial, counted never raised.
+    """
+    pool = engine.pool
+    shipper = engine.snapshots
+    if (
+        pool is None
+        or pool.disabled
+        or shipper is None
+        or engine.planner is None
+        or len(candidates) < 2
+    ):
+        return {}
+    partitioner = engine.dataspace.partitioner
+    if partitioner.shard_count <= 1:
+        return {}
+    groups: dict[int, list[tuple[int, Any, dict]]] = {}
+    ineligible = 0
+    for position, (task, txn, __) in enumerate(candidates):
+        if task.state is not TaskState.READY:
+            continue
+        process = task.process
+        meta = prepare_match(txn.query, process, partitioner)
+        if meta is None:
+            ineligible += 1
+            continue
+        scope = process.scope()
+        try:
+            # Pure and result-independent, so hoisting it off the walk is
+            # safe; a derivation failure surfaces from the serial path's
+            # own ``footprint_for`` at the candidate's walk position.
+            meta.reads = read_side(txn, process, scope)
+        except Exception:
+            ineligible += 1
+            continue
+        groups.setdefault(meta.shard, []).append((position, meta, scope))
+    if len(groups) < 2:
+        return {}
+    obs = engine.obs
+    start = obs.spans.now() if obs is not None else 0
+    target = engine.dataspace.version
+    tasks: list[tuple] = []
+    task_shards: list[int] = []
+    for shard in sorted(groups):
+        entries = tuple(meta.entry(scope) for __, meta, scope in groups[shard])
+        try:
+            tasks.append(shipper.bundle(shard, target, watermark, entries))
+        except Exception:
+            pool.note_admit_fallback("unshippable", len(groups[shard]))
+            continue
+        task_shards.append(shard)
+    if not tasks:
+        return {}
+    if ineligible:
+        pool.note_admit_fallback("ineligible", ineligible)
+
+    def rebuild(task: tuple) -> tuple:
+        # Re-bundle the same shard and candidates with the blob attached
+        # (the ``need-full`` retry path): task indices per parallel.py.
+        return shipper.bundle(
+            task[1], task[2], task[4], task[_TASK_ENTRIES], with_blob=True
+        )
+
+    replies = pool.dispatch_matches(tasks, rebuild=rebuild)
+    verdicts: dict[int, tuple] = {}
+    for shard, reply in zip(task_shards, replies):
+        group = groups[shard]
+        if reply is None:
+            pool.note_admit_fallback("task-failed", len(group))
+            continue
+        __, ident, kind, version, results, elapsed_ns = reply
+        shipper.note_reply(kind, ident, version)
+        if version != target:
+            # The worker evaluated against some other version of the
+            # shard: no per-candidate verdict can be trusted.
+            pool.note_admit_fallback("stale-snapshot", len(group))
+            continue
+        if obs is not None:
+            obs.observe_ns(
+                "parallel-admit", start, elapsed_ns,
+                {"shard": shard, "candidates": len(group)},
+            )
+        for (position, meta, __scope), row_verdict in zip(group, results):
+            verdicts[position] = (meta, *row_verdict)
+    return verdicts
+
+
+def _resolve_admit(engine, verdict: tuple, txn: Transaction, lens, scope) -> QueryResult:
+    """Consume one worker verdict at its walk position, bit-identically.
+
+    The serial path for a dispatchable candidate — single-atom planned
+    query, unrestricted window — does exactly this, in this order: refresh
+    the window (counter-free when unrestricted), consult the plan cache
+    once, fetch the watermark-filtered candidate list once (the ``match``
+    obs site), draw **one** rotation index from the engine RNG iff the
+    list has ≥2 rows, and walk the rotated rows applying repeat checks and
+    the test.  The reconstruction replays that recipe with the worker's
+    pass set substituted for test evaluation:
+
+    1. *validate first* — the live candidate list must have exactly ``n``
+       rows and every passing row's tuple serial must match.  Validation
+       precedes the plan-cache touch and the RNG draw, so a rejected
+       verdict falls back to plain serial evaluation with every counter
+       and the RNG stream untouched (the only trace is one extra sample
+       in the ``sdl_match_seconds`` histogram, from the validation fetch);
+    2. a worker-side test **error** also falls back — the serial path
+       must raise (or skip) that row itself so exceptions and partial
+       FORALL enumerations are reproduced bit-exactly;
+    3. on the happy path, reconstruct the exact
+       :class:`~repro.core.query.QueryResult`: first passing row in
+       rotated order for ``∃``, all passing rows with signature dedup for
+       ``∀``, emptiness of the pass set for a negated query (whose draw
+       is still consumed iff ``n ≥ 2``, as serial does).
+    """
+    meta, n, passes, errors = verdict
+    pool = engine.pool
+    query = txn.query
+    lens.refresh()
+    if errors:
+        pool.note_admit_fallback("test-error")
+        return query.evaluate(lens, scope, engine.rng)
+    rows = lens.candidates_probed(meta.arity, list(meta.probes))
+    if len(rows) != n or any(
+        not (0 <= row < n and rows[row].tid.serial == serial)
+        for row, serial in passes
+    ):
+        pool.note_admit_fallback("verdict-mismatch")
+        return query.evaluate(lens, scope, engine.rng)
+    engine.planner.plan_for([meta.pattern], scope)
+    k = engine.rng.randrange(n) if n >= 2 else 0
+    if query.negated:
+        return QueryResult(not passes)
+    pass_rows = {row for row, __ in passes}
+    order = list(range(k, n)) + list(range(k))
+    retract = query.atoms[0].retract
+
+    def match_for(row: int) -> Match:
+        inst = rows[row]
+        values = inst.values
+        env = dict(scope)
+        for position, name in meta.binders:
+            env[name] = values[position]
+        return Match(env, (inst,), (inst,) if retract else ())
+
+    if query.quantifier == "exists":
+        for row in order:
+            if row in pass_rows:
+                return QueryResult(True, [match_for(row)])
+        return QueryResult(False)
+    # FORALL: all passing rows in rotated order, deduplicated by the same
+    # (variable values, retracted tids) signature serial evaluation uses.
+    # The serial path's live-exclusion set is provably vacuous for a
+    # single atom — each tuple appears once in the candidate list and is
+    # excluded only after its own match is accepted.
+    matches: list[Match] = []
+    seen: set[tuple] = set()
+    for row in order:
+        if row not in pass_rows:
+            continue
+        m = match_for(row)
+        signature = (
+            tuple(m.bindings.get(v) for v in query.variables),
+            tuple(sorted(i.tid for i in m.retracted)),
+        )
+        if signature in seen:
+            continue
+        seen.add(signature)
+        matches.append(m)
+    if query.require_nonempty and not matches:
+        return QueryResult(False)
+    return QueryResult(True, matches)
 
 
 def _group_failure(executor: "Executor", task: Task, txn: Transaction, origin: str) -> None:
